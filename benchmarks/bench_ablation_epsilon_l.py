@@ -1,0 +1,60 @@
+"""Ablation A1 — choice of the inner accuracy ε_l.
+
+Sec. III-C of the paper discusses the trade-off behind ``ε_l``: a looser inner
+accuracy makes every QSVT solve cheaper (lower polynomial degree, fewer
+samples) but increases the number of refinement iterations.  This ablation
+sweeps ``ε_l`` for several condition numbers and reports the measured
+iteration count, the per-solve degree and the resulting total cost (circuit
+calls × samples), locating the sweet spot the paper's ``ε_l ≈ 1/κ`` heuristic
+aims at.
+"""
+
+import pytest
+
+from repro.applications import random_workload
+from repro.core import MixedPrecisionRefinement, QSVTLinearSolver, samples_for_accuracy
+from repro.reporting import format_table
+
+from .common import emit
+
+_TARGET = 1e-10
+_SWEEP = {
+    2.0: (0.4, 0.25, 0.1, 1e-2, 1e-3),
+    10.0: (5e-2, 1e-2, 1e-3, 1e-4),
+    50.0: (1e-2, 1e-3, 1e-4, 1e-5),
+}
+
+
+def _run():
+    rows = []
+    for kappa, epsilon_ls in _SWEEP.items():
+        workload = random_workload(16, kappa, rng=int(kappa) + 1)
+        for epsilon_l in epsilon_ls:
+            solver = QSVTLinearSolver(workload.matrix, epsilon_l=epsilon_l, backend="ideal")
+            result = MixedPrecisionRefinement(solver, target_accuracy=_TARGET).solve(
+                workload.rhs)
+            degree = solver.describe()["polynomial_degree"]
+            total = result.total_block_encoding_calls * samples_for_accuracy(epsilon_l)
+            rows.append({
+                "kappa": kappa,
+                "epsilon_l": epsilon_l,
+                "degree": degree,
+                "iterations": result.iterations,
+                "converged": result.converged,
+                "circuit BE calls": result.total_block_encoding_calls,
+                "total calls (with samples)": total,
+            })
+    return rows
+
+
+def test_ablation_epsilon_l_choice(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(rows, title=(
+        f"Ablation A1 — effect of the inner accuracy epsilon_l (target {_TARGET:g})"))
+    emit("ablation_epsilon_l", text)
+    # all convergent configurations must converge (epsilon_l * kappa < 1 here)
+    assert all(row["converged"] for row in rows)
+    # within each kappa, a tighter epsilon_l never increases the iteration count
+    for kappa in _SWEEP:
+        iterations = [row["iterations"] for row in rows if row["kappa"] == kappa]
+        assert all(b <= a for a, b in zip(iterations, iterations[1:]))

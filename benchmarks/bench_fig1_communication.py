@@ -1,0 +1,38 @@
+"""Figure 1 — CPU–QPU communication scheme of Algorithm 2.
+
+Runs one refined solve while recording every CPU↔QPU transfer (block-encoding
+circuit, phase vector, state-preparation circuits, sampled solutions) and
+renders the timeline.  Expected shape: the bulk of the traffic happens at the
+setup / first-solve step; each refinement iteration only uploads ``SP(r_i)``
+and downloads ``x_i``.
+"""
+
+import pytest
+
+from repro.applications import random_workload
+from repro.core import MixedPrecisionRefinement, QSVTLinearSolver
+
+from .common import emit
+
+
+def _run_refinement():
+    workload = random_workload(16, 10.0, rng=5)
+    solver = QSVTLinearSolver(workload.matrix, epsilon_l=1e-2, backend="circuit")
+    driver = MixedPrecisionRefinement(solver, target_accuracy=1e-11)
+    return driver.solve(workload.rhs)
+
+
+def test_fig1_communication_trace(benchmark):
+    result = benchmark.pedantic(_run_refinement, rounds=1, iterations=1)
+    trace = result.communication
+    text = trace.render()
+    text += ("\n\nper-step bytes: "
+             + ", ".join(f"step {k}: {v:.0f} B" for k, v in sorted(trace.per_step_bytes().items())))
+    emit("fig1_communication", text)
+    assert result.converged
+    # shape check: the setup step dominates the communication volume
+    assert trace.setup_fraction() > 0.5
+    # every refinement iteration transfers the same, small amount of data
+    per_step = trace.per_step_bytes()
+    iteration_volumes = [per_step[k] for k in sorted(per_step) if k >= 1]
+    assert len(set(iteration_volumes)) <= 1 or max(iteration_volumes) == min(iteration_volumes)

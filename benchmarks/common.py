@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper; the rendered
+text is both printed (visible with ``pytest -s`` / in benchmark logs) and
+written to ``benchmarks/results/<name>.txt`` so that EXPERIMENTS.md can point
+at concrete artefacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print ``text`` and persist it under ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}\n")
+    return str(path)

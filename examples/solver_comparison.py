@@ -1,0 +1,65 @@
+"""Compare the QSVT-based hybrid solver against HHL, VQLS and classical solvers.
+
+The introduction of the paper motivates the QSVT choice against the two other
+standard quantum linear-solver families.  This example runs them all on the
+same small system and prints accuracy, success probabilities and (for the
+refined variants) iteration counts — making concrete the qualitative statement
+that iterative refinement turns *any* limited-accuracy inner solver (quantum
+or low-precision classical) into a high-accuracy one.
+
+Run with:  python examples/solver_comparison.py
+"""
+
+import numpy as np
+
+from repro import MixedPrecisionRefinement, QSVTLinearSolver, mixed_precision_lu_refinement
+from repro.applications import random_workload
+from repro.baselines import ClassicalDirectSolver, HHLSolver, VQLSSolver, hhl_with_refinement
+from repro.reporting import format_table
+
+
+def main() -> None:
+    workload = random_workload(8, kappa=6.0, rng=123)
+    matrix, rhs, x_true = workload.matrix, workload.rhs, workload.solution
+    rows = []
+
+    def add(name, x, omega, iterations=0, note=""):
+        rows.append({"solver": name,
+                     "relative error": float(np.linalg.norm(x - x_true)
+                                             / np.linalg.norm(x_true)),
+                     "scaled residual": float(omega),
+                     "iterations": iterations,
+                     "note": note})
+
+    qsvt = QSVTLinearSolver(matrix, epsilon_l=1e-2, backend="circuit")
+    record = qsvt.solve(rhs)
+    add("QSVT single solve", record.x, record.scaled_residual,
+        note=f"degree {record.polynomial_degree}")
+    refined = MixedPrecisionRefinement(qsvt, target_accuracy=1e-10).solve(rhs)
+    add("QSVT + iterative refinement", refined.x, refined.scaled_residuals[-1],
+        refined.iterations, note=f"{refined.total_block_encoding_calls} BE calls")
+
+    hhl = HHLSolver(matrix, clock_qubits=9)
+    record = hhl.solve(rhs)
+    add("HHL single solve", record.x, record.scaled_residual,
+        note=f"success prob {record.success_probability:.2f}")
+    hhl_ir = hhl_with_refinement(matrix, rhs, clock_qubits=9, target_accuracy=1e-10)
+    add("HHL + iterative refinement", hhl_ir.x, hhl_ir.scaled_residuals[-1],
+        hhl_ir.iterations)
+
+    vqls = VQLSSolver(matrix, layers=5, max_evaluations=6000, rng=1)
+    record = vqls.solve(rhs)
+    add("VQLS", record.x, record.scaled_residual, note="variational, COBYLA")
+
+    lu_ir = mixed_precision_lu_refinement(matrix, rhs, low_precision="fp16",
+                                          target_accuracy=1e-12)
+    add("fp16 LU + refinement (Algorithm 1)", lu_ir.x, lu_ir.scaled_residuals[-1],
+        lu_ir.iterations)
+    record = ClassicalDirectSolver(matrix, precision="fp64").solve(rhs)
+    add("classical LU @ fp64", record.x, record.scaled_residual)
+
+    print(format_table(rows, title=f"solver comparison on {workload.name}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) keep
+working on environments whose setuptools predates PEP 660 wheel-less editable
+support (e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

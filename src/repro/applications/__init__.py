@@ -1,0 +1,18 @@
+"""Application-level problem definitions.
+
+The paper evaluates the solver on random systems with prescribed condition
+numbers (Sec. IV) and motivates the complexity discussion with the 1-D Poisson
+equation (Sec. III-C4).  This sub-package wraps both as reusable "workloads"
+with analytic/classical reference solutions, used by the examples, the tests
+and the benchmark harness.
+"""
+
+from .poisson import PoissonProblem
+from .workloads import LinearSystemWorkload, random_workload, workload_suite
+
+__all__ = [
+    "PoissonProblem",
+    "LinearSystemWorkload",
+    "random_workload",
+    "workload_suite",
+]

@@ -1,0 +1,113 @@
+"""The 1-D Poisson problem of Sec. III-C4 (Eq. (6)–(7) of the paper).
+
+``-u''(x) = f(x)`` on ``(0, 1)`` with homogeneous Dirichlet boundary
+conditions, discretised by central finite differences on ``N`` interior points
+with step ``h = 1/(N+1)``.  The class bundles the matrix, right-hand sides for
+common forcing terms, the exact discrete solution (Thomas algorithm, ``O(N)``)
+and the analytic condition-number formula ``κ ≈ (2(N+1)/π)²`` that the paper
+quotes as ``O(N²)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..linalg import condition_number, poisson_1d_matrix, thomas_solve
+from ..utils import is_power_of_two
+
+__all__ = ["PoissonProblem"]
+
+
+@dataclass
+class PoissonProblem:
+    """Finite-difference discretisation of the 1-D Poisson equation.
+
+    Parameters
+    ----------
+    num_points:
+        Number of interior grid points ``N`` (a power of two for the quantum
+        pipeline, but any positive integer is accepted for classical use).
+    forcing:
+        Right-hand side function ``f``; defaults to
+        ``f(x) = π² sin(π x)`` whose exact continuous solution is
+        ``u(x) = sin(π x)``.
+    scaled:
+        Divide the matrix by ``h²`` as in Eq. (7) (default ``True``).
+    """
+
+    num_points: int
+    forcing: Callable[[np.ndarray], np.ndarray] | None = None
+    scaled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_points < 1:
+            raise ValueError("num_points must be positive")
+        if self.forcing is None:
+            self.forcing = lambda x: np.pi**2 * np.sin(np.pi * x)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def step(self) -> float:
+        """Grid spacing ``h = 1/(N+1)``."""
+        return 1.0 / (self.num_points + 1)
+
+    @property
+    def grid(self) -> np.ndarray:
+        """Interior grid points ``x_j = j h``, ``j = 1..N``."""
+        return self.step * np.arange(1, self.num_points + 1)
+
+    @property
+    def is_quantum_ready(self) -> bool:
+        """Whether ``N`` is a power of two (required by the quantum encodings)."""
+        return is_power_of_two(self.num_points)
+
+    @property
+    def num_qubits(self) -> int:
+        """Data qubits needed to hold the solution vector."""
+        if not self.is_quantum_ready:
+            raise ValueError("num_points must be a power of two for the quantum pipeline")
+        return int(self.num_points).bit_length() - 1
+
+    # ------------------------------------------------------------------ #
+    def matrix(self) -> np.ndarray:
+        """The tridiagonal system matrix of Eq. (7)."""
+        return poisson_1d_matrix(self.num_points, scaled=self.scaled)
+
+    def right_hand_side(self) -> np.ndarray:
+        """Right-hand side vector ``f(x_j)`` on the interior grid."""
+        return np.asarray(self.forcing(self.grid), dtype=float)
+
+    def system(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(A, b)`` pair ready to be handed to a solver."""
+        return self.matrix(), self.right_hand_side()
+
+    def reference_solution(self) -> np.ndarray:
+        """Exact solution of the *discrete* system (Thomas algorithm, ``O(N)``)."""
+        return thomas_solve(self.matrix(), self.right_hand_side())
+
+    def continuous_solution(self) -> np.ndarray:
+        """Exact continuous solution sampled on the grid (default forcing only).
+
+        Only meaningful for the default forcing ``π² sin(π x)``; for custom
+        forcings use :meth:`reference_solution`.
+        """
+        return np.sin(np.pi * self.grid)
+
+    # ------------------------------------------------------------------ #
+    def condition_number(self, *, exact: bool = False) -> float:
+        """Condition number of the matrix.
+
+        With ``exact=False`` (default) the analytic estimate
+        ``(2(N+1)/π)²`` is returned — the ``O(N²)`` growth quoted by the
+        paper; with ``exact=True`` the SVD-based value is computed.
+        """
+        if exact:
+            return condition_number(self.matrix())
+        return float((2.0 * (self.num_points + 1) / np.pi) ** 2)
+
+    def discretization_error(self) -> float:
+        """Max-norm distance between the discrete and continuous solutions."""
+        return float(np.max(np.abs(self.reference_solution() - self.continuous_solution())))

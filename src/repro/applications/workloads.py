@@ -1,0 +1,79 @@
+"""Random linear-system workloads (the Sec. IV experimental setup).
+
+The paper's experiments use ``N = 16`` random matrices with prescribed
+condition numbers and unit-norm random right-hand sides.  A
+:class:`LinearSystemWorkload` packages one such problem together with its
+exact solution and metadata, and :func:`workload_suite` generates the
+parameter sweeps used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..linalg import (
+    condition_number,
+    random_matrix_with_condition_number,
+    random_rhs,
+)
+from ..utils import as_generator
+
+__all__ = ["LinearSystemWorkload", "random_workload", "workload_suite"]
+
+
+@dataclass
+class LinearSystemWorkload:
+    """A linear system plus its exact solution and descriptive metadata."""
+
+    #: short name used by reports ("random-k10", "poisson-n16", ...).
+    name: str
+    #: system matrix.
+    matrix: np.ndarray
+    #: right-hand side (unit norm unless stated otherwise).
+    rhs: np.ndarray
+    #: exact solution computed classically in double precision.
+    solution: np.ndarray
+    #: target condition number used to build the matrix.
+    condition_number: float
+    #: extra information (seed, distribution, ...).
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def dimension(self) -> int:
+        """Problem size ``N``."""
+        return self.matrix.shape[0]
+
+    def measured_condition_number(self) -> float:
+        """Exact condition number of the generated matrix (SVD)."""
+        return condition_number(self.matrix)
+
+
+def random_workload(dimension: int, kappa: float, *, rng=None,
+                    distribution: str = "logarithmic",
+                    name: str | None = None) -> LinearSystemWorkload:
+    """One random system with prescribed condition number (Sec. IV setup)."""
+    gen = as_generator(rng)
+    matrix = random_matrix_with_condition_number(dimension, kappa, rng=gen,
+                                                 distribution=distribution)
+    rhs = random_rhs(dimension, rng=gen)
+    solution = np.linalg.solve(matrix, rhs)
+    label = name if name is not None else f"random-n{dimension}-k{kappa:g}"
+    return LinearSystemWorkload(
+        name=label, matrix=matrix, rhs=rhs, solution=solution,
+        condition_number=float(kappa),
+        metadata={"distribution": distribution, "dimension": dimension})
+
+
+def workload_suite(dimension: int = 16, condition_numbers=(2.0, 10.0, 100.0),
+                   *, rng=None, distribution: str = "logarithmic"
+                   ) -> list[LinearSystemWorkload]:
+    """A sweep of random workloads over several condition numbers.
+
+    All workloads share one seeded generator so the entire suite is
+    reproducible from a single seed.
+    """
+    gen = as_generator(rng)
+    return [random_workload(dimension, float(kappa), rng=gen, distribution=distribution)
+            for kappa in condition_numbers]

@@ -1,0 +1,24 @@
+"""Baseline linear solvers the paper positions itself against.
+
+The introduction of the paper cites three quantum linear-solver families —
+HHL (Ref. [18]), VQLS (Ref. [6]) and QSVT — and mentions prior work combining
+HHL with iterative refinement (Refs. [36], [39]).  This sub-package implements
+simulator-level versions of those baselines plus plain classical direct
+solvers at several precisions, so the benchmarks can compare convergence
+behaviour and quantum resource usage on identical problems.
+"""
+
+from .classical import ClassicalDirectSolver, classical_solve
+from .hhl import HHLResult, HHLSolver
+from .hhl_refinement import hhl_with_refinement
+from .vqls import VQLSResult, VQLSSolver
+
+__all__ = [
+    "ClassicalDirectSolver",
+    "classical_solve",
+    "HHLSolver",
+    "HHLResult",
+    "hhl_with_refinement",
+    "VQLSSolver",
+    "VQLSResult",
+]

@@ -1,0 +1,169 @@
+"""Harrow–Hassidim–Lloyd (HHL) linear solver baseline (Ref. [18] of the paper).
+
+The implementation follows the textbook pipeline on the dense simulator:
+
+1. the (possibly non-Hermitian) matrix is embedded into the Hermitian dilation
+   ``H = [[0, A], [A†, 0]]`` so that solving ``H y = (b, 0)`` yields
+   ``y = (0, x)``;
+2. quantum phase estimation with ``clock_qubits`` ancillas is run on
+   ``U = exp(i H t)`` applied to ``|b>``;
+3. the eigenvalue-inversion rotation maps each estimated phase ``λ̃`` to an
+   ancilla amplitude ``C/λ̃``;
+4. the phase estimation is uncomputed and the rotation ancilla post-selected
+   on ``|1>``.
+
+This is an *ideal-oracle* HHL: phase estimation is modelled exactly through
+the eigendecomposition of the (dilated) system matrix — each eigenvalue is
+rounded to the ``clock_qubits``-bit grid, which is the dominant error source
+of the algorithm — rather than by simulating the controlled powers of
+``exp(iHt)`` gate by gate.  This is the standard way of studying HHL's
+accuracy limits and keeps the baseline tractable at the same sizes as the
+QSVT experiments.  The solver exposes the same interface as
+:class:`repro.core.qsvt_solver.QSVTLinearSolver`, so it can be refined by the
+same driver (see :mod:`repro.baselines.hhl_refinement`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.normalization import recover_scale
+from ..core.results import SingleSolveRecord
+from ..exceptions import BackendError
+from ..linalg import scaled_residual
+from ..utils import as_vector, check_power_of_two, check_square, is_hermitian
+
+__all__ = ["HHLResult", "HHLSolver"]
+
+
+@dataclass(frozen=True)
+class HHLResult:
+    """Diagnostic information of one HHL run."""
+
+    #: solution estimate (de-normalised).
+    x: np.ndarray
+    #: unit-norm direction produced by the post-selected state.
+    direction: np.ndarray
+    #: probability of the eigenvalue-inversion ancilla post-selection.
+    success_probability: float
+    #: number of clock qubits used by phase estimation.
+    clock_qubits: int
+    #: evolution time of the Hamiltonian simulation.
+    evolution_time: float
+
+
+class HHLSolver:
+    """Phase-estimation-based quantum linear solver.
+
+    Parameters
+    ----------
+    matrix:
+        System matrix (``N x N``, ``N`` a power of two).  Non-Hermitian
+        matrices are handled through the Hermitian dilation.
+    clock_qubits:
+        Number of phase-estimation qubits; the eigenvalue resolution — and
+        hence the solve accuracy — is ``O(2^{-clock_qubits} κ)``.
+    rotation_constant:
+        The constant ``C`` of the ``C/λ`` inversion rotation; defaults to the
+        smallest representable eigenvalue magnitude.
+    """
+
+    def __init__(self, matrix, *, clock_qubits: int = 8,
+                 rotation_constant: float | None = None) -> None:
+        mat = check_square(np.asarray(matrix, dtype=complex), name="A")
+        check_power_of_two(mat.shape[0], name="matrix dimension")
+        self.matrix = np.real_if_close(mat)
+        self.clock_qubits = int(clock_qubits)
+        if self.clock_qubits < 2:
+            raise BackendError("HHL needs at least two clock qubits")
+        self.hermitian = is_hermitian(mat)
+        self._system = mat if self.hermitian else np.block(
+            [[np.zeros_like(mat), mat], [mat.conj().T, np.zeros_like(mat)]])
+        eigenvalues = np.linalg.eigvalsh(self._system)
+        self._lambda_max = float(np.max(np.abs(eigenvalues)))
+        self._lambda_min = float(np.min(np.abs(eigenvalues)))
+        if self._lambda_min == 0.0:
+            raise BackendError("matrix is singular; HHL cannot invert it")
+        # evolution time chosen so the spectrum fits in (0, 2π) once shifted
+        self.evolution_time = float(np.pi / self._lambda_max)
+        self.rotation_constant = (rotation_constant if rotation_constant is not None
+                                  else 0.9 * self._lambda_min)
+        self.epsilon_l = float(2.0 ** (-self.clock_qubits) * self._lambda_max
+                               / self._lambda_min)
+        self.kappa = self._lambda_max / self._lambda_min
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Metadata used by the refinement driver and the benchmarks."""
+        return {"backend": "hhl", "clock_qubits": self.clock_qubits,
+                "epsilon_l": self.epsilon_l, "kappa": self.kappa}
+
+    # ------------------------------------------------------------------ #
+    def _phase_estimation_vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eigen-decomposition of the (dilated) system matrix."""
+        eigenvalues, eigenvectors = np.linalg.eigh(self._system)
+        return eigenvalues, eigenvectors
+
+    def run(self, rhs) -> HHLResult:
+        """Execute HHL for the right-hand side and return diagnostics."""
+        b = as_vector(rhs, name="rhs").astype(complex)
+        if b.shape[0] != self.matrix.shape[0]:
+            raise BackendError("right-hand side length does not match the matrix")
+        norm_b = np.linalg.norm(b)
+        if norm_b == 0.0:
+            raise BackendError("right-hand side must be nonzero")
+        if self.hermitian:
+            loaded = b / norm_b
+        else:
+            loaded = np.concatenate([b, np.zeros_like(b)]) / norm_b
+
+        eigenvalues, eigenvectors = self._phase_estimation_vectors()
+        amplitudes = eigenvectors.conj().T @ loaded
+
+        # phase estimation discretises λ t / (2π) on `clock_qubits` bits; we model
+        # the resulting eigenvalue estimate and the C/λ̃ rotation per eigenspace.
+        num_bins = 2**self.clock_qubits
+        phases = eigenvalues * self.evolution_time / (2.0 * np.pi)
+        estimated_phases = np.round(phases * num_bins) / num_bins
+        estimated_eigenvalues = estimated_phases * 2.0 * np.pi / self.evolution_time
+        # avoid the exactly-zero bin (unresolvable eigenvalue)
+        tiny = 2.0 * np.pi / (self.evolution_time * num_bins)
+        estimated_eigenvalues = np.where(np.abs(estimated_eigenvalues) < tiny / 2,
+                                         np.sign(eigenvalues) * tiny / 2,
+                                         estimated_eigenvalues)
+        rotation = np.clip(self.rotation_constant / estimated_eigenvalues, -1.0, 1.0)
+        post_selected = amplitudes * rotation
+        success_probability = float(np.linalg.norm(post_selected) ** 2)
+        if success_probability == 0.0:
+            raise BackendError("HHL post-selection failed (zero amplitude)")
+        solution_full = eigenvectors @ post_selected
+        if not self.hermitian:
+            solution_full = solution_full[self.matrix.shape[0]:]
+        direction = np.real(solution_full)
+        norm_dir = np.linalg.norm(direction)
+        if norm_dir == 0.0:
+            raise BackendError("HHL produced a zero solution direction")
+        direction = direction / norm_dir
+        scale = recover_scale(np.real(self.matrix), direction, np.real(b))
+        return HHLResult(x=scale * direction, direction=direction,
+                         success_probability=success_probability,
+                         clock_qubits=self.clock_qubits,
+                         evolution_time=self.evolution_time)
+
+    def solve(self, rhs) -> SingleSolveRecord:
+        """Solve ``A x = rhs`` (protocol shared with the QSVT solver)."""
+        start = time.perf_counter()
+        result = self.run(rhs)
+        elapsed = time.perf_counter() - start
+        omega = scaled_residual(np.real(self.matrix), result.x, np.real(
+            as_vector(rhs).astype(float)))
+        return SingleSolveRecord(
+            x=result.x, direction=result.direction,
+            scale=float(np.linalg.norm(result.x)),
+            scaled_residual=float(omega),
+            block_encoding_calls=0, polynomial_degree=0,
+            success_probability=result.success_probability,
+            shots=0, wall_time=elapsed)

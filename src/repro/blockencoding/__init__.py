@@ -1,0 +1,46 @@
+"""Block-encodings of matrices into unitaries.
+
+A block-encoding of ``A`` is a unitary ``U`` acting on ``a`` ancilla qubits
+and ``n`` data qubits such that the top-left ``N x N`` block of ``U`` (the
+``<0^a| U |0^a>`` block) equals ``A / α`` for a known subnormalisation factor
+``α >= ||A||₂``.  Four constructions are provided, mirroring Sec. II-A1 of the
+paper:
+
+* :class:`~repro.blockencoding.dilation.DilationBlockEncoding` — exact
+  single-ancilla dilation built from the SVD (the cheapest to simulate, no
+  gate-level structure);
+* :class:`~repro.blockencoding.lcu.LCUBlockEncoding` — Linear Combination of
+  Unitaries over the Pauli decomposition of ``A`` (Refs [12], [25]);
+* :class:`~repro.blockencoding.fable.FABLEBlockEncoding` — the FABLE oracle
+  construction (Ref. [10]), ``α = 2**n`` up to entry rescaling;
+* :mod:`~repro.blockencoding.banded` — structured encodings for
+  banded/tridiagonal matrices such as the Poisson matrix (Ref. [37]),
+  including the adder-based circulant circuit used to reproduce Fig. 2.
+"""
+
+from .base import BlockEncoding
+from .dilation import DilationBlockEncoding
+from .lcu import LCUBlockEncoding
+from .fable import FABLEBlockEncoding
+from .banded import (
+    CirculantBlockEncoding,
+    TridiagonalBlockEncoding,
+    decrement_circuit,
+    increment_circuit,
+)
+from .diagnostics import block_encoding_error, verify_block_encoding
+from .factory import build_block_encoding
+
+__all__ = [
+    "BlockEncoding",
+    "DilationBlockEncoding",
+    "LCUBlockEncoding",
+    "FABLEBlockEncoding",
+    "CirculantBlockEncoding",
+    "TridiagonalBlockEncoding",
+    "increment_circuit",
+    "decrement_circuit",
+    "verify_block_encoding",
+    "block_encoding_error",
+    "build_block_encoding",
+]

@@ -1,0 +1,100 @@
+"""Abstract interface shared by every block-encoding construction."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..exceptions import BlockEncodingError
+from ..quantum import QuantumCircuit
+from ..quantum.statevector import circuit_unitary
+from ..utils import check_power_of_two, check_square
+
+__all__ = ["BlockEncoding"]
+
+
+class BlockEncoding(abc.ABC):
+    """A unitary whose top-left block encodes ``A / alpha``.
+
+    Qubit layout convention (consistent with the rest of the library): the
+    ``num_ancillas`` ancilla qubits are the **most significant** qubits and
+    the ``num_data_qubits`` data qubits the least significant ones, so that
+    the first ``N`` rows/columns of the unitary form the encoded block.
+
+    Subclasses must set the attributes below (usually in ``__init__``) and
+    implement :meth:`circuit`.
+
+    Attributes
+    ----------
+    matrix_encoded:
+        The matrix ``A`` being encoded (dense ``N x N``).
+    alpha:
+        Subnormalisation factor: the block equals ``A / alpha``.
+    num_data_qubits / num_ancillas:
+        Register sizes.
+    name:
+        Construction name used in reports.
+    """
+
+    #: populated by subclasses
+    matrix_encoded: np.ndarray
+    alpha: float
+    num_data_qubits: int
+    num_ancillas: int
+    name: str = "block-encoding"
+
+    # ------------------------------------------------------------------ #
+    def _init_common(self, matrix, *, name: str) -> np.ndarray:
+        """Validate the input matrix and populate the common attributes."""
+        mat = check_square(np.asarray(matrix, dtype=complex), name="matrix")
+        check_power_of_two(mat.shape[0], name="matrix dimension")
+        self.matrix_encoded = mat
+        self.num_data_qubits = int(mat.shape[0]).bit_length() - 1
+        self.name = name
+        return mat
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Total number of qubits (ancillas + data)."""
+        return self.num_ancillas + self.num_data_qubits
+
+    @property
+    def dimension(self) -> int:
+        """Dimension ``N`` of the encoded matrix."""
+        return 2**self.num_data_qubits
+
+    @abc.abstractmethod
+    def circuit(self) -> QuantumCircuit:
+        """Quantum circuit implementing the block-encoding unitary."""
+
+    def unitary(self) -> np.ndarray:
+        """Dense unitary matrix of the block-encoding.
+
+        The default implementation simulates :meth:`circuit`; subclasses that
+        already hold a dense matrix override this for efficiency.
+        """
+        return circuit_unitary(self.circuit())
+
+    def encoded_block(self) -> np.ndarray:
+        """Extract the top-left ``N x N`` block of the unitary (i.e. ``A/α``)."""
+        n = self.dimension
+        return self.unitary()[:n, :n]
+
+    def reconstruct(self) -> np.ndarray:
+        """``alpha * encoded_block()`` — should equal the encoded matrix."""
+        return self.alpha * self.encoded_block()
+
+    def verify(self, *, atol: float = 1e-8) -> None:
+        """Raise :class:`BlockEncodingError` when the encoding is inaccurate."""
+        error = float(np.max(np.abs(self.reconstruct() - self.matrix_encoded)))
+        if error > atol:
+            raise BlockEncodingError(
+                f"{self.name}: block-encoding error {error:.3e} exceeds tolerance {atol:.1e}")
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        return (f"{self.name}: N={self.dimension}, ancillas={self.num_ancillas}, "
+                f"alpha={self.alpha:.4g}")

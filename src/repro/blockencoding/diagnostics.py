@@ -1,0 +1,54 @@
+"""Verification helpers for block-encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import BlockEncodingError
+from ..utils import is_unitary
+from .base import BlockEncoding
+
+__all__ = ["block_encoding_error", "verify_block_encoding"]
+
+
+def block_encoding_error(encoding: BlockEncoding, matrix=None) -> float:
+    """Maximum absolute deviation between ``alpha * block`` and the target matrix.
+
+    Parameters
+    ----------
+    encoding:
+        Block-encoding under test.
+    matrix:
+        Matrix the encoding is supposed to represent; defaults to
+        ``encoding.matrix_encoded``.
+    """
+    target = encoding.matrix_encoded if matrix is None else np.asarray(matrix, dtype=complex)
+    return float(np.max(np.abs(encoding.reconstruct() - target)))
+
+
+def verify_block_encoding(encoding: BlockEncoding, *, atol: float = 1e-8,
+                          check_unitarity: bool = True) -> dict:
+    """Full verification of a block-encoding.
+
+    Checks that the unitary is actually unitary and that the encoded block
+    reproduces the target matrix within ``atol``; returns a report dict with
+    the measured errors.  Raises :class:`BlockEncodingError` on failure.
+    """
+    unitary = encoding.unitary()
+    report = {
+        "name": encoding.name,
+        "alpha": encoding.alpha,
+        "num_ancillas": encoding.num_ancillas,
+        "encoding_error": block_encoding_error(encoding),
+        "unitarity_error": float(
+            np.max(np.abs(unitary @ unitary.conj().T - np.eye(unitary.shape[0])))),
+    }
+    if check_unitarity and not is_unitary(unitary, atol=max(atol, 1e-8)):
+        raise BlockEncodingError(
+            f"{encoding.name}: matrix is not unitary "
+            f"(error {report['unitarity_error']:.3e})")
+    if report["encoding_error"] > atol:
+        raise BlockEncodingError(
+            f"{encoding.name}: encoded block deviates by {report['encoding_error']:.3e} "
+            f"(tolerance {atol:.1e})")
+    return report

@@ -1,0 +1,99 @@
+"""FABLE-style block-encoding (Fast Approximate BLock Encoding, Ref. [10]).
+
+The construction uses three registers — a one-qubit flag ``f``, an ``n``-qubit
+row register ``r`` and the ``n``-qubit data (column) register ``c`` — and the
+entry oracle
+
+.. math::  O_A |0>_f |i>_r |j>_c = (a_{ij} |0>_f + \\sqrt{1-a_{ij}^2}\\,|1>_f) |i>_r |j>_c,
+
+implemented as one uniformly controlled ``Ry`` on the flag with angles
+``θ_{ij} = 2 arccos(a_{ij})``.  Sandwiching the oracle between Hadamards on
+the row register and a register swap gives a block-encoding with
+``alpha = 2**n * max|a_ij|`` (the entries are rescaled to ``[-1, 1]`` first).
+
+The "approximate" part of FABLE is a compression threshold: entries whose
+magnitude is below ``compression_threshold * max|a_ij|`` are treated as zero,
+which removes the corresponding rotations; the resulting encoding error is
+reported by :meth:`FABLEBlockEncoding.verify` /
+:func:`repro.blockencoding.diagnostics.block_encoding_error`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import BlockEncodingError
+from ..quantum import QuantumCircuit
+from ..quantum.decompositions import multiplexed_ry_circuit, multiplexor_matrix
+from .base import BlockEncoding
+
+__all__ = ["FABLEBlockEncoding"]
+
+
+class FABLEBlockEncoding(BlockEncoding):
+    """FABLE block-encoding of a real matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Real ``N x N`` matrix, ``N = 2**n``.
+    compression_threshold:
+        Relative threshold below which entries are dropped (0 disables
+        compression, reproducing the exact oracle).
+    decompose:
+        Expand the oracle multiplexor into CNOT + Ry gates (``4**n`` rotations,
+        the complexity quoted in Sec. II-A1) instead of keeping it as one dense
+        block.
+    """
+
+    def __init__(self, matrix, *, compression_threshold: float = 0.0,
+                 decompose: bool = False) -> None:
+        mat = self._init_common(matrix, name="fable")
+        if np.iscomplexobj(matrix) and np.max(np.abs(np.imag(mat))) > 1e-14:
+            raise BlockEncodingError("the FABLE implementation handles real matrices only")
+        real = np.real(mat)
+        max_entry = float(np.max(np.abs(real)))
+        if max_entry == 0.0:
+            raise BlockEncodingError("cannot block-encode the zero matrix")
+        self._scaled = real / max_entry
+        if compression_threshold < 0.0 or compression_threshold >= 1.0:
+            raise BlockEncodingError("compression_threshold must be in [0, 1)")
+        if compression_threshold > 0.0:
+            mask = np.abs(self._scaled) < compression_threshold
+            self._scaled = np.where(mask, 0.0, self._scaled)
+        n = self.num_data_qubits
+        self.num_ancillas = 1 + n          # flag + row register
+        self.alpha = float(max_entry * 2**n)
+        self._decompose = bool(decompose)
+
+    # ------------------------------------------------------------------ #
+    def oracle_angles(self) -> np.ndarray:
+        """Rotation angles ``θ_{ij} = 2 arccos(a_{ij})`` flattened row-major."""
+        clipped = np.clip(self._scaled, -1.0, 1.0)
+        return 2.0 * np.arccos(clipped).reshape(-1)
+
+    def circuit(self) -> QuantumCircuit:
+        """FABLE circuit.  Qubit layout: ``[flag, row(n), column(n)]``."""
+        n = self.num_data_qubits
+        flag = 0
+        row = list(range(1, 1 + n))
+        col = list(range(1 + n, 1 + 2 * n))
+        qc = QuantumCircuit(1 + 2 * n, name="fable_block_encoding")
+        for q in row:
+            qc.h(q)
+        angles = self.oracle_angles()
+        controls = row + col
+        if self._decompose:
+            oracle = multiplexed_ry_circuit(angles, controls=controls, target=flag,
+                                            num_qubits=qc.num_qubits)
+            qc.compose(oracle)
+        else:
+            # dense multiplexor: controls (row, col) are the most significant
+            # qubits of the gate, flag the least significant one.
+            matrix = multiplexor_matrix("ry", angles)
+            qc.unitary(matrix, qubits=[*controls, flag], name="fable_oracle")
+        for r_qubit, c_qubit in zip(row, col):
+            qc.swap(r_qubit, c_qubit)
+        for q in row:
+            qc.h(q)
+        return qc

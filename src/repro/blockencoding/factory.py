@@ -1,0 +1,59 @@
+"""Factory helper mapping method names to block-encoding constructors.
+
+The solver configuration exposes the block-encoding choice as a string
+(``"dilation"``, ``"lcu"``, ``"fable"``, ``"tridiagonal"``); this module keeps
+the mapping in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import BlockEncodingError
+from .base import BlockEncoding
+from .dilation import DilationBlockEncoding
+from .fable import FABLEBlockEncoding
+from .lcu import LCUBlockEncoding
+
+__all__ = ["build_block_encoding"]
+
+
+def build_block_encoding(matrix, method: str = "dilation", **kwargs) -> BlockEncoding:
+    """Build a block-encoding of ``matrix`` using the named construction.
+
+    Parameters
+    ----------
+    matrix:
+        Matrix to encode.
+    method:
+        One of ``"dilation"`` (default), ``"lcu"``, ``"fable"`` or
+        ``"tridiagonal"`` (the latter requires a tridiagonal Toeplitz matrix
+        and simply routes through the LCU of its Pauli decomposition).
+    kwargs:
+        Forwarded to the selected constructor.
+    """
+    key = method.lower()
+    if key == "dilation":
+        return DilationBlockEncoding(matrix, **kwargs)
+    if key == "lcu":
+        return LCUBlockEncoding(matrix, **kwargs)
+    if key == "fable":
+        return FABLEBlockEncoding(matrix, **kwargs)
+    if key == "tridiagonal":
+        from .banded import TridiagonalBlockEncoding
+
+        mat = np.asarray(matrix, dtype=float)
+        n = mat.shape[0]
+        diag = float(mat[0, 0])
+        off = float(mat[0, 1]) if n > 1 else 0.0
+        reference = np.zeros_like(mat)
+        np.fill_diagonal(reference, diag)
+        idx = np.arange(n - 1)
+        reference[idx, idx + 1] = off
+        reference[idx + 1, idx] = off
+        if not np.allclose(reference, mat, atol=1e-12 * max(1.0, abs(diag), abs(off))):
+            raise BlockEncodingError(
+                "method='tridiagonal' requires a tridiagonal Toeplitz matrix")
+        num_qubits = int(n).bit_length() - 1
+        return TridiagonalBlockEncoding(num_qubits, diagonal=diag, off_diagonal=off, **kwargs)
+    raise BlockEncodingError(f"unknown block-encoding method {method!r}")

@@ -1,0 +1,98 @@
+"""Core of the reproduction: the mixed-precision QSVT linear solver.
+
+This sub-package assembles the substrates (block-encodings, QSP phases, the
+state-vector simulator, classical linear algebra) into the two algorithms the
+paper contributes:
+
+* :class:`~repro.core.qsvt_solver.QSVTLinearSolver` — one linear solve at a
+  prescribed low accuracy ``ε_l`` through the QSVT (Sec. II-A4), including the
+  normalisation / de-normalisation of Remark 2;
+* :class:`~repro.core.refinement.MixedPrecisionRefinement` — Algorithm 2:
+  hybrid CPU/QPU iterative refinement that drives the scaled residual below a
+  target ``ε`` while each inner solve only needs accuracy ``ε_l``.
+
+It also hosts the analysis artefacts of Sec. III: the convergence bound of
+Theorem III.1 (:mod:`repro.core.convergence`), the quantum/classical cost
+model of Tables I–II (:mod:`repro.core.cost_model`), and the CPU–QPU
+communication trace of Fig. 1 (:mod:`repro.core.communication`).
+"""
+
+from .results import RefinementIteration, RefinementResult, SingleSolveRecord
+from .sampling import SamplingModel
+from .normalization import brent_minimize, recover_scale
+from .backends import (
+    BackendApplication,
+    CircuitQSVTBackend,
+    ExactInverseBackend,
+    IdealPolynomialBackend,
+    QSVTBackend,
+    make_backend,
+)
+from .qsvt_solver import QSVTLinearSolver
+from .classical_refinement import ClassicalLUSolver, mixed_precision_lu_refinement
+from .refinement import MixedPrecisionRefinement, refine
+from .convergence import (
+    contraction_factor,
+    iteration_bound,
+    is_convergent,
+    predicted_scaled_residuals,
+)
+from .cost_model import (
+    CostBreakdown,
+    block_encoding_calls_per_solve,
+    poisson_complexity_table,
+    poisson_tgate_estimate,
+    quantum_cost_table,
+    refinement_quantum_cost,
+    qsvt_only_quantum_cost,
+    samples_for_accuracy,
+)
+from .communication import CommunicationTrace, TransferEvent
+from .preconditioning import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+    RowEquilibrationPreconditioner,
+    make_preconditioner,
+    preconditioned_refine,
+)
+
+__all__ = [
+    "SingleSolveRecord",
+    "RefinementIteration",
+    "RefinementResult",
+    "SamplingModel",
+    "recover_scale",
+    "brent_minimize",
+    "QSVTBackend",
+    "BackendApplication",
+    "CircuitQSVTBackend",
+    "IdealPolynomialBackend",
+    "ExactInverseBackend",
+    "make_backend",
+    "QSVTLinearSolver",
+    "MixedPrecisionRefinement",
+    "refine",
+    "ClassicalLUSolver",
+    "mixed_precision_lu_refinement",
+    "iteration_bound",
+    "contraction_factor",
+    "is_convergent",
+    "predicted_scaled_residuals",
+    "CostBreakdown",
+    "samples_for_accuracy",
+    "block_encoding_calls_per_solve",
+    "qsvt_only_quantum_cost",
+    "refinement_quantum_cost",
+    "quantum_cost_table",
+    "poisson_complexity_table",
+    "poisson_tgate_estimate",
+    "CommunicationTrace",
+    "TransferEvent",
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "RowEquilibrationPreconditioner",
+    "make_preconditioner",
+    "preconditioned_refine",
+]

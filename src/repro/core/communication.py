@@ -1,0 +1,131 @@
+"""CPU–QPU communication accounting (Figure 1 of the paper).
+
+Algorithm 2 moves data between the classical host and the quantum device:
+
+* once, at the beginning: the block-encoding circuit ``BE(A†)``, the phase
+  vector ``Φ`` and the state-preparation circuit ``SP(b)``;
+* at every solve: the state-preparation circuit of the current right-hand side
+  (``SP(r_i)``) from CPU to QPU, and the sampled solution vector (``x_i``)
+  from QPU to CPU.
+
+:class:`CommunicationTrace` records those transfers with byte estimates so the
+benchmarks can regenerate the communication timeline of Fig. 1 and quantify
+how little data moves after the first solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TransferEvent", "CommunicationTrace"]
+
+#: rough serialisation cost of one gate in a circuit description (bytes).
+BYTES_PER_GATE = 16
+#: bytes per floating-point scalar transferred (double precision).
+BYTES_PER_SCALAR = 8
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """One CPU↔QPU transfer.
+
+    Attributes
+    ----------
+    step:
+        Algorithm step the transfer belongs to (0 = setup / first solve,
+        ``i >= 1`` = refinement iteration ``i``).
+    direction:
+        ``"cpu->qpu"`` or ``"qpu->cpu"``.
+    label:
+        Short label used in the rendered timeline (``"BE(A†)"``, ``"SP(r_1)"``,
+        ``"x_0"``, ...).
+    payload_bytes:
+        Estimated size of the transfer.
+    description:
+        Longer human-readable description.
+    """
+
+    step: int
+    direction: str
+    label: str
+    payload_bytes: float
+    description: str = ""
+
+
+@dataclass
+class CommunicationTrace:
+    """Ordered list of CPU↔QPU transfers of one refined solve."""
+
+    events: list[TransferEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def add(self, step: int, direction: str, label: str, payload_bytes: float,
+            description: str = "") -> None:
+        """Append one transfer event."""
+        if direction not in ("cpu->qpu", "qpu->cpu"):
+            raise ValueError("direction must be 'cpu->qpu' or 'qpu->cpu'")
+        self.events.append(TransferEvent(step=step, direction=direction, label=label,
+                                         payload_bytes=float(payload_bytes),
+                                         description=description))
+
+    def add_circuit_upload(self, step: int, label: str, num_gates: int,
+                           description: str = "") -> None:
+        """Record the upload of a circuit description (size ∝ gate count)."""
+        self.add(step, "cpu->qpu", label, num_gates * BYTES_PER_GATE, description)
+
+    def add_vector_upload(self, step: int, label: str, length: int,
+                          description: str = "") -> None:
+        """Record the upload of a classical vector (e.g. the QSP phase list)."""
+        self.add(step, "cpu->qpu", label, length * BYTES_PER_SCALAR, description)
+
+    def add_solution_download(self, step: int, label: str, length: int,
+                              description: str = "") -> None:
+        """Record the download of a sampled solution vector of ``length`` entries."""
+        self.add(step, "qpu->cpu", label, length * BYTES_PER_SCALAR, description)
+
+    # ------------------------------------------------------------------ #
+    def total_bytes(self, direction: str | None = None) -> float:
+        """Total bytes transferred (optionally restricted to one direction)."""
+        return float(sum(e.payload_bytes for e in self.events
+                         if direction is None or e.direction == direction))
+
+    def per_step_bytes(self) -> dict[int, float]:
+        """Bytes transferred per algorithm step."""
+        out: dict[int, float] = {}
+        for event in self.events:
+            out[event.step] = out.get(event.step, 0.0) + event.payload_bytes
+        return out
+
+    def setup_fraction(self) -> float:
+        """Fraction of the total traffic that belongs to the setup/first solve.
+
+        The paper's point (Sec. III-C3) is that this fraction is large: after
+        the first solve only ``SP(r_i)`` uploads and ``x_i`` downloads remain.
+        """
+        total = self.total_bytes()
+        if total == 0.0:
+            return 0.0
+        return self.per_step_bytes().get(0, 0.0) / total
+
+    # ------------------------------------------------------------------ #
+    def render(self, *, width: int = 72) -> str:
+        """ASCII timeline in the spirit of Fig. 1 (CPU row, QPU row, arrows)."""
+        lines = ["step | direction  | payload      | label",
+                 "-" * min(width, 60)]
+        for event in self.events:
+            arrow = "CPU → QPU" if event.direction == "cpu->qpu" else "QPU → CPU"
+            lines.append(f"{event.step:4d} | {arrow:10s} | {_format_bytes(event.payload_bytes):>12s} "
+                         f"| {event.label}")
+        lines.append("-" * min(width, 60))
+        lines.append(f"total CPU→QPU: {_format_bytes(self.total_bytes('cpu->qpu'))}, "
+                     f"QPU→CPU: {_format_bytes(self.total_bytes('qpu->cpu'))}, "
+                     f"setup fraction: {100 * self.setup_fraction():.1f}%")
+        return "\n".join(lines)
+
+
+def _format_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} GiB"

@@ -1,0 +1,76 @@
+"""Convergence theory of the mixed-precision refinement (Theorem III.1).
+
+With an inner solver of relative accuracy ``ε_l`` and a matrix of condition
+number ``κ`` such that ``ε_l κ < 1``, the scaled residual after ``i``
+refinement iterations satisfies ``||r_i|| ≤ (ε_l κ)^{i+1} ||b||`` and the
+number of iterations needed to reach ``ω ≤ ε`` is bounded by
+``⌈log ε / log(ε_l κ)⌉``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "contraction_factor",
+    "is_convergent",
+    "iteration_bound",
+    "predicted_scaled_residuals",
+    "limiting_accuracy",
+]
+
+
+def contraction_factor(epsilon_l: float, kappa: float) -> float:
+    """Per-iteration contraction ``ε_l κ`` of the scaled residual."""
+    if epsilon_l <= 0 or kappa < 1:
+        raise ValueError("epsilon_l must be positive and kappa >= 1")
+    return float(epsilon_l) * float(kappa)
+
+
+def is_convergent(epsilon_l: float, kappa: float) -> bool:
+    """Whether Theorem III.1 guarantees convergence (``ε_l κ < 1``)."""
+    return contraction_factor(epsilon_l, kappa) < 1.0
+
+
+def iteration_bound(epsilon: float, epsilon_l: float, kappa: float) -> int:
+    """Upper bound ``⌈log ε / log(ε_l κ)⌉`` on the number of refinement iterations.
+
+    Raises ``ValueError`` when the convergence condition ``ε_l κ < 1`` fails.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    rho = contraction_factor(epsilon_l, kappa)
+    if rho >= 1.0:
+        raise ValueError(
+            f"refinement does not converge: epsilon_l * kappa = {rho:.3g} >= 1")
+    ratio = np.log(epsilon) / np.log(rho)
+    # guard against ratios like 5.000000000000001 produced by floating-point
+    # round-off in the logarithms, which would inflate the bound by one.
+    return int(np.ceil(ratio - 1e-9))
+
+
+def predicted_scaled_residuals(num_iterations: int, epsilon_l: float, kappa: float
+                               ) -> np.ndarray:
+    """Theoretical envelope ``(ε_l κ)^{i+1}`` for ``i = 0 .. num_iterations``.
+
+    Index 0 corresponds to the initial solve ``x_0`` (whose scaled residual is
+    bounded by ``ε_l κ``), matching the convention of
+    :class:`repro.core.results.RefinementResult`.
+    """
+    if num_iterations < 0:
+        raise ValueError("num_iterations must be non-negative")
+    rho = contraction_factor(epsilon_l, kappa)
+    powers = np.arange(1, num_iterations + 2, dtype=float)
+    return rho**powers
+
+
+def limiting_accuracy(working_unit_roundoff: float, kappa: float,
+                      *, constant: float = 4.0) -> float:
+    """Heuristic floor ``c·u·κ`` on the reachable scaled residual.
+
+    Classical iterative-refinement analysis (Sec. II-B) shows the limiting
+    accuracy is governed by the working precision ``u`` used for residuals and
+    updates; the refinement driver uses this value to warn when the requested
+    target is below what the chosen precision can deliver.
+    """
+    return float(constant) * float(working_unit_roundoff) * float(kappa)

@@ -1,0 +1,134 @@
+"""Normalisation and de-normalisation of quantum solutions (Remark 2).
+
+Quantum linear solvers return the *direction* ``η = x / ||x||`` of the
+solution (the right-hand side must be normalised before encoding).  The norm
+is recovered classically by solving the one-dimensional problem
+
+.. math::  \\mu^* = \\operatorname*{argmin}_{\\mu} \\; \\| r - \\mu A η \\|,
+
+where ``r`` is the right-hand side of the solve (``b`` for the initial solve,
+the residual ``r_i`` during refinement).  The minimiser has the closed form
+``μ* = ⟨Aη, r⟩ / ||Aη||²``; the paper instead quotes Brent's method (Ref. [7]),
+so a derivative-free Brent minimiser is implemented here as well (and used
+when ``method="brent"``) — both agree to the requested tolerance and cost
+``O(N²)`` for the matrix-vector product plus ``O(log 1/ε)`` for the search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import as_vector, check_square
+
+__all__ = ["brent_minimize", "recover_scale"]
+
+_GOLDEN = 0.3819660112501051  # (3 - sqrt(5)) / 2
+
+
+def brent_minimize(func, bracket: tuple[float, float], *, tolerance: float = 1e-12,
+                   max_iterations: int = 200) -> float:
+    """Minimise a scalar function on an interval with Brent's method.
+
+    A from-scratch implementation of the classical parabolic-interpolation /
+    golden-section hybrid (Brent 1973, the paper's Ref. [7]).
+
+    Parameters
+    ----------
+    func:
+        Scalar function to minimise.
+    bracket:
+        Interval ``(a, b)`` assumed to contain the minimiser.
+    tolerance:
+        Absolute tolerance on the argument.
+    max_iterations:
+        Iteration budget.
+    """
+    a, b = (float(bracket[0]), float(bracket[1]))
+    if a > b:
+        a, b = b, a
+    x = w = v = a + _GOLDEN * (b - a)
+    fx = fw = fv = func(x)
+    delta = delta_prev = 0.0
+    for _ in range(max_iterations):
+        midpoint = 0.5 * (a + b)
+        tol1 = tolerance * abs(x) + 1e-15
+        tol2 = 2.0 * tol1
+        if abs(x - midpoint) <= tol2 - 0.5 * (b - a):
+            return x
+        use_golden = True
+        if abs(delta_prev) > tol1:
+            # try a parabolic step through (v, fv), (w, fw), (x, fx)
+            r = (x - w) * (fx - fv)
+            q = (x - v) * (fx - fw)
+            p = (x - v) * q - (x - w) * r
+            q = 2.0 * (q - r)
+            if q > 0.0:
+                p = -p
+            q = abs(q)
+            if abs(p) < abs(0.5 * q * delta_prev) and q * (a - x) < p < q * (b - x):
+                delta_prev = delta
+                delta = p / q
+                candidate = x + delta
+                if candidate - a < tol2 or b - candidate < tol2:
+                    delta = tol1 if midpoint >= x else -tol1
+                use_golden = False
+        if use_golden:
+            delta_prev = (b - x) if x < midpoint else (a - x)
+            delta = _GOLDEN * delta_prev
+        candidate = x + (delta if abs(delta) >= tol1 else (tol1 if delta > 0 else -tol1))
+        f_candidate = func(candidate)
+        if f_candidate <= fx:
+            if candidate >= x:
+                a = x
+            else:
+                b = x
+            v, w, x = w, x, candidate
+            fv, fw, fx = fw, fx, f_candidate
+        else:
+            if candidate < x:
+                a = candidate
+            else:
+                b = candidate
+            if f_candidate <= fw or w == x:
+                v, w = w, candidate
+                fv, fw = fw, f_candidate
+            elif f_candidate <= fv or v == x or v == w:
+                v, fv = candidate, f_candidate
+    return x
+
+
+def recover_scale(a, direction, rhs, *, method: str = "analytic",
+                  tolerance: float = 1e-14) -> float:
+    """Recover the solution norm ``μ`` such that ``μ A η ≈ rhs`` (Remark 2).
+
+    Parameters
+    ----------
+    a:
+        System matrix.
+    direction:
+        Unit direction ``η`` returned by the quantum solver.
+    rhs:
+        Right-hand side of the solve (``b`` or the current residual).
+    method:
+        ``"analytic"`` (closed form, default) or ``"brent"`` (derivative-free
+        line search, as quoted by the paper).
+    """
+    mat = check_square(a, name="A")
+    eta = as_vector(direction, name="direction").astype(float)
+    target = as_vector(rhs, name="rhs").astype(float)
+    a_eta = mat @ eta
+    denom = float(a_eta @ a_eta)
+    if denom == 0.0:
+        return 0.0
+    analytic = float(a_eta @ target) / denom
+    if method == "analytic":
+        return analytic
+    if method != "brent":
+        raise ValueError("method must be 'analytic' or 'brent'")
+
+    def objective(mu: float) -> float:
+        return float(np.linalg.norm(target - mu * a_eta))
+
+    radius = max(1.0, 2.0 * abs(analytic))
+    return brent_minimize(objective, (analytic - radius, analytic + radius),
+                          tolerance=tolerance)

@@ -1,0 +1,138 @@
+"""Single-solve QSVT linear solver (Sec. II-A4 and Remark 2 of the paper).
+
+:class:`QSVTLinearSolver` owns one matrix ``A``: at construction it performs
+the classical "circuit synthesis" (block-encoding of ``A†``, inverse
+polynomial, QSP phases) through its backend, and every call to :meth:`solve`
+then performs
+
+1. normalisation of the right-hand side (quantum states are unit vectors),
+2. the QSVT application on the QPU backend and the read-out of the solution
+   direction ``η``,
+3. the classical de-normalisation ``μ = argmin_μ ||rhs − μ A η||`` of Remark 2,
+4. assembly of the solution ``x = μ η`` and of the solve record.
+
+Used on its own it is the "QSVT only" solver of Table I / Fig. 5; plugged into
+:class:`repro.core.refinement.MixedPrecisionRefinement` it becomes the inner
+solver of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..linalg import condition_number, scaled_residual
+from ..qsp.inverse_polynomial import (
+    inverse_polynomial_degree,
+    polynomial_error_from_solution_accuracy,
+)
+from ..utils import as_vector, check_square
+from .backends import CircuitQSVTBackend, IdealPolynomialBackend, QSVTBackend, make_backend
+from .normalization import recover_scale
+from .results import SingleSolveRecord
+
+__all__ = ["QSVTLinearSolver"]
+
+#: polynomial degree above which the ``"auto"`` backend falls back to the
+#: ideal-polynomial backend (phase solving beyond this degree is slow and the
+#: two backends agree to simulation accuracy anyway).
+_AUTO_DEGREE_LIMIT = 350
+#: data-register size above which the ``"auto"`` backend avoids the dense
+#: circuit simulation.
+_AUTO_DIMENSION_LIMIT = 64
+
+
+class QSVTLinearSolver:
+    """Quantum linear solver with accuracy ``ε_l`` for a fixed matrix.
+
+    Parameters
+    ----------
+    matrix:
+        System matrix ``A`` (``N x N`` with ``N`` a power of two).
+    epsilon_l:
+        Requested relative accuracy of one solve (the "low precision" of the
+        mixed-precision scheme).
+    backend:
+        A :class:`~repro.core.backends.QSVTBackend` instance, a backend name
+        (``"circuit"``, ``"ideal"``, ``"exact"``) or ``"auto"`` (default):
+        circuit-level simulation when the expected polynomial degree and the
+        problem size allow it, ideal-polynomial otherwise.
+    kappa:
+        Condition number to size the inverse polynomial; computed exactly from
+        the SVD when omitted (``O(N³)`` classical preprocessing).
+    scale_recovery:
+        ``"analytic"`` or ``"brent"`` — method used for the de-normalisation.
+    backend_options:
+        Extra keyword arguments forwarded to the backend factory when
+        ``backend`` is given by name.
+    """
+
+    def __init__(self, matrix, *, epsilon_l: float = 1e-2,
+                 backend: QSVTBackend | str = "auto", kappa: float | None = None,
+                 scale_recovery: str = "analytic", **backend_options) -> None:
+        self.matrix = check_square(np.asarray(matrix, dtype=float), name="A")
+        if not 0.0 < epsilon_l < 1.0:
+            raise ValueError("epsilon_l must be in (0, 1)")
+        self.epsilon_l = float(epsilon_l)
+        self.kappa = float(kappa) if kappa is not None else condition_number(self.matrix)
+        self.scale_recovery = scale_recovery
+        self.backend = self._resolve_backend(backend, backend_options)
+        start = time.perf_counter()
+        self.backend.prepare(self.matrix, epsilon_l=self.epsilon_l, kappa=self.kappa)
+        self.preparation_time = time.perf_counter() - start
+
+    # ------------------------------------------------------------------ #
+    def _resolve_backend(self, backend, backend_options) -> QSVTBackend:
+        if isinstance(backend, QSVTBackend):
+            return backend
+        if backend != "auto":
+            return make_backend(backend, **backend_options)
+        expected_error = polynomial_error_from_solution_accuracy(self.epsilon_l, self.kappa)
+        expected_degree = inverse_polynomial_degree(self.kappa, expected_error)
+        if (expected_degree <= _AUTO_DEGREE_LIMIT
+                and self.matrix.shape[0] <= _AUTO_DIMENSION_LIMIT):
+            return CircuitQSVTBackend(**backend_options)
+        return IdealPolynomialBackend(**backend_options)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Problem dimension ``N``."""
+        return self.matrix.shape[0]
+
+    def describe(self) -> dict:
+        """Metadata about the prepared solver (backend, degree, ``κ``...)."""
+        info = self.backend.describe()
+        info.update({"epsilon_l": self.epsilon_l, "kappa": self.kappa,
+                     "dimension": self.dimension,
+                     "preparation_time": self.preparation_time})
+        return info
+
+    def solve(self, rhs) -> SingleSolveRecord:
+        """Solve ``A x = rhs`` once at accuracy ``ε_l``.
+
+        Returns a :class:`~repro.core.results.SingleSolveRecord`; the
+        de-normalised solution is ``record.x``.
+        """
+        b = as_vector(rhs, name="rhs").astype(float)
+        if b.shape[0] != self.dimension:
+            raise ValueError("right-hand side length does not match the matrix")
+        start = time.perf_counter()
+        application = self.backend.apply_inverse(b)
+        direction = np.real(np.asarray(application.direction, dtype=float))
+        scale = recover_scale(self.matrix, direction, b, method=self.scale_recovery)
+        x = scale * direction
+        elapsed = time.perf_counter() - start
+        omega = scaled_residual(self.matrix, x, b) if np.linalg.norm(b) > 0 else 0.0
+        return SingleSolveRecord(
+            x=x,
+            direction=direction,
+            scale=float(scale),
+            scaled_residual=float(omega),
+            block_encoding_calls=application.block_encoding_calls,
+            polynomial_degree=application.polynomial_degree,
+            success_probability=application.success_probability,
+            shots=application.shots,
+            wall_time=elapsed,
+        )

@@ -1,0 +1,126 @@
+"""Result containers for single solves and refinement runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SingleSolveRecord", "RefinementIteration", "RefinementResult"]
+
+
+@dataclass
+class SingleSolveRecord:
+    """Outcome of one QSVT (or classical inner) solve ``A x ≈ rhs``.
+
+    Attributes
+    ----------
+    x:
+        The de-normalised solution estimate (``scale * direction``).
+    direction:
+        Unit-norm direction returned by the quantum read-out (``η`` of
+        Remark 2 in the paper).
+    scale:
+        Scale ``μ`` recovered classically by the de-normalisation step.
+    scaled_residual:
+        ``||rhs - A x|| / ||rhs||`` of this solve.
+    block_encoding_calls:
+        Calls to the block-encoding (and its adjoint) consumed by the solve.
+    polynomial_degree:
+        Degree of the inverse polynomial used (0 for classical solvers).
+    success_probability:
+        Ancilla post-selection probability (1 for classical solvers).
+    shots:
+        Measurement shots consumed (0 when the read-out is exact).
+    wall_time:
+        Wall-clock seconds spent in the solve.
+    """
+
+    x: np.ndarray
+    direction: np.ndarray
+    scale: float
+    scaled_residual: float
+    block_encoding_calls: int = 0
+    polynomial_degree: int = 0
+    success_probability: float = 1.0
+    shots: int = 0
+    wall_time: float = 0.0
+
+
+@dataclass
+class RefinementIteration:
+    """State of the refinement after one iteration (one row of Fig. 3/4)."""
+
+    #: iteration index (0 = the initial solve ``x_0``).
+    index: int
+    #: scaled residual ``ω_i = ||b - A x_i|| / ||b||``.
+    scaled_residual: float
+    #: theoretical bound ``(ε_l κ)^{i+1}`` from Theorem III.1.
+    predicted_residual: float
+    #: relative forward error ``||x - x_i|| / ||x||`` (NaN when the true
+    #: solution is unknown).
+    forward_error: float
+    #: Euclidean norm of the correction added at this iteration.
+    correction_norm: float
+    #: cumulative number of block-encoding calls after this iteration.
+    cumulative_block_encoding_calls: int
+    #: wall-clock seconds spent on this iteration (QPU solve + CPU update).
+    wall_time: float
+
+
+@dataclass
+class RefinementResult:
+    """Full record of a mixed-precision iterative-refinement run (Algorithm 2)."""
+
+    #: final solution estimate.
+    x: np.ndarray
+    #: whether the target accuracy was reached.
+    converged: bool
+    #: number of refinement iterations performed (excluding the initial solve).
+    iterations: int
+    #: target accuracy ``ε`` on the scaled residual.
+    target_accuracy: float
+    #: per-iteration records (``history[0]`` is the initial solve).
+    history: list[RefinementIteration] = field(default_factory=list)
+    #: iteration bound of Theorem III.1 (NaN when ``ε_l κ >= 1``).
+    iteration_bound: float = float("nan")
+    #: accuracy of the inner solver used for the bound (measured or nominal).
+    epsilon_l: float = float("nan")
+    #: condition number used in the analysis.
+    kappa: float = float("nan")
+    #: total block-encoding calls over the whole run.
+    total_block_encoding_calls: int = 0
+    #: CPU–QPU communication trace (None when tracking was disabled).
+    communication: object | None = None
+    #: free-form information from the inner solver (backend name, degree, ...).
+    solver_info: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def scaled_residuals(self) -> np.ndarray:
+        """Scaled residual after each iteration (including the initial solve)."""
+        return np.array([record.scaled_residual for record in self.history])
+
+    @property
+    def forward_errors(self) -> np.ndarray:
+        """Relative forward error after each iteration (NaN when unknown)."""
+        return np.array([record.forward_error for record in self.history])
+
+    @property
+    def predicted_residuals(self) -> np.ndarray:
+        """Theorem III.1 prediction ``(ε_l κ)^{i+1}`` for each iteration."""
+        return np.array([record.predicted_residual for record in self.history])
+
+    def summary(self) -> str:
+        """Multi-line human-readable convergence table."""
+        lines = [
+            f"iterations        : {self.iterations} (bound {self.iteration_bound})",
+            f"converged         : {self.converged} (target {self.target_accuracy:.2e})",
+            f"BE calls          : {self.total_block_encoding_calls}",
+            " iter |   scaled residual |   bound (Thm III.1) | forward error",
+        ]
+        for record in self.history:
+            lines.append(
+                f"  {record.index:3d} | {record.scaled_residual:17.6e} | "
+                f"{record.predicted_residual:19.6e} | {record.forward_error:13.6e}")
+        return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Measurement read-out models.
+
+The QSVT returns its solution as a quantum state; estimating the ``N``
+amplitudes to accuracy ``ε`` requires ``O(1/ε²)`` measurement samples
+(Sec. III-C1 of the paper).  Reaching the ``ω ≈ 1e-11`` residuals of Fig. 3 by
+sampling alone is therefore impossible — like the paper's own myQLM
+experiments, the default read-out is the exact state vector.  The alternative
+models below are used by the shot-noise ablation (A5 of DESIGN.md) to study
+the ``#samples`` row of Table I empirically:
+
+* ``"exact"`` — return the state amplitudes unchanged;
+* ``"gaussian"`` — add i.i.d. Gaussian noise of standard deviation
+  ``1/(2√shots)`` per amplitude, the asymptotic error of amplitude estimation
+  from ``shots`` repetitions;
+* ``"multinomial"`` — draw a multinomial sample of the measurement
+  distribution and rebuild magnitudes from the empirical frequencies, keeping
+  the signs of the exact amplitudes (sign read-out would need amplitude
+  estimation with a reference state; see README, "limitations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils import as_generator
+
+__all__ = ["SamplingModel"]
+
+_MODES = ("exact", "gaussian", "multinomial")
+
+
+@dataclass
+class SamplingModel:
+    """Configuration of the solution read-out.
+
+    Parameters
+    ----------
+    mode:
+        One of ``"exact"``, ``"gaussian"``, ``"multinomial"``.
+    shots:
+        Number of measurement repetitions (ignored in ``"exact"`` mode).
+    rng:
+        Seed or generator used for the stochastic modes.
+    """
+
+    mode: str = "exact"
+    shots: int = 10_000
+    rng: object = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown sampling mode {self.mode!r}; choose from {_MODES}")
+        if self.mode != "exact" and self.shots <= 0:
+            raise ValueError("shots must be positive for stochastic read-out")
+        # materialise the generator once so repeated read-outs draw fresh noise
+        # even when the model was configured with an integer seed.
+        self.rng = as_generator(self.rng) if self.mode != "exact" else self.rng
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_exact(self) -> bool:
+        """True when the read-out adds no statistical noise."""
+        return self.mode == "exact"
+
+    def shots_used(self) -> int:
+        """Shots consumed by one read-out (0 in exact mode)."""
+        return 0 if self.is_exact else int(self.shots)
+
+    @staticmethod
+    def shots_for_accuracy(epsilon: float, *, constant: float = 1.0) -> int:
+        """The ``O(1/ε²)`` sample count of Table I (with an explicit constant)."""
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        return int(np.ceil(constant / epsilon**2))
+
+    # ------------------------------------------------------------------ #
+    def read_out(self, direction: np.ndarray) -> np.ndarray:
+        """Apply the read-out model to a unit direction vector and re-normalise."""
+        vec = np.asarray(direction, dtype=float).reshape(-1)
+        norm = np.linalg.norm(vec)
+        if norm == 0.0:
+            raise ZeroDivisionError("cannot read out a zero vector")
+        vec = vec / norm
+        if self.is_exact:
+            return vec
+        gen = as_generator(self.rng)
+        if self.mode == "gaussian":
+            sigma = 1.0 / (2.0 * np.sqrt(self.shots))
+            noisy = vec + gen.normal(0.0, sigma, size=vec.shape)
+        else:  # multinomial
+            probabilities = vec**2
+            probabilities = probabilities / probabilities.sum()
+            counts = gen.multinomial(self.shots, probabilities)
+            magnitudes = np.sqrt(counts / self.shots)
+            noisy = np.sign(vec) * magnitudes
+        out_norm = np.linalg.norm(noisy)
+        if out_norm == 0.0:
+            return vec
+        return noisy / out_norm

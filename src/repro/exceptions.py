@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so that callers can catch every library-specific failure
+with a single ``except`` clause while still letting programming errors
+(``TypeError``, ``ValueError`` from numpy, ...) propagate unchanged when they
+indicate a bug rather than a well-identified domain failure.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DimensionError",
+    "SingularMatrixError",
+    "ConvergenceError",
+    "PhaseFactorError",
+    "BlockEncodingError",
+    "StatePreparationError",
+    "PrecisionError",
+    "BackendError",
+    "ResourceModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class DimensionError(ReproError, ValueError):
+    """An array does not have the expected shape (non-square matrix,
+    dimension that is not a power of two, mismatched right-hand side, ...)."""
+
+
+class SingularMatrixError(ReproError, ValueError):
+    """A matrix that must be invertible is (numerically) singular."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative process (refinement, phase-factor solver, VQLS
+    optimisation, ...) failed to reach its target accuracy within its
+    iteration budget."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 achieved: float | None = None, target: float | None = None):
+        super().__init__(message)
+        #: number of iterations performed before giving up (``None`` if unknown).
+        self.iterations = iterations
+        #: best accuracy reached before giving up (``None`` if unknown).
+        self.achieved = achieved
+        #: accuracy that was requested.
+        self.target = target
+
+
+class PhaseFactorError(ConvergenceError):
+    """The symmetric-QSP phase-factor solver could not represent the target
+    polynomial (degree too large, polynomial not bounded by one, ...)."""
+
+
+class BlockEncodingError(ReproError, ValueError):
+    """A block-encoding could not be constructed or failed verification."""
+
+
+class StatePreparationError(ReproError, ValueError):
+    """A state-preparation routine received an invalid vector
+    (zero norm, wrong length, ...)."""
+
+
+class PrecisionError(ReproError, ValueError):
+    """An unknown precision name or an invalid precision configuration."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """A QPU backend could not execute the requested program."""
+
+
+class ResourceModelError(ReproError, ValueError):
+    """The fault-tolerant resource model was queried with invalid inputs."""

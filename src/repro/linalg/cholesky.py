@@ -1,0 +1,56 @@
+"""Cholesky factorisation for symmetric positive-definite matrices.
+
+Used by the classical baselines when the test problem is SPD (e.g. the Poisson
+matrix), where Cholesky halves the factorisation cost compared to LU and needs
+no pivoting.  Supports the same optional precision emulation as
+:mod:`repro.linalg.lu`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SingularMatrixError
+from ..precision import round_to_precision
+from ..utils import as_vector, check_square
+from .triangular import solve_lower_triangular, solve_upper_triangular
+
+__all__ = ["cholesky_factor", "cholesky_solve"]
+
+
+def cholesky_factor(a, *, precision=None) -> np.ndarray:
+    """Lower-triangular ``L`` such that ``A = L Lᵀ`` (outer-product form).
+
+    Raises :class:`SingularMatrixError` when ``A`` is not numerically positive
+    definite (a non-positive pivot appears).
+    """
+    mat = check_square(a, name="A").astype(np.float64, copy=True)
+    if precision is not None:
+        mat = round_to_precision(mat, precision)
+    n = mat.shape[0]
+    lower = np.zeros_like(mat)
+    for k in range(n):
+        pivot = mat[k, k]
+        if pivot <= 0.0 or not np.isfinite(pivot):
+            raise SingularMatrixError(
+                f"matrix is not positive definite (pivot {pivot:.3e} at step {k})")
+        lkk = np.sqrt(pivot)
+        lower[k, k] = lkk
+        if k + 1 < n:
+            col = mat[k + 1:, k] / lkk
+            if precision is not None:
+                col = round_to_precision(col, precision)
+            lower[k + 1:, k] = col
+            update = mat[k + 1:, k + 1:] - np.outer(col, col)
+            if precision is not None:
+                update = round_to_precision(update, precision)
+            mat[k + 1:, k + 1:] = update
+    return lower
+
+
+def cholesky_solve(a, b, *, precision=None) -> np.ndarray:
+    """Solve an SPD system via Cholesky factorisation."""
+    lower = cholesky_factor(a, precision=precision)
+    rhs = as_vector(b, name="b")
+    y = solve_lower_triangular(lower, rhs, precision=precision)
+    return solve_upper_triangular(lower.T, y, precision=precision)

@@ -1,0 +1,167 @@
+"""Test-problem generators.
+
+Section IV of the paper evaluates the solver on
+
+* random ``N x N`` matrices (``N = 16``) with a *prescribed condition number*
+  ``κ``, and a random right-hand side normalised to ``||b|| = 1``;
+* the tridiagonal matrix of the 1-D Poisson equation (Sec. III-C4), whose
+  condition number grows like ``O(N^2)``.
+
+The generators below construct exactly those problems.  Random matrices with a
+given condition number are built as ``A = W Σ Vᵀ`` with Haar-random orthogonal
+factors and logarithmically spaced singular values between ``1/κ`` and ``1``,
+so that ``κ₂(A) = κ`` holds by construction (up to rounding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..utils import as_generator, check_power_of_two
+
+__all__ = [
+    "random_unitary",
+    "random_matrix_with_condition_number",
+    "random_spd_matrix",
+    "random_rhs",
+    "tridiagonal_toeplitz",
+    "poisson_1d_matrix",
+    "poisson_2d_matrix",
+]
+
+
+def random_unitary(n: int, *, rng=None, complex_valued: bool = False) -> np.ndarray:
+    """Haar-distributed random orthogonal (or unitary) ``n x n`` matrix.
+
+    Obtained from the QR decomposition of a Gaussian matrix with the standard
+    sign/phase correction that makes the distribution Haar (Mezzadri 2007).
+    """
+    gen = as_generator(rng)
+    if complex_valued:
+        z = gen.standard_normal((n, n)) + 1j * gen.standard_normal((n, n))
+    else:
+        z = gen.standard_normal((n, n))
+    q, r = np.linalg.qr(z)
+    d = np.diagonal(r)
+    phases = d / np.abs(d)
+    return q * phases
+
+
+def _singular_value_profile(n: int, condition_number: float, distribution: str) -> np.ndarray:
+    """Singular values in ``[1/κ, 1]`` following the requested spacing."""
+    if condition_number < 1.0:
+        raise ValueError("condition_number must be >= 1")
+    if n == 1:
+        return np.array([1.0])
+    if distribution == "logarithmic":
+        return np.logspace(0.0, -np.log10(condition_number), n)
+    if distribution == "linear":
+        return np.linspace(1.0, 1.0 / condition_number, n)
+    if distribution == "cluster":
+        # one small singular value, the rest clustered at 1 — a classically
+        # hard profile for iterative methods, easy for direct ones.
+        sigma = np.ones(n)
+        sigma[-1] = 1.0 / condition_number
+        return sigma
+    raise ValueError(f"unknown singular value distribution {distribution!r}")
+
+
+def random_matrix_with_condition_number(
+    n: int,
+    condition_number: float,
+    *,
+    rng=None,
+    distribution: str = "logarithmic",
+    symmetric: bool = False,
+) -> np.ndarray:
+    """Random real matrix with 2-norm condition number exactly ``κ``.
+
+    Parameters
+    ----------
+    n:
+        Dimension of the (square) matrix.
+    condition_number:
+        Target 2-norm condition number ``κ >= 1``.  The spectral norm of the
+        result is 1, so the singular values span ``[1/κ, 1]``.
+    rng:
+        Seed or generator for reproducibility.
+    distribution:
+        Spacing of the singular values: ``"logarithmic"`` (default, matches
+        the paper's hardest case), ``"linear"`` or ``"cluster"``.
+    symmetric:
+        When ``True`` return a symmetric positive-definite matrix (``W = V``).
+    """
+    if n < 1:
+        raise DimensionError("matrix dimension must be >= 1")
+    gen = as_generator(rng)
+    sigma = _singular_value_profile(n, float(condition_number), distribution)
+    w = random_unitary(n, rng=gen)
+    v = w if symmetric else random_unitary(n, rng=gen)
+    return (w * sigma) @ v.T
+
+
+def random_spd_matrix(n: int, condition_number: float, *, rng=None,
+                      distribution: str = "logarithmic") -> np.ndarray:
+    """Random symmetric positive-definite matrix with prescribed ``κ``."""
+    return random_matrix_with_condition_number(
+        n, condition_number, rng=rng, distribution=distribution, symmetric=True)
+
+
+def random_rhs(n: int, *, rng=None, normalized: bool = True) -> np.ndarray:
+    """Random right-hand side; normalised to ``||b|| = 1`` like in Sec. IV."""
+    gen = as_generator(rng)
+    b = gen.standard_normal(n)
+    if normalized:
+        b = b / np.linalg.norm(b)
+    return b
+
+
+def tridiagonal_toeplitz(n: int, diagonal: float, off_diagonal: float) -> np.ndarray:
+    """Dense tridiagonal Toeplitz matrix ``toeplitz(diagonal, off_diagonal)``."""
+    if n < 1:
+        raise DimensionError("dimension must be >= 1")
+    a = np.zeros((n, n))
+    np.fill_diagonal(a, diagonal)
+    idx = np.arange(n - 1)
+    a[idx, idx + 1] = off_diagonal
+    a[idx + 1, idx] = off_diagonal
+    return a
+
+
+def poisson_1d_matrix(n: int, *, scaled: bool = True) -> np.ndarray:
+    """Finite-difference matrix of the 1-D Poisson equation (Eq. 7 of the paper).
+
+    Parameters
+    ----------
+    n:
+        Number of interior grid points ``N`` (the matrix is ``N x N``).  The
+        quantum pipeline additionally requires ``N`` to be a power of two, but
+        the classical code accepts any ``N >= 1``.
+    scaled:
+        When ``True`` (default) the matrix is divided by ``h² = 1/(N+1)²`` as
+        in Eq. (7); otherwise the unscaled stencil ``tridiag(-1, 2, -1)`` is
+        returned, which has the same condition number.
+    """
+    a = tridiagonal_toeplitz(n, 2.0, -1.0)
+    if scaled:
+        h = 1.0 / (n + 1)
+        a = a / h**2
+    return a
+
+
+def poisson_2d_matrix(n: int) -> np.ndarray:
+    """Five-point finite-difference Laplacian on an ``n x n`` grid (dimension ``n²``).
+
+    Used by the extended examples to show the solver on a larger, structured
+    problem; built as ``I ⊗ T + T ⊗ I`` with ``T = tridiag(-1, 2, -1)``.
+    """
+    t = tridiagonal_toeplitz(n, 2.0, -1.0)
+    eye = np.eye(n)
+    return np.kron(eye, t) + np.kron(t, eye)
+
+
+def poisson_qubit_sized(num_qubits: int, *, scaled: bool = False) -> np.ndarray:
+    """1-D Poisson matrix of dimension ``2**num_qubits`` (quantum-friendly)."""
+    n = check_power_of_two(2**num_qubits)
+    return poisson_1d_matrix(n, scaled=scaled)

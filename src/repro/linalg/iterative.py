@@ -1,0 +1,153 @@
+"""Classical iterative methods.
+
+The paper's complexity discussion (Sec. III-C4) contrasts the QSVT approach
+with classical ``O(N)`` solvers for the Poisson system; the methods gathered
+here (conjugate gradient, Jacobi, power iteration) serve as those classical
+reference points in the examples and benchmarks, and power iteration is also
+used internally by the condition-number estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from ..utils import as_generator, as_vector, check_system
+
+__all__ = ["IterativeResult", "conjugate_gradient", "jacobi", "power_iteration"]
+
+
+@dataclass
+class IterativeResult:
+    """Outcome of a classical iterative solve."""
+
+    #: final iterate.
+    x: np.ndarray
+    #: number of iterations actually performed.
+    iterations: int
+    #: final relative residual ``||b - A x|| / ||b||``.
+    residual: float
+    #: whether the tolerance was reached within the iteration budget.
+    converged: bool
+    #: relative residual after each iteration (including the final one).
+    history: list[float] = field(default_factory=list)
+
+
+def conjugate_gradient(a, b, *, tolerance: float = 1e-10,
+                       max_iterations: int | None = None,
+                       x0=None) -> IterativeResult:
+    """Conjugate-gradient solve for symmetric positive-definite systems.
+
+    Raises :class:`ConvergenceError` only when explicitly asked to
+    (``max_iterations`` reached *and* the residual is worse than 1); otherwise
+    returns the best iterate with ``converged=False`` so callers can decide.
+    """
+    mat, rhs = check_system(a, b)
+    n = rhs.shape[0]
+    limit = max_iterations if max_iterations is not None else 10 * n
+    x = np.zeros(n) if x0 is None else as_vector(x0, name="x0").astype(float).copy()
+    r = rhs - mat @ x
+    p = r.copy()
+    norm_b = np.linalg.norm(rhs)
+    if norm_b == 0.0:
+        return IterativeResult(x=np.zeros(n), iterations=0, residual=0.0,
+                               converged=True, history=[0.0])
+    rs_old = float(r @ r)
+    history: list[float] = []
+    iterations = 0
+    for iterations in range(1, limit + 1):
+        ap = mat @ p
+        denom = float(p @ ap)
+        if denom <= 0.0:
+            raise ConvergenceError(
+                "conjugate gradient requires a positive-definite matrix",
+                iterations=iterations)
+        alpha = rs_old / denom
+        x = x + alpha * p
+        r = r - alpha * ap
+        rs_new = float(r @ r)
+        rel = float(np.sqrt(rs_new) / norm_b)
+        history.append(rel)
+        if rel <= tolerance:
+            return IterativeResult(x=x, iterations=iterations, residual=rel,
+                                   converged=True, history=history)
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+    return IterativeResult(x=x, iterations=iterations, residual=history[-1],
+                           converged=False, history=history)
+
+
+def jacobi(a, b, *, tolerance: float = 1e-10, max_iterations: int = 10_000,
+           x0=None) -> IterativeResult:
+    """Jacobi iteration (diagonally dominant matrices)."""
+    mat, rhs = check_system(a, b)
+    diag = np.diag(mat)
+    if np.any(diag == 0.0):
+        raise ZeroDivisionError("Jacobi iteration requires a nonzero diagonal")
+    off = mat - np.diag(diag)
+    x = np.zeros_like(rhs, dtype=float) if x0 is None else as_vector(x0).astype(float)
+    norm_b = np.linalg.norm(rhs)
+    if norm_b == 0.0:
+        return IterativeResult(x=np.zeros_like(rhs, dtype=float), iterations=0,
+                               residual=0.0, converged=True, history=[0.0])
+    history: list[float] = []
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        x = (rhs - off @ x) / diag
+        rel = float(np.linalg.norm(rhs - mat @ x) / norm_b)
+        history.append(rel)
+        if rel <= tolerance:
+            return IterativeResult(x=x, iterations=iterations, residual=rel,
+                                   converged=True, history=history)
+    return IterativeResult(x=x, iterations=iterations, residual=history[-1],
+                           converged=False, history=history)
+
+
+def power_iteration(matvec: Callable[[np.ndarray], np.ndarray] | np.ndarray,
+                    n: int | None = None, *, iterations: int = 200,
+                    tolerance: float = 1e-12, rng=None) -> tuple[float, np.ndarray]:
+    """Dominant eigenvalue/eigenvector of a symmetric positive semi-definite operator.
+
+    Parameters
+    ----------
+    matvec:
+        Either a dense matrix or a callable implementing ``v -> M v``.
+    n:
+        Dimension (required when ``matvec`` is a callable).
+    iterations, tolerance:
+        Iteration budget and relative change stopping criterion.
+    rng:
+        Seed/generator for the random start vector.
+
+    Returns
+    -------
+    (eigenvalue, eigenvector)
+    """
+    if callable(matvec):
+        if n is None:
+            raise ValueError("n is required when matvec is a callable")
+        operator = matvec
+        dim = int(n)
+    else:
+        mat = np.asarray(matvec, dtype=np.float64)
+        operator = lambda v: mat @ v  # noqa: E731 - tiny adapter
+        dim = mat.shape[0]
+    gen = as_generator(rng)
+    v = gen.standard_normal(dim)
+    v /= np.linalg.norm(v)
+    eigval = 0.0
+    for _ in range(iterations):
+        w = operator(v)
+        norm_w = np.linalg.norm(w)
+        if norm_w == 0.0:
+            return 0.0, v
+        new_eig = float(v @ w)
+        v = w / norm_w
+        if abs(new_eig - eigval) <= tolerance * max(abs(new_eig), 1e-300):
+            eigval = new_eig
+            break
+        eigval = new_eig
+    return float(eigval), v

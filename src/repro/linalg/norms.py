@@ -1,0 +1,57 @@
+"""Norms and error measures used throughout the paper.
+
+The stopping criterion of the iterative refinement (Sec. III-A) is based on
+the *scaled residual* ``ω = ||b - A x̃|| / ||b||``; Equation (5) of the paper
+relates it to the relative forward error via the condition number:
+``ω/κ <= ||x - x̃||/||x|| <= κ ω``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import as_vector, check_system
+
+__all__ = [
+    "spectral_norm",
+    "scaled_residual",
+    "forward_error",
+    "relative_forward_error",
+]
+
+
+def spectral_norm(a) -> float:
+    """Spectral norm (largest singular value) of a matrix."""
+    return float(np.linalg.norm(np.asarray(a), 2))
+
+
+def scaled_residual(a, x, b) -> float:
+    """Scaled residual ``ω = ||b - A x|| / ||b||`` (Euclidean norms).
+
+    This is the quantity tracked at every iteration of Algorithm 2 and plotted
+    in Figures 3 and 4 of the paper.  It is invariant under a common rescaling
+    of ``A x`` and ``b``, which matters because quantum solvers normalise the
+    right-hand side (Remark 2).
+    """
+    mat, rhs = check_system(a, b)
+    vec = as_vector(x, name="x")
+    norm_b = float(np.linalg.norm(rhs))
+    if norm_b == 0.0:
+        raise ZeroDivisionError("scaled residual undefined for b = 0")
+    return float(np.linalg.norm(rhs - mat @ vec) / norm_b)
+
+
+def forward_error(x_true, x_approx) -> float:
+    """Absolute forward error ``||x - x̃||``."""
+    xt = as_vector(x_true, name="x_true")
+    xa = as_vector(x_approx, name="x_approx")
+    return float(np.linalg.norm(xt - xa))
+
+
+def relative_forward_error(x_true, x_approx) -> float:
+    """Relative forward error ``||x - x̃|| / ||x||``."""
+    xt = as_vector(x_true, name="x_true")
+    norm = float(np.linalg.norm(xt))
+    if norm == 0.0:
+        raise ZeroDivisionError("relative forward error undefined for x_true = 0")
+    return forward_error(x_true, x_approx) / norm

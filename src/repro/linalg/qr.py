@@ -1,0 +1,62 @@
+"""Householder QR factorisation and least-squares solves.
+
+The QSVT handles non-square systems by solving a least-squares problem
+(Sec. I of the paper); this module provides the classical reference solution
+used to validate those paths, written from scratch with Householder
+reflectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionError, SingularMatrixError
+from ..utils import as_matrix, as_vector
+from .triangular import solve_upper_triangular
+
+__all__ = ["householder_qr", "solve_least_squares"]
+
+
+def householder_qr(a) -> tuple[np.ndarray, np.ndarray]:
+    """Full QR factorisation ``A = Q R`` via Householder reflectors.
+
+    Works for any ``m x n`` matrix with ``m >= n``.  ``Q`` is ``m x m``
+    orthogonal and ``R`` is ``m x n`` upper trapezoidal.
+    """
+    mat = as_matrix(a, dtype=np.float64, name="A").copy()
+    m, n = mat.shape
+    if m < n:
+        raise DimensionError("householder_qr requires m >= n")
+    q = np.eye(m)
+    for k in range(min(m - 1, n)):
+        x = mat[k:, k]
+        norm_x = np.linalg.norm(x)
+        if norm_x == 0.0:
+            continue
+        v = x.copy()
+        v[0] += np.sign(x[0]) * norm_x if x[0] != 0 else norm_x
+        v = v / np.linalg.norm(v)
+        # apply the reflector I - 2 v vᵀ to the trailing blocks of A and Q
+        mat[k:, k:] -= 2.0 * np.outer(v, v @ mat[k:, k:])
+        q[:, k:] -= 2.0 * np.outer(q[:, k:] @ v, v)
+    return q, np.triu(mat)
+
+
+def solve_least_squares(a, b) -> np.ndarray:
+    """Minimum-residual solution of ``min_x ||A x - b||`` via QR.
+
+    For square nonsingular ``A`` this coincides with the linear-system
+    solution; for tall ``A`` it is the least-squares solution the QSVT
+    pseudo-inverse polynomial targets.
+    """
+    mat = as_matrix(a, dtype=np.float64, name="A")
+    rhs = as_vector(b, dtype=np.float64, name="b")
+    if rhs.shape[0] != mat.shape[0]:
+        raise DimensionError("b length must match the number of rows of A")
+    q, r = householder_qr(mat)
+    n = mat.shape[1]
+    rn = r[:n, :n]
+    if np.any(np.abs(np.diag(rn)) < 1e-300):
+        raise SingularMatrixError("matrix does not have full column rank")
+    qt_b = q.T @ rhs
+    return solve_upper_triangular(rn, qt_b[:n])

@@ -1,0 +1,57 @@
+"""Floating-point precision emulation.
+
+Mixed-precision iterative refinement (Sec. II-B of the paper) combines a
+*low* precision ``u_l`` — used by the expensive solver — with a *high* working
+precision ``u`` used for residuals and updates.  On the quantum side the role
+of ``u_l`` is played by the QSVT solve accuracy ``ε_l``, but the classical
+baselines of this repository (LU-based refinement, Algorithm 1) need genuine
+low-precision arithmetic.  This sub-package provides:
+
+* :class:`Precision` — a named floating-point format with its unit roundoff;
+* rounding helpers that round arbitrary arrays *through* a format
+  (including formats that have no native numpy dtype, such as bfloat16 or
+  "quarter" precision, emulated by mantissa truncation);
+* low-precision matrix kernels (``matvec``/``matmul``/``triangular solve``)
+  that round after every elementary operation block, mimicking what dedicated
+  hardware (GPU tensor cores, the paper's hypothetical QPU) would return.
+"""
+
+from .floating import (
+    HALF,
+    SINGLE,
+    DOUBLE,
+    BFLOAT16,
+    QUARTER,
+    Precision,
+    get_precision,
+    list_precisions,
+    register_precision,
+)
+from .rounding import round_to_precision, chop_mantissa, machine_epsilon
+from .contexts import PrecisionContext
+from .simulate import (
+    low_precision_matmul,
+    low_precision_matvec,
+    low_precision_residual,
+    low_precision_sum,
+)
+
+__all__ = [
+    "HALF",
+    "SINGLE",
+    "DOUBLE",
+    "BFLOAT16",
+    "QUARTER",
+    "Precision",
+    "get_precision",
+    "list_precisions",
+    "register_precision",
+    "round_to_precision",
+    "chop_mantissa",
+    "machine_epsilon",
+    "PrecisionContext",
+    "low_precision_matmul",
+    "low_precision_matvec",
+    "low_precision_residual",
+    "low_precision_sum",
+]

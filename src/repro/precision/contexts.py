@@ -1,0 +1,104 @@
+"""Precision contexts: bundles of the two (or three) precisions used by
+mixed-precision iterative refinement.
+
+Algorithm 1 of the paper uses a *working* precision ``u`` (residual and
+update) and a *low* precision ``u_l`` (factorisation / solve).  The
+three-precision variant of Carson & Higham (2018) adds a *residual* precision
+``u_r <= u`` used only for computing ``b - A x``.  :class:`PrecisionContext`
+captures those choices and provides the convenience operations the refinement
+drivers need (rounding operands, computing residuals at the right precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .floating import DOUBLE, SINGLE, Precision, get_precision
+
+__all__ = ["PrecisionContext"]
+
+
+@dataclass(frozen=True)
+class PrecisionContext:
+    """The precisions used by one run of mixed-precision refinement.
+
+    Parameters
+    ----------
+    working:
+        High precision ``u`` used to accumulate the solution and, by default,
+        the residual (paper notation: ``u``).
+    low:
+        Low precision ``u_l`` used by the inner solver (classical LU baseline).
+        For the quantum solver the inner accuracy is ``ε_l`` and this field is
+        only used for storage-size accounting.
+    residual:
+        Optional extra precision ``u_r`` for the residual computation; defaults
+        to ``working`` (the two-precision scheme of Algorithm 1).
+    """
+
+    working: Precision = DOUBLE
+    low: Precision = SINGLE
+    residual: Precision | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "working", get_precision(self.working))
+        object.__setattr__(self, "low", get_precision(self.low))
+        if self.residual is not None:
+            object.__setattr__(self, "residual", get_precision(self.residual))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def residual_precision(self) -> Precision:
+        """Precision actually used for residuals (``residual`` or ``working``)."""
+        return self.residual if self.residual is not None else self.working
+
+    @property
+    def u(self) -> float:
+        """Unit roundoff of the working precision."""
+        return self.working.unit_roundoff
+
+    @property
+    def u_low(self) -> float:
+        """Unit roundoff of the low precision."""
+        return self.low.unit_roundoff
+
+    @property
+    def u_residual(self) -> float:
+        """Unit roundoff of the residual precision."""
+        return self.residual_precision.unit_roundoff
+
+    # ------------------------------------------------------------------ #
+    def round_working(self, x) -> np.ndarray:
+        """Round an array to the working precision."""
+        return _round(self.working, x)
+
+    def round_low(self, x) -> np.ndarray:
+        """Round an array to the low precision."""
+        return _round(self.low, x)
+
+    def residual_of(self, a: np.ndarray, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Compute ``b - A x`` at the residual precision.
+
+        The matrix-vector product is evaluated in float64 and the result is
+        rounded through the residual precision, matching the standard software
+        emulation of extended-precision residuals.
+        """
+        r = np.asarray(b, dtype=np.float64) - np.asarray(a, dtype=np.float64) @ np.asarray(
+            x, dtype=np.float64)
+        return _round(self.residual_precision, r)
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in reports."""
+        parts = [f"u={self.working.name}", f"u_l={self.low.name}"]
+        if self.residual is not None:
+            parts.append(f"u_r={self.residual.name}")
+        return ", ".join(parts)
+
+
+def _round(precision: Precision, x) -> np.ndarray:
+    arr = np.asarray(x)
+    if np.issubdtype(arr.dtype, np.complexfloating):
+        return precision.round_complex(arr)
+    return precision.round(arr)

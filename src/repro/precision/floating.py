@@ -1,0 +1,175 @@
+"""Floating-point format descriptors.
+
+A :class:`Precision` bundles everything the mixed-precision algorithms need to
+know about a floating-point format:
+
+* its **unit roundoff** ``u`` (half the machine epsilon), the quantity that
+  appears in all the error bounds of Sec. II-B and III-B of the paper;
+* how to **round** an array "through" the format, either by casting to a
+  native numpy dtype (fp16/fp32/fp64) or by truncating the mantissa when the
+  format has no numpy representation (bfloat16, quarter precision);
+* the number of **significand bits** and **exponent bits**, used by the cost
+  model to translate flops into data volumes.
+
+The registry pattern (``register_precision``/``get_precision``) lets tests and
+ablation benchmarks define custom formats (e.g. an 8-bit "quantum read-out"
+precision) without touching library code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..exceptions import PrecisionError
+from .rounding import chop_mantissa
+
+__all__ = [
+    "Precision",
+    "register_precision",
+    "get_precision",
+    "list_precisions",
+    "HALF",
+    "SINGLE",
+    "DOUBLE",
+    "BFLOAT16",
+    "QUARTER",
+]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A floating-point format.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (``"fp64"``, ``"fp32"``, ...).
+    significand_bits:
+        Number of stored mantissa bits (not counting the implicit leading 1).
+    exponent_bits:
+        Number of exponent bits; only used for reporting/data-volume purposes.
+    dtype:
+        Native numpy dtype when one exists, otherwise ``None`` and rounding is
+        emulated by mantissa truncation on top of float64.
+    """
+
+    name: str
+    significand_bits: int
+    exponent_bits: int
+    dtype: Optional[np.dtype] = None
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def machine_epsilon(self) -> float:
+        """Distance between 1.0 and the next representable number: ``2**-t``."""
+        return float(2.0 ** (-self.significand_bits))
+
+    @property
+    def unit_roundoff(self) -> float:
+        """Unit roundoff ``u = 2**-(t+1)`` (half the machine epsilon)."""
+        return float(2.0 ** (-(self.significand_bits + 1)))
+
+    @property
+    def bits(self) -> int:
+        """Total storage width in bits (sign + exponent + significand)."""
+        return 1 + self.exponent_bits + self.significand_bits
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Storage footprint of one scalar, in bytes."""
+        return self.bits / 8.0
+
+    # ------------------------------------------------------------------ #
+    # rounding
+    # ------------------------------------------------------------------ #
+    def round(self, x) -> np.ndarray:
+        """Round ``x`` through this format and return a float64 array.
+
+        Native formats are round-tripped through their dtype so that overflow
+        and subnormal behaviour follow IEEE-754; emulated formats keep the
+        float64 exponent range but truncate the mantissa to
+        ``significand_bits`` bits (round-to-nearest).
+        """
+        arr = np.asarray(x, dtype=np.float64)
+        if self.dtype is not None:
+            if np.issubdtype(arr.dtype, np.complexfloating):
+                raise PrecisionError("complex arrays must be rounded component-wise")
+            return arr.astype(self.dtype).astype(np.float64)
+        return chop_mantissa(arr, self.significand_bits)
+
+    def round_complex(self, x) -> np.ndarray:
+        """Round a complex array by rounding real and imaginary parts separately."""
+        arr = np.asarray(x)
+        if not np.issubdtype(arr.dtype, np.complexfloating):
+            return self.round(arr)
+        real = self.round(arr.real)
+        imag = self.round(arr.imag)
+        return real + 1j * imag
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} (u={self.unit_roundoff:.2e})"
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+_REGISTRY: dict[str, Precision] = {}
+
+
+def register_precision(precision: Precision, *aliases: str) -> Precision:
+    """Add ``precision`` (and optional aliases) to the global registry."""
+    for key in (precision.name, *aliases):
+        _REGISTRY[key.lower()] = precision
+    return precision
+
+
+def get_precision(precision) -> Precision:
+    """Resolve a precision from a name, a numpy dtype, or pass through a :class:`Precision`."""
+    if isinstance(precision, Precision):
+        return precision
+    if isinstance(precision, type) and issubclass(precision, np.floating):
+        precision = np.dtype(precision).name
+    if isinstance(precision, np.dtype):
+        precision = precision.name
+    if isinstance(precision, str):
+        key = precision.lower()
+        if key in _REGISTRY:
+            return _REGISTRY[key]
+        raise PrecisionError(
+            f"unknown precision {precision!r}; known: {sorted(_REGISTRY)}")
+    raise PrecisionError(f"cannot interpret {precision!r} as a precision")
+
+
+def list_precisions() -> list[str]:
+    """Names of all registered formats (aliases included)."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------- #
+# standard formats
+# ---------------------------------------------------------------------- #
+DOUBLE = register_precision(
+    Precision("fp64", significand_bits=52, exponent_bits=11, dtype=np.dtype(np.float64)),
+    "double", "float64", "d",
+)
+SINGLE = register_precision(
+    Precision("fp32", significand_bits=23, exponent_bits=8, dtype=np.dtype(np.float32)),
+    "single", "float32", "s",
+)
+HALF = register_precision(
+    Precision("fp16", significand_bits=10, exponent_bits=5, dtype=np.dtype(np.float16)),
+    "half", "float16", "h",
+)
+BFLOAT16 = register_precision(
+    Precision("bf16", significand_bits=7, exponent_bits=8, dtype=None),
+    "bfloat16",
+)
+QUARTER = register_precision(
+    Precision("fp8", significand_bits=3, exponent_bits=4, dtype=None),
+    "quarter", "e4m3",
+)

@@ -1,0 +1,64 @@
+"""Low-level rounding primitives used by :class:`repro.precision.Precision`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["chop_mantissa", "round_to_precision", "machine_epsilon"]
+
+
+def chop_mantissa(x, significand_bits: int) -> np.ndarray:
+    """Round ``x`` to ``significand_bits`` mantissa bits (round-to-nearest).
+
+    The exponent range of float64 is kept, which is the usual way of emulating
+    bfloat16-like formats in software (see Higham & Pranesh, "Simulating
+    low-precision floating-point arithmetic", 2019): the value is scaled so
+    that its mantissa becomes an integer of the requested width, rounded, and
+    scaled back.
+
+    Parameters
+    ----------
+    x:
+        Real array (any shape).  NaN/Inf and zeros pass through unchanged.
+    significand_bits:
+        Number of stored fraction bits of the target format.
+    """
+    if significand_bits < 1:
+        raise ValueError("significand_bits must be >= 1")
+    arr = np.asarray(x, dtype=np.float64)
+    if significand_bits >= 52:
+        return arr.copy()
+    out = arr.copy()
+    finite = np.isfinite(arr) & (arr != 0.0)
+    if not np.any(finite):
+        return out
+    vals = arr[finite]
+    # decompose v = m * 2**e with m in [0.5, 1) and round the mantissa only;
+    # this stays exact for subnormals and never overflows the scaling factor.
+    mantissa, exponent = np.frexp(vals)
+    quantum = float(2 ** (significand_bits + 1))
+    rounded_mantissa = np.round(mantissa * quantum) / quantum
+    out[finite] = np.ldexp(rounded_mantissa, exponent)
+    return out
+
+
+def round_to_precision(x, precision) -> np.ndarray:
+    """Round ``x`` through ``precision`` (a name, dtype or ``Precision``).
+
+    Complex input is rounded component-wise.  This is a convenience wrapper so
+    call-sites do not need to import :func:`get_precision` themselves.
+    """
+    from .floating import get_precision  # local import to avoid a cycle
+
+    prec = get_precision(precision)
+    arr = np.asarray(x)
+    if np.issubdtype(arr.dtype, np.complexfloating):
+        return prec.round_complex(arr)
+    return prec.round(arr)
+
+
+def machine_epsilon(precision) -> float:
+    """Machine epsilon of a registered format (``2**-significand_bits``)."""
+    from .floating import get_precision
+
+    return get_precision(precision).machine_epsilon

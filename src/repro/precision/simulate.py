@@ -1,0 +1,56 @@
+"""Low-precision linear-algebra kernels.
+
+These helpers emulate what a low-precision accelerator returns for the basic
+operations used by the classical mixed-precision baseline (Algorithm 1 of the
+paper): operands are rounded to the target format, the operation is carried
+out in float64, and the result is rounded again.  Rounding the *result* of
+each kernel (rather than after every scalar multiply-add) is the standard
+coarse model; it under-estimates accumulation error slightly but preserves
+the ``O(u_l)`` behaviour the refinement analysis relies on, and the property
+tests in ``tests/precision`` verify exactly that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .floating import get_precision
+from .rounding import round_to_precision
+
+__all__ = [
+    "low_precision_matvec",
+    "low_precision_matmul",
+    "low_precision_residual",
+    "low_precision_sum",
+]
+
+
+def low_precision_matvec(a, x, precision) -> np.ndarray:
+    """Matrix-vector product ``A @ x`` computed "in" the given precision."""
+    prec = get_precision(precision)
+    a_low = round_to_precision(a, prec)
+    x_low = round_to_precision(x, prec)
+    return round_to_precision(a_low @ x_low, prec)
+
+
+def low_precision_matmul(a, b, precision) -> np.ndarray:
+    """Matrix-matrix product ``A @ B`` computed "in" the given precision."""
+    prec = get_precision(precision)
+    a_low = round_to_precision(a, prec)
+    b_low = round_to_precision(b, prec)
+    return round_to_precision(a_low @ b_low, prec)
+
+
+def low_precision_residual(a, x, b, precision) -> np.ndarray:
+    """Residual ``b - A x`` evaluated entirely in the given precision."""
+    prec = get_precision(precision)
+    ax = low_precision_matvec(a, x, prec)
+    b_low = round_to_precision(b, prec)
+    return round_to_precision(b_low - ax, prec)
+
+
+def low_precision_sum(x, y, precision) -> np.ndarray:
+    """Element-wise sum ``x + y`` evaluated in the given precision."""
+    prec = get_precision(precision)
+    return round_to_precision(
+        round_to_precision(x, prec) + round_to_precision(y, prec), prec)

@@ -1,0 +1,259 @@
+"""Symmetric-QSP phase-factor solver.
+
+Given a real target polynomial ``f`` of definite parity with ``|f| < 1`` on
+``[-1, 1]`` (expressed by its Chebyshev coefficients), this module finds a
+*symmetric* phase vector ``θ = (θ_0, ..., θ_d)`` such that, in the standard
+``W_x`` convention of quantum signal processing,
+
+.. math::
+
+    U(x, θ) = e^{iθ_0 Z} \\prod_{k=1}^{d} \\big[ W(x)\\, e^{iθ_k Z} \\big],
+    \\qquad W(x) = \\begin{pmatrix} x & i\\sqrt{1-x^2} \\\\ i\\sqrt{1-x^2} & x \\end{pmatrix},
+
+satisfies ``Re⟨0|U(x, θ)|0⟩ = f(x)``.  The solver follows the fixed-point /
+quasi-Newton strategy of Dong, Meng, Whaley & Lin (and its refinement in
+Ref. [13] of the paper): phases are parametrised as symmetric deviations
+around the trivial point ``(π/4, 0, ..., 0, π/4)`` — where the target map
+vanishes and its Jacobian is essentially ``2·I`` — and the nonlinear system
+"Chebyshev coefficients of ``Re⟨0|U|0⟩`` = target coefficients" is solved by a
+chord/Newton iteration whose Jacobian is evaluated numerically by finite
+differences (re-evaluated only when the iteration stalls).
+
+The forward map evaluation is vectorised over Chebyshev nodes, so one
+evaluation costs ``O(d²)`` scalar work and solving for a degree-300 polynomial
+takes on the order of a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.polynomial import chebyshev as _cheb
+
+from ..exceptions import PhaseFactorError
+from .chebyshev import chebyshev_nodes
+
+__all__ = ["PhaseFactorResult", "qsp_polynomial_values", "solve_qsp_phases"]
+
+
+# ---------------------------------------------------------------------- #
+# forward map
+# ---------------------------------------------------------------------- #
+def qsp_polynomial_values(phases, x) -> np.ndarray:
+    """Complex values ``P(x) = ⟨0|U(x, θ)|0⟩`` of the Wx-convention QSP product.
+
+    Parameters
+    ----------
+    phases:
+        Full phase vector ``θ`` of length ``d + 1``.
+    x:
+        Scalar or array of points in ``[-1, 1]``.
+    """
+    theta = np.asarray(phases, dtype=float)
+    xs = np.atleast_1d(np.asarray(x, dtype=float))
+    s = np.sqrt(np.clip(1.0 - xs**2, 0.0, None))
+    m = xs.shape[0]
+    w = np.zeros((m, 2, 2), dtype=complex)
+    w[:, 0, 0] = xs
+    w[:, 1, 1] = xs
+    w[:, 0, 1] = 1j * s
+    w[:, 1, 0] = 1j * s
+    # running product, initialised with e^{i θ_0 Z}
+    product = np.zeros((m, 2, 2), dtype=complex)
+    phase0 = np.exp(1j * theta[0])
+    product[:, 0, 0] = phase0
+    product[:, 1, 1] = np.conj(phase0)
+    for angle in theta[1:]:
+        product = product @ w
+        phase = np.exp(1j * angle)
+        product[:, :, 0] *= phase
+        product[:, :, 1] *= np.conj(phase)
+    values = product[:, 0, 0]
+    if np.isscalar(x) or np.asarray(x).ndim == 0:
+        return values[0]
+    return values
+
+
+def _symmetric_full_phases(reduced: np.ndarray, degree: int) -> np.ndarray:
+    """Full symmetric phase vector from reduced deviations around the trivial point."""
+    d = degree
+    length = d + 1
+    half = (length + 1) // 2
+    full = np.zeros(length)
+    full[:half] = reduced
+    full[length - half:] = reduced[::-1]
+    full[0] += np.pi / 4
+    full[-1] += np.pi / 4
+    return full
+
+
+def _target_coefficients(cheb_coeffs: np.ndarray, degree: int, parity: int) -> np.ndarray:
+    """Pad/trim the target Chebyshev coefficients and keep the parity entries."""
+    coeffs = np.zeros(degree + 1)
+    src = np.asarray(cheb_coeffs, dtype=float)
+    coeffs[: min(src.shape[0], degree + 1)] = src[: degree + 1]
+    return coeffs[parity::2]
+
+
+class _ForwardMap:
+    """Callable evaluating the parity Chebyshev coefficients of ``Re⟨0|U|0⟩``."""
+
+    def __init__(self, degree: int, parity: int) -> None:
+        self.degree = degree
+        self.parity = parity
+        self.nodes = chebyshev_nodes(degree + 1)
+        vander = _cheb.chebvander(self.nodes, degree)       # (M, degree+1)
+        m = self.nodes.shape[0]
+        weights = np.full(degree + 1, 2.0 / m)
+        weights[0] = 1.0 / m
+        # transform matrix: coefficients = T @ values
+        self.transform = (vander * weights).T
+        self.parity_rows = np.arange(parity, degree + 1, 2)
+
+    def __call__(self, reduced: np.ndarray) -> np.ndarray:
+        full = _symmetric_full_phases(reduced, self.degree)
+        values = np.real(qsp_polynomial_values(full, self.nodes))
+        coeffs = self.transform @ values
+        return coeffs[self.parity_rows]
+
+
+# ---------------------------------------------------------------------- #
+# result container
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PhaseFactorResult:
+    """Outcome of :func:`solve_qsp_phases`.
+
+    Attributes
+    ----------
+    phases:
+        Full symmetric Wx-convention phase vector (length ``degree + 1``).
+    degree / parity:
+        Degree and parity of the represented polynomial.
+    residual:
+        Final sup-norm mismatch between the represented and target Chebyshev
+        coefficients.
+    iterations:
+        Number of (quasi-)Newton iterations performed.
+    converged:
+        Whether ``residual <= tolerance``.
+    jacobian_refreshes:
+        How many times the Jacobian was recomputed (0 = pure chord iteration).
+    """
+
+    phases: np.ndarray
+    degree: int
+    parity: int
+    residual: float
+    iterations: int
+    converged: bool
+    jacobian_refreshes: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# solver
+# ---------------------------------------------------------------------- #
+def _numerical_jacobian(forward: _ForwardMap, point: np.ndarray,
+                        step: float = 1e-7) -> np.ndarray:
+    base = forward(point)
+    jac = np.zeros((base.shape[0], point.shape[0]))
+    for k in range(point.shape[0]):
+        shifted = point.copy()
+        shifted[k] += step
+        jac[:, k] = (forward(shifted) - base) / step
+    return jac
+
+
+def solve_qsp_phases(cheb_coeffs, *, tolerance: float = 1e-12,
+                     max_iterations: int = 200, max_jacobian_refreshes: int = 4,
+                     raise_on_failure: bool = True) -> PhaseFactorResult:
+    """Find symmetric Wx phases representing a real Chebyshev target.
+
+    Parameters
+    ----------
+    cheb_coeffs:
+        Chebyshev coefficients of the target polynomial.  It must have
+        definite parity and sup-norm strictly below one on ``[-1, 1]``
+        (rescale it first, e.g. with
+        :func:`repro.qsp.chebyshev.scale_series_to_max`).
+    tolerance:
+        Convergence threshold on the sup-norm coefficient mismatch.
+    max_iterations:
+        Total iteration budget (chord + Newton steps).
+    max_jacobian_refreshes:
+        How many times the Jacobian may be recomputed when progress stalls.
+    raise_on_failure:
+        Raise :class:`PhaseFactorError` when the target accuracy is not met
+        (otherwise the best iterate is returned with ``converged=False``).
+
+    Returns
+    -------
+    PhaseFactorResult
+    """
+    coeffs = np.asarray(cheb_coeffs, dtype=float)
+    if coeffs.ndim != 1 or coeffs.shape[0] < 1:
+        raise PhaseFactorError("cheb_coeffs must be a non-empty 1-D array")
+    nonzero = np.nonzero(np.abs(coeffs) > 0.0)[0]
+    if nonzero.size == 0:
+        raise PhaseFactorError("target polynomial is identically zero")
+    degree = int(nonzero[-1])
+    parity = degree % 2
+    opposite = coeffs[(1 - parity)::2]
+    if np.max(np.abs(opposite)) > 1e-12 * max(1.0, np.max(np.abs(coeffs))):
+        raise PhaseFactorError("target polynomial must have definite parity")
+
+    forward = _ForwardMap(degree, parity)
+    target = _target_coefficients(coeffs, degree, parity)
+    grid = np.cos(np.linspace(0.0, np.pi, 4 * (degree + 1)))
+    if float(np.max(np.abs(_cheb.chebval(grid, coeffs)))) >= 1.0:
+        raise PhaseFactorError(
+            "target polynomial must be strictly bounded by 1 in magnitude on [-1, 1]")
+
+    # start at the trivial point (Re P = 0 there); the first chord step then
+    # jumps to J0^{-1} c which is the proper fixed-point-iteration start
+    # regardless of the coefficient/phase ordering convention.
+    reduced = np.zeros_like(target)
+    jacobian = None
+    refreshes = 0
+    best_residual = np.inf
+    best_reduced = reduced.copy()
+    iterations = 0
+    stall_counter = 0
+    for iterations in range(1, max_iterations + 1):
+        current = forward(reduced)
+        mismatch = current - target
+        residual = float(np.max(np.abs(mismatch)))
+        if residual < best_residual:
+            improvement = best_residual - residual
+            best_residual = residual
+            best_reduced = reduced.copy()
+            stall_counter = 0 if improvement > 0.1 * residual else stall_counter + 1
+        else:
+            stall_counter += 1
+        if residual <= tolerance:
+            return PhaseFactorResult(
+                phases=_symmetric_full_phases(reduced, degree), degree=degree,
+                parity=parity, residual=residual, iterations=iterations,
+                converged=True, jacobian_refreshes=refreshes)
+        if jacobian is None or (stall_counter >= 3 and refreshes < max_jacobian_refreshes):
+            if jacobian is not None:
+                refreshes += 1
+                stall_counter = 0
+            jacobian = _numerical_jacobian(forward, reduced)
+        try:
+            step = np.linalg.solve(jacobian, mismatch)
+        except np.linalg.LinAlgError:
+            step = np.linalg.lstsq(jacobian, mismatch, rcond=None)[0]
+        reduced = reduced - step
+
+    final_residual = best_residual
+    result = PhaseFactorResult(
+        phases=_symmetric_full_phases(best_reduced, degree), degree=degree,
+        parity=parity, residual=final_residual, iterations=iterations,
+        converged=final_residual <= tolerance, jacobian_refreshes=refreshes)
+    if raise_on_failure and not result.converged:
+        raise PhaseFactorError(
+            "phase-factor iteration did not reach the requested tolerance",
+            iterations=iterations, achieved=final_residual, target=tolerance)
+    return result

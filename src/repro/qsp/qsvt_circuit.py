@@ -1,0 +1,251 @@
+"""QSVT circuit construction (Eqs. (2)–(3) of the paper).
+
+Given a block-encoding ``U`` of ``Ã`` with the "ancillas-all-zero" projector
+``Π = |0^a><0^a| ⊗ I`` and a phase vector ``φ_1 .. φ_d``, the alternating
+phase modulation sequence of the paper applies, to the input state, the
+temporal sequence
+
+    U, e^{iφ_d(2Π-I)}, U†, e^{iφ_{d-1}(2Π-I)}, U, ..., U, e^{iφ_1(2Π-I)}
+
+(for odd ``d``; the even case differs only in ending with ``U†``).  Projecting
+the ancillas back onto ``|0^a>`` yields ``P^{(SV)}(Ã)`` applied to the data
+register, where ``P`` is the polynomial associated with the phases in the
+*reflection* convention
+
+    P(x) = [ Π_{k=1}^{d} e^{iφ_k Z} R(x) ]_{00},
+    R(x) = [[x, sqrt(1-x²)], [sqrt(1-x²), -x]].
+
+The phase-factor solver works in the more common ``W_x`` convention, so this
+module also provides the exact conversion between the two: with
+``R(x) = e^{-iπ/2} · e^{iαZ} W(x) e^{iβZ}`` for any ``α + β = π/2``, choosing
+``β = θ_d`` gives
+
+    φ_1 = θ_0 + θ_d - π/2,      φ_j = θ_{j-1} - π/2   (j = 2..d),
+
+and the circuit block equals ``e^{-iπd/2} · P_wx(Ã)``; the residual global
+phase is returned so backends can undo it classically (or absorb it in a
+global-phase gate).
+
+Since ``⟨0|U_wx(x, -θ)|0⟩ = conj(⟨0|U_wx(x, θ)|0⟩)`` for real ``x``, running
+the circuit for both ``+θ`` and ``-θ`` and averaging the (unnormalised)
+post-selected vectors implements the *real part* of the polynomial exactly —
+which is what the linear solver needs, because the solver's target (Eq. (4))
+is a real polynomial and only its real part can be represented by a single
+QSP product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..blockencoding.base import BlockEncoding
+from ..exceptions import DimensionError
+from ..quantum import QuantumCircuit, Statevector
+from ..quantum.measurement import postselect
+from ..quantum.statevector import apply_circuit
+
+__all__ = [
+    "wx_to_circuit_phases",
+    "projector_phase_gate",
+    "build_qsvt_circuit",
+    "QSVTApplication",
+    "apply_qsvt_to_vector",
+]
+
+
+# ---------------------------------------------------------------------- #
+# phase conversion
+# ---------------------------------------------------------------------- #
+def wx_to_circuit_phases(wx_phases) -> tuple[np.ndarray, complex]:
+    """Convert Wx-convention QSP phases to the circuit (reflection) convention.
+
+    Parameters
+    ----------
+    wx_phases:
+        Phase vector ``θ_0 .. θ_d`` (length ``d + 1``).
+
+    Returns
+    -------
+    (circuit_phases, global_phase)
+        ``circuit_phases`` has length ``d`` (``φ_1 .. φ_d`` of Eqs. (2)–(3))
+        and ``global_phase`` is the factor ``e^{-iπd/2}`` by which the circuit
+        block differs from the Wx polynomial; multiply results by its
+        conjugate to undo it.
+    """
+    theta = np.asarray(wx_phases, dtype=float)
+    if theta.ndim != 1 or theta.shape[0] < 2:
+        raise DimensionError("wx_phases must contain at least two phases")
+    d = theta.shape[0] - 1
+    phi = np.empty(d)
+    phi[0] = theta[0] + theta[d] - np.pi / 2.0
+    if d > 1:
+        phi[1:] = theta[1:d] - np.pi / 2.0
+    global_phase = np.exp(-1j * np.pi * d / 2.0)
+    return phi, complex(global_phase)
+
+
+# ---------------------------------------------------------------------- #
+# projector-controlled phase
+# ---------------------------------------------------------------------- #
+def projector_phase_gate(num_ancillas: int, angle: float) -> np.ndarray:
+    """Diagonal matrix of ``e^{iφ(2Π-I)}`` restricted to the ancilla register.
+
+    ``Π`` projects onto the all-zero ancilla state, so the operator is
+    diagonal with ``e^{iφ}`` on index 0 and ``e^{-iφ}`` elsewhere; it acts as
+    the identity on the data register and can therefore be applied as an
+    ``num_ancillas``-qubit gate.
+    """
+    if num_ancillas < 1:
+        raise DimensionError("need at least one ancilla qubit")
+    diag = np.full(2**num_ancillas, np.exp(-1j * angle), dtype=complex)
+    diag[0] = np.exp(1j * angle)
+    return np.diag(diag)
+
+
+def _append_projector_phase(circuit: QuantumCircuit, block: BlockEncoding,
+                            angle: float, *, use_flag_qubit: bool) -> None:
+    ancillas = list(range(block.num_ancillas))
+    if not use_flag_qubit:
+        circuit.unitary(projector_phase_gate(block.num_ancillas, angle),
+                        qubits=ancillas, name="proj_phase")
+        return
+    flag = block.num_qubits            # the extra qubit appended after data
+    zeros = [0] * block.num_ancillas
+    circuit.mcx(ancillas, flag, control_states=zeros)
+    circuit.rz(2.0 * angle, flag)
+    circuit.mcx(ancillas, flag, control_states=zeros)
+
+
+# ---------------------------------------------------------------------- #
+# circuit construction
+# ---------------------------------------------------------------------- #
+def build_qsvt_circuit(block: BlockEncoding, circuit_phases, *,
+                       dense_block_encoding: bool = True,
+                       use_flag_qubit: bool = False) -> QuantumCircuit:
+    """Assemble the QSVT circuit for the given block-encoding and phases.
+
+    Parameters
+    ----------
+    block:
+        Block-encoding of the matrix the polynomial acts on.
+    circuit_phases:
+        Phases ``φ_1 .. φ_d`` in the circuit (reflection) convention — use
+        :func:`wx_to_circuit_phases` to obtain them from Wx phases.
+    dense_block_encoding:
+        When ``True`` (default) the block-encoding is inserted as a single
+        dense unitary gate (fast to simulate); otherwise its gate-level
+        circuit is inlined (meaningful resource counts).
+    use_flag_qubit:
+        Implement each projector phase with the explicit
+        MCX–RZ–MCX construction on an extra flag qubit instead of a diagonal
+        ancilla-register gate.
+    """
+    phases = np.asarray(circuit_phases, dtype=float)
+    if phases.ndim != 1 or phases.shape[0] < 1:
+        raise DimensionError("circuit_phases must contain at least one phase")
+    d = phases.shape[0]
+    num_qubits = block.num_qubits + (1 if use_flag_qubit else 0)
+    qc = QuantumCircuit(num_qubits, name=f"qsvt(d={d})")
+    all_block_qubits = list(range(block.num_qubits))
+
+    if dense_block_encoding:
+        be_unitary = block.unitary()
+        be_dagger = be_unitary.conj().T
+
+        def append_be(adjoint: bool) -> None:
+            qc.unitary(be_dagger if adjoint else be_unitary, qubits=all_block_qubits,
+                       name="BE†" if adjoint else "BE")
+    else:
+        be_circuit = block.circuit()
+        be_inverse = be_circuit.inverse()
+
+        def append_be(adjoint: bool) -> None:
+            qc.compose(be_inverse if adjoint else be_circuit,
+                       qubit_map=all_block_qubits)
+
+    # temporal sequence: U, phase(φ_d), U†, phase(φ_{d-1}), ..., ending with phase(φ_1)
+    for step in range(d):
+        append_be(adjoint=(step % 2 == 1))
+        angle = float(phases[d - 1 - step])
+        _append_projector_phase(qc, block, angle, use_flag_qubit=use_flag_qubit)
+    return qc
+
+
+# ---------------------------------------------------------------------- #
+# high-level application helper
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QSVTApplication:
+    """Result of applying a QSVT polynomial to a data vector.
+
+    Attributes
+    ----------
+    vector:
+        The (unnormalised) transformed data vector ``Re(P)(Ã) · v``.
+    success_probability:
+        Probability of finding the block-encoding ancillas in ``|0..0>``
+        (averaged over the ``±θ`` runs).
+    block_encoding_calls:
+        Number of calls to the block-encoding or its adjoint that the
+        application required (``d`` per run, ``2d`` when both signs are run).
+    circuit_depth:
+        Logical depth of one QSVT circuit.
+    """
+
+    vector: np.ndarray
+    success_probability: float
+    block_encoding_calls: int
+    circuit_depth: int
+
+
+def apply_qsvt_to_vector(block: BlockEncoding, wx_phases, data_vector, *,
+                         real_part: bool = True,
+                         dense_block_encoding: bool = True) -> QSVTApplication:
+    """Apply ``Re(P_wx)`` (or ``P_wx``) of the encoded matrix to ``data_vector``.
+
+    The data vector is normalised, loaded next to ``|0^a>`` ancillas, run
+    through the QSVT circuit, and the ancillas are post-selected on
+    ``|0..0>``.  When ``real_part`` is ``True`` the procedure is repeated with
+    negated phases and the two (unnormalised) outcomes are averaged, which
+    realises the real part of the polynomial exactly (see module docstring).
+
+    Returns the *unnormalised* transformed vector: its norm carries the
+    success amplitude, which the linear solver uses only through the
+    direction (the scale is recovered classically, Remark 2 of the paper).
+    """
+    data = np.asarray(data_vector, dtype=complex).reshape(-1)
+    if data.shape[0] != block.dimension:
+        raise DimensionError(
+            f"data vector length {data.shape[0]} does not match the encoded dimension "
+            f"{block.dimension}")
+    norm = np.linalg.norm(data)
+    if norm == 0.0:
+        raise DimensionError("cannot apply the QSVT to a zero vector")
+    data = data / norm
+
+    theta = np.asarray(wx_phases, dtype=float)
+    sign_list = [1.0, -1.0] if real_part else [1.0]
+    accumulated = np.zeros(block.dimension, dtype=complex)
+    probability = 0.0
+    total_calls = 0
+    depth = 0
+    ancilla_qubits = list(range(block.num_ancillas))
+    for sign in sign_list:
+        phases, global_phase = wx_to_circuit_phases(sign * theta)
+        circuit = build_qsvt_circuit(block, phases,
+                                     dense_block_encoding=dense_block_encoding)
+        depth = max(depth, circuit.depth())
+        total_calls += phases.shape[0]
+        # initial state |0^a> ⊗ data
+        full = np.zeros(2**block.num_qubits, dtype=complex)
+        full[: block.dimension] = data
+        output = apply_circuit(circuit, Statevector(full))
+        projected, prob = postselect(output, ancilla_qubits, 0, renormalize=False)
+        accumulated += np.conj(global_phase) * projected.data
+        probability += prob
+    accumulated /= len(sign_list)
+    probability /= len(sign_list)
+    return QSVTApplication(vector=accumulated, success_probability=float(probability),
+                           block_encoding_calls=total_calls, circuit_depth=depth)

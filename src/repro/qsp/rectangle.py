@@ -1,0 +1,82 @@
+"""Even rectangle-window polynomial (Ref. [30] of the paper).
+
+The truncated inverse expansion of Eq. (4) is not bounded by one inside the
+spectral gap ``(-1/(2κ), 1/(2κ))``.  One classical fix (Martyn et al.,
+"Grand unification of quantum algorithms") multiplies it by an even polynomial
+approximating the rectangle function that is ``≈ 1`` on ``|x| ≥ 1/κ`` and
+``≈ 0`` near the origin.  We build that window by Chebyshev-interpolating the
+smooth even surrogate
+
+.. math::  r(x) = 1 + \\tfrac12\\left(\\mathrm{erf}(k(x - t)) - \\mathrm{erf}(k(x + t))\\right),
+
+whose sharpness ``k`` and transition point ``t`` are chosen from ``κ``.  The
+product with the inverse polynomial is formed in the Chebyshev basis
+(:func:`window_inverse_polynomial`), preserving the odd parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.polynomial import chebyshev as _cheb
+from scipy import special
+
+from .chebyshev import chebyshev_coefficients_of_function, enforce_parity, truncate_series
+from .inverse_polynomial import InversePolynomial
+
+__all__ = ["rectangle_polynomial", "window_inverse_polynomial"]
+
+
+def rectangle_polynomial(kappa: float, *, degree: int | None = None,
+                         transition: float | None = None,
+                         sharpness: float | None = None) -> np.ndarray:
+    """Even Chebyshev polynomial ``R`` with ``R ≈ 1`` for ``|x| ≥ 1/κ`` and ``R ≈ 0`` at 0.
+
+    Parameters
+    ----------
+    kappa:
+        Condition number; the default transition point is ``t = 1/(2κ)``.
+    degree:
+        Polynomial degree (even); defaults to ``8 κ`` which keeps the
+        transition error below ~1e-3 for moderate ``κ``.
+    transition / sharpness:
+        Optional overrides of the erf surrogate parameters.
+    """
+    if kappa < 1.0:
+        raise ValueError("kappa must be >= 1")
+    t = transition if transition is not None else 1.0 / (2.0 * kappa)
+    k = sharpness if sharpness is not None else 4.0 * kappa
+    deg = degree if degree is not None else int(16 * np.ceil(kappa))
+    deg = max(4, deg + (deg % 2))      # force an even degree
+
+    def surrogate(x):
+        return 1.0 + 0.5 * (special.erf(k * (x - t)) - special.erf(k * (x + t)))
+
+    coeffs = chebyshev_coefficients_of_function(surrogate, deg, parity=0)
+    return coeffs
+
+
+def window_inverse_polynomial(inverse: InversePolynomial,
+                              rectangle: np.ndarray | None = None,
+                              *, truncation_tolerance: float | None = None
+                              ) -> InversePolynomial:
+    """Multiply an inverse polynomial by a rectangle window (Chebyshev product).
+
+    The result remains odd (odd × even) and keeps the same ``inverse_scale``:
+    on the spectral domain the window is ``≈ 1`` so the approximate inverse is
+    unchanged there, while inside the gap the product is damped towards zero.
+    """
+    window = rectangle if rectangle is not None else rectangle_polynomial(inverse.kappa)
+    window = enforce_parity(np.asarray(window, dtype=float), 0)
+    product = _cheb.chebmul(np.asarray(inverse.coefficients, dtype=float), window)
+    product = enforce_parity(product, 1)
+    tol = truncation_tolerance if truncation_tolerance is not None else inverse.target_error / 10.0
+    if tol > 0:
+        product = truncate_series(product, tol)
+    return InversePolynomial(
+        coefficients=np.asarray(product, dtype=float),
+        kappa=inverse.kappa,
+        target_error=inverse.target_error,
+        b_parameter=inverse.b_parameter,
+        inverse_scale=inverse.inverse_scale,
+        max_norm=inverse.max_norm,
+    )

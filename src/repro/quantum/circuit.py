@@ -1,0 +1,296 @@
+"""Quantum circuit container.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`~repro.quantum.gates.Gate`
+objects on a fixed number of qubits.  It is deliberately simulator-agnostic:
+the state-vector engine (:mod:`repro.quantum.statevector`), the resource
+estimator (:mod:`repro.quantum.resources`) and the ASCII renderer
+(:mod:`repro.quantum.drawing`) all consume the same gate list.
+
+Qubit 0 is the most significant bit of a basis-state index (big-endian), see
+the package docstring.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from .gates import Gate, standard_gate_matrix
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """Ordered list of gates acting on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total number of qubits (data + ancillas).
+    name:
+        Optional label used by the drawing and reporting utilities.
+    """
+
+    def __init__(self, num_qubits: int, *, name: str = "circuit") -> None:
+        if num_qubits < 1:
+            raise DimensionError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: list[Gate] = []
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        return self._gates[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+                f"num_gates={len(self._gates)})")
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """Immutable view of the gate list."""
+        return tuple(self._gates)
+
+    @property
+    def dimension(self) -> int:
+        """Hilbert-space dimension ``2**num_qubits``."""
+        return 2**self.num_qubits
+
+    # ------------------------------------------------------------------ #
+    # generic appenders
+    # ------------------------------------------------------------------ #
+    def _check_qubits(self, qubits: Iterable[int]) -> None:
+        for q in qubits:
+            if not 0 <= int(q) < self.num_qubits:
+                raise DimensionError(
+                    f"qubit {q} out of range for a {self.num_qubits}-qubit circuit")
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append an already-built :class:`Gate` (validating qubit indices)."""
+        self._check_qubits(gate.qubits)
+        self._gates.append(gate)
+        return self
+
+    def add_gate(self, name: str, targets: Sequence[int] | int,
+                 params: Sequence[float] = (), *, controls: Sequence[int] = (),
+                 control_states: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Append a named gate (see :func:`standard_gate_matrix` for names)."""
+        targets_t = (targets,) if isinstance(targets, (int, np.integer)) else tuple(targets)
+        matrix = standard_gate_matrix(name, params)
+        gate = Gate(name=name.lower(), targets=targets_t, matrix=matrix,
+                    controls=tuple(controls),
+                    control_states=tuple(control_states) if control_states else (),
+                    params=tuple(float(p) for p in params))
+        return self.append(gate)
+
+    def unitary(self, matrix, qubits: Sequence[int] | int, *, name: str = "unitary",
+                controls: Sequence[int] = (),
+                control_states: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Append an arbitrary unitary block acting on ``qubits``."""
+        qubits_t = (qubits,) if isinstance(qubits, (int, np.integer)) else tuple(qubits)
+        gate = Gate(name=name, targets=qubits_t, matrix=np.asarray(matrix, dtype=complex),
+                    controls=tuple(controls),
+                    control_states=tuple(control_states) if control_states else ())
+        return self.append(gate)
+
+    # ------------------------------------------------------------------ #
+    # single-qubit gates
+    # ------------------------------------------------------------------ #
+    def i(self, qubit: int) -> "QuantumCircuit":
+        """Identity (useful as a barrier-like placeholder in drawings)."""
+        return self.add_gate("i", qubit)
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-X."""
+        return self.add_gate("x", qubit)
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Y."""
+        return self.add_gate("y", qubit)
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Z."""
+        return self.add_gate("z", qubit)
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Hadamard."""
+        return self.add_gate("h", qubit)
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        """Phase gate S."""
+        return self.add_gate("s", qubit)
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        """Inverse phase gate S†."""
+        return self.add_gate("sdg", qubit)
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        """T gate."""
+        return self.add_gate("t", qubit)
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        """Inverse T gate."""
+        return self.add_gate("tdg", qubit)
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Rotation around X by ``theta``."""
+        return self.add_gate("rx", qubit, (theta,))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Rotation around Y by ``theta``."""
+        return self.add_gate("ry", qubit, (theta,))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Rotation around Z by ``theta``."""
+        return self.add_gate("rz", qubit, (theta,))
+
+    def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """Phase gate ``diag(1, e^{iλ})``."""
+        return self.add_gate("p", qubit, (lam,))
+
+    def global_phase(self, lam: float) -> "QuantumCircuit":
+        """Global phase ``e^{iλ}`` applied as a 1-qubit diagonal on qubit 0."""
+        matrix = np.exp(1j * lam) * np.eye(2, dtype=complex)
+        return self.unitary(matrix, 0, name="gphase")
+
+    # ------------------------------------------------------------------ #
+    # multi-qubit gates
+    # ------------------------------------------------------------------ #
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-X (CNOT)."""
+        return self.add_gate("x", target, controls=(control,))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Z."""
+        return self.add_gate("z", target, controls=(control,))
+
+    def cry(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-RY."""
+        return self.add_gate("ry", target, (theta,), controls=(control,))
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-RZ."""
+        return self.add_gate("rz", target, (theta,), controls=(control,))
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled phase gate."""
+        return self.add_gate("p", target, (lam,), controls=(control,))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """SWAP two qubits."""
+        return self.add_gate("swap", (qubit_a, qubit_b))
+
+    def ccx(self, control_a: int, control_b: int, target: int) -> "QuantumCircuit":
+        """Toffoli (doubly-controlled X)."""
+        return self.add_gate("x", target, controls=(control_a, control_b))
+
+    def mcx(self, controls: Sequence[int], target: int,
+            control_states: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Multi-controlled X, optionally with 0-controls (``control_states``)."""
+        return self.add_gate("x", target, controls=tuple(controls),
+                             control_states=control_states)
+
+    def mcz(self, controls: Sequence[int], target: int,
+            control_states: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Multi-controlled Z."""
+        return self.add_gate("z", target, controls=tuple(controls),
+                             control_states=control_states)
+
+    def mcp(self, lam: float, controls: Sequence[int], target: int,
+            control_states: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Multi-controlled phase gate."""
+        return self.add_gate("p", target, (lam,), controls=tuple(controls),
+                             control_states=control_states)
+
+    def mcry(self, theta: float, controls: Sequence[int], target: int,
+             control_states: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Multi-controlled RY."""
+        return self.add_gate("ry", target, (theta,), controls=tuple(controls),
+                             control_states=control_states)
+
+    def mcrz(self, theta: float, controls: Sequence[int], target: int,
+             control_states: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Multi-controlled RZ."""
+        return self.add_gate("rz", target, (theta,), controls=tuple(controls),
+                             control_states=control_states)
+
+    # ------------------------------------------------------------------ #
+    # composition
+    # ------------------------------------------------------------------ #
+    def compose(self, other: "QuantumCircuit",
+                qubit_map: Sequence[int] | None = None) -> "QuantumCircuit":
+        """Append every gate of ``other``, optionally remapping its qubits.
+
+        ``qubit_map[i]`` is the qubit of ``self`` onto which qubit ``i`` of
+        ``other`` is placed; by default qubits map onto themselves.
+        """
+        if qubit_map is None:
+            mapping = list(range(other.num_qubits))
+        else:
+            mapping = [int(q) for q in qubit_map]
+            if len(mapping) != other.num_qubits:
+                raise DimensionError("qubit_map length must equal other.num_qubits")
+        self._check_qubits(mapping)
+        for gate in other:
+            remapped = Gate(
+                name=gate.name,
+                targets=tuple(mapping[q] for q in gate.targets),
+                matrix=gate.matrix,
+                controls=tuple(mapping[q] for q in gate.controls),
+                control_states=gate.control_states,
+                params=gate.params,
+            )
+            self.append(remapped)
+        return self
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return a new circuit implementing the adjoint of this one."""
+        inv = QuantumCircuit(self.num_qubits, name=f"{self.name}†")
+        for gate in reversed(self._gates):
+            inv.append(gate.dagger())
+        return inv
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy (gates are immutable so sharing them is safe)."""
+        dup = QuantumCircuit(self.num_qubits, name=self.name)
+        dup._gates = list(self._gates)
+        return dup
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def count_gates(self) -> dict[str, int]:
+        """Histogram of gate names (controlled versions counted by base name
+        with a ``c``/``mc`` prefix depending on the number of controls)."""
+        counts: dict[str, int] = {}
+        for gate in self._gates:
+            if len(gate.controls) == 0:
+                key = gate.name
+            elif len(gate.controls) == 1:
+                key = f"c{gate.name}"
+            else:
+                key = f"mc{gate.name}({len(gate.controls)})"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of gates sharing qubits."""
+        level = [0] * self.num_qubits
+        depth = 0
+        for gate in self._gates:
+            qubits = gate.qubits
+            start = max(level[q] for q in qubits)
+            for q in qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth

@@ -1,0 +1,78 @@
+"""ASCII circuit rendering.
+
+Figure 2 of the paper shows the block-encoding circuit of the tridiagonal
+Poisson matrix; since this repository has no graphical output, circuits are
+rendered as ASCII wire diagrams — one text row per qubit, one column per gate
+(gates acting on disjoint qubits are *not* packed into the same column, which
+keeps the renderer simple and the output unambiguous).
+"""
+
+from __future__ import annotations
+
+from .circuit import QuantumCircuit
+
+__all__ = ["draw_circuit"]
+
+
+def _gate_label(name: str, params) -> str:
+    if not params:
+        return name.upper()
+    formatted = ",".join(f"{p:.3g}" for p in params)
+    return f"{name.upper()}({formatted})"
+
+
+def draw_circuit(circuit: QuantumCircuit, *, max_width: int = 2000,
+                 qubit_labels: list[str] | None = None) -> str:
+    """Render ``circuit`` as an ASCII diagram.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to draw.
+    max_width:
+        Truncate the drawing after this many characters per line (an ellipsis
+        is appended); protects against accidentally printing megabyte-sized
+        diagrams for deep QSVT circuits.
+    qubit_labels:
+        Optional custom labels (default ``q0:``, ``q1:``, ...).
+    """
+    n = circuit.num_qubits
+    labels = qubit_labels if qubit_labels is not None else [f"q{i}" for i in range(n)]
+    if len(labels) != n:
+        raise ValueError("qubit_labels length must match the number of qubits")
+    label_width = max(len(lbl) for lbl in labels) + 2
+    rows = [list(f"{lbl:<{label_width}}") for lbl in labels]
+
+    for gate in circuit:
+        label = _gate_label(gate.name, gate.params)
+        # column content per qubit
+        column: dict[int, str] = {}
+        for q, state in zip(gate.controls, gate.control_states):
+            column[q] = "●" if state else "○"
+        if gate.name == "x" and gate.controls and len(gate.targets) == 1:
+            column[gate.targets[0]] = "⊕"
+        elif gate.name == "swap" and len(gate.targets) == 2:
+            column[gate.targets[0]] = "x"
+            column[gate.targets[1]] = "x"
+        else:
+            for q in gate.targets:
+                column[q] = f"[{label}]"
+        width = max(len(s) for s in column.values()) + 2
+        touched = sorted(gate.qubits)
+        lo, hi = touched[0], touched[-1]
+        for q in range(n):
+            if q in column:
+                cell = column[q].center(width, "─")
+            elif lo < q < hi:
+                cell = "│".center(width, "─")
+            else:
+                cell = "─" * width
+            rows[q].append(cell)
+
+    lines = []
+    for row in rows:
+        line = "".join(row)
+        if len(line) > max_width:
+            line = line[:max_width] + "…"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""Gate definitions.
+
+A :class:`Gate` is an immutable record of a named operation acting on a list
+of target qubits, optionally controlled on other qubits (each control can be
+conditioned on ``|1>`` — the default — or on ``|0>``, which is what
+projector-controlled operations of the QSVT need).  The unitary matrix of a
+gate is stored explicitly for custom blocks and derived from
+:func:`standard_gate_matrix` for named gates, so the simulator never needs a
+gate-by-name switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..utils import is_unitary
+
+__all__ = ["Gate", "standard_gate_matrix", "controlled_matrix", "GATE_ALIASES"]
+
+_SQRT2 = np.sqrt(2.0)
+
+_FIXED_GATES: dict[str, np.ndarray] = {
+    "i": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex),
+    "swap": np.array([[1, 0, 0, 0],
+                      [0, 0, 1, 0],
+                      [0, 1, 0, 0],
+                      [0, 0, 0, 1]], dtype=complex),
+}
+
+#: alternative spellings accepted by :func:`standard_gate_matrix`.
+GATE_ALIASES = {
+    "id": "i",
+    "identity": "i",
+    "not": "x",
+    "cnot": "x",   # a cnot is an x gate with one control
+    "hadamard": "h",
+}
+
+
+def standard_gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix of a named gate.
+
+    Supported names: ``i, x, y, z, h, s, sdg, t, tdg, sx, swap`` (no
+    parameters) and ``rx, ry, rz, p/phase, u`` (parametrised).  Controls are
+    *not* part of the name; they are described by :attr:`Gate.controls`.
+    """
+    key = name.lower()
+    key = GATE_ALIASES.get(key, key)
+    if key in _FIXED_GATES:
+        if params:
+            raise ValueError(f"gate {name!r} takes no parameters")
+        return _FIXED_GATES[key].copy()
+    if key == "rx":
+        (theta,) = params
+        c, s = np.cos(theta / 2), -1j * np.sin(theta / 2)
+        return np.array([[c, s], [s, c]], dtype=complex)
+    if key == "ry":
+        (theta,) = params
+        c, s = np.cos(theta / 2), np.sin(theta / 2)
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if key == "rz":
+        (theta,) = params
+        return np.array([[np.exp(-1j * theta / 2), 0],
+                         [0, np.exp(1j * theta / 2)]], dtype=complex)
+    if key in ("p", "phase"):
+        (lam,) = params
+        return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+    if key == "gphase":
+        (lam,) = params
+        return np.exp(1j * lam) * np.eye(1, dtype=complex)
+    if key == "u":
+        theta, phi, lam = params
+        return np.array(
+            [[np.cos(theta / 2), -np.exp(1j * lam) * np.sin(theta / 2)],
+             [np.exp(1j * phi) * np.sin(theta / 2),
+              np.exp(1j * (phi + lam)) * np.cos(theta / 2)]], dtype=complex)
+    raise ValueError(f"unknown gate name {name!r}")
+
+
+def controlled_matrix(matrix: np.ndarray, num_controls: int,
+                      control_states: Sequence[int] | None = None) -> np.ndarray:
+    """Build the matrix of a controlled gate.
+
+    The control qubits are placed *before* (more significant than) the target
+    qubits, matching the convention used by the simulator when it expands a
+    :class:`Gate` whose ``controls`` are listed first.
+
+    Parameters
+    ----------
+    matrix:
+        Unitary acting on the target qubits (dimension ``2^t``).
+    num_controls:
+        Number of control qubits.
+    control_states:
+        For each control, ``1`` (activate on ``|1>``, default) or ``0``
+        (activate on ``|0>``).
+    """
+    mat = np.asarray(matrix, dtype=complex)
+    dim_t = mat.shape[0]
+    if mat.shape != (dim_t, dim_t):
+        raise DimensionError("gate matrix must be square")
+    states = list(control_states) if control_states is not None else [1] * num_controls
+    if len(states) != num_controls:
+        raise DimensionError("control_states length must equal num_controls")
+    dim_c = 2**num_controls
+    out = np.eye(dim_c * dim_t, dtype=complex)
+    # index of the activating control pattern, controls being the high bits
+    active = 0
+    for state in states:
+        active = (active << 1) | (1 if state else 0)
+    lo = active * dim_t
+    out[lo:lo + dim_t, lo:lo + dim_t] = mat
+    return out
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One operation of a circuit.
+
+    Attributes
+    ----------
+    name:
+        Gate name (informational; ``"unitary"`` for custom matrices).
+    targets:
+        Target qubit indices (order matters: ``targets[0]`` is the most
+        significant qubit of ``matrix``).
+    matrix:
+        Unitary acting on ``targets`` (dimension ``2^len(targets)``).
+    controls:
+        Control qubit indices (empty tuple for uncontrolled gates).
+    control_states:
+        For each control, 1 = control on ``|1>`` (default), 0 = control on ``|0>``.
+    params:
+        Parameters of named gates, kept for drawing/resource estimation.
+    """
+
+    name: str
+    targets: tuple[int, ...]
+    matrix: np.ndarray = field(repr=False)
+    controls: tuple[int, ...] = ()
+    control_states: tuple[int, ...] = ()
+    params: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        mat = np.asarray(self.matrix, dtype=complex)
+        object.__setattr__(self, "matrix", mat)
+        object.__setattr__(self, "targets", tuple(int(q) for q in self.targets))
+        object.__setattr__(self, "controls", tuple(int(q) for q in self.controls))
+        states = self.control_states or tuple(1 for _ in self.controls)
+        object.__setattr__(self, "control_states", tuple(int(s) for s in states))
+        if len(self.control_states) != len(self.controls):
+            raise DimensionError("control_states must match controls")
+        dim = 2 ** len(self.targets)
+        if mat.shape != (dim, dim):
+            raise DimensionError(
+                f"gate {self.name!r}: matrix shape {mat.shape} does not match "
+                f"{len(self.targets)} target qubit(s)")
+        all_qubits = self.targets + self.controls
+        if len(set(all_qubits)) != len(all_qubits):
+            raise DimensionError(f"gate {self.name!r}: duplicate qubit in {all_qubits}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        """All qubits touched by the gate (controls first, then targets)."""
+        return self.controls + self.targets
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of distinct qubits the gate acts on."""
+        return len(self.qubits)
+
+    def expanded_matrix(self) -> np.ndarray:
+        """Unitary on ``controls + targets`` (controls as most-significant qubits)."""
+        if not self.controls:
+            return self.matrix
+        return controlled_matrix(self.matrix, len(self.controls), self.control_states)
+
+    def dagger(self) -> "Gate":
+        """Hermitian adjoint of the gate (controls unchanged).
+
+        Self-adjoint named gates keep their name (so resource estimation of an
+        inverted circuit stays exact), ``s``/``t`` map to their ``*dg``
+        partners, parametric rotations keep their name with negated
+        parameters, and anything else gets a ``†`` suffix toggled.
+        """
+        self_adjoint = {"i", "x", "y", "z", "h", "swap"}
+        adjoint_pairs = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        rotations = {"rx", "ry", "rz", "p", "phase", "gphase", "u"}
+        name = self.name
+        if name in self_adjoint or name in rotations:
+            new_name = name
+        elif name in adjoint_pairs:
+            new_name = adjoint_pairs[name]
+        elif name.endswith("†"):
+            new_name = name[:-1]
+        else:
+            new_name = f"{name}†"
+        return Gate(name=new_name,
+                    targets=self.targets, matrix=self.matrix.conj().T,
+                    controls=self.controls, control_states=self.control_states,
+                    params=tuple(-p for p in self.params))
+
+    def validate_unitary(self, *, atol: float = 1e-10) -> None:
+        """Raise if the stored matrix is not unitary (debug helper)."""
+        if not is_unitary(self.matrix, atol=atol):
+            raise DimensionError(f"gate {self.name!r} matrix is not unitary")

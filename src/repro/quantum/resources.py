@@ -1,0 +1,211 @@
+"""Fault-tolerant resource estimation.
+
+The paper expresses the quantum cost of the Poisson use-case (Table II) in
+T-gate counts because QSVT circuits are far too deep for NISQ devices and
+require error correction (Sec. III-C4).  The :class:`ResourceCounter` below
+translates a :class:`~repro.quantum.circuit.QuantumCircuit` into Clifford+T
+resources using a configurable cost model:
+
+* Toffoli gates cost ``toffoli_t_count`` T gates (7 in the textbook
+  decomposition, 4 with measurement-assisted tricks);
+* a multi-controlled X with ``k`` controls costs ``2k - 3`` Toffolis using a
+  clean-ancilla V-chain (Ref. [24] of the paper lowers the constants further;
+  the model is configurable to reflect that);
+* arbitrary-angle rotations are synthesised into ``ceil(a·log2(1/ε) + b)``
+  T gates (Ross–Selinger style), with the synthesis accuracy ``ε`` a model
+  parameter;
+* arbitrary multi-qubit ``unitary`` blocks fall back to a generic
+  ``O(4^k)``-rotation compilation estimate, so the numbers stay meaningful
+  even for circuits that keep some blocks un-decomposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ResourceModelError
+from .circuit import QuantumCircuit
+from .gates import Gate
+
+__all__ = ["ResourceCounter", "ResourceEstimate", "estimate_circuit_resources"]
+
+_CLIFFORD_NAMES = {"i", "x", "y", "z", "h", "s", "sdg", "sx", "swap", "cx", "cz"}
+_T_NAMES = {"t", "tdg"}
+_ROTATION_NAMES = {"rx", "ry", "rz", "p", "phase", "u", "gphase"}
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Aggregated fault-tolerant cost of one circuit."""
+
+    #: total number of T gates after compilation.
+    t_count: float
+    #: number of Toffoli gates before conversion to T gates.
+    toffoli_count: float
+    #: number of CNOT gates (including those produced by decompositions).
+    cnot_count: float
+    #: number of arbitrary-angle rotations (each synthesised into T gates).
+    rotation_count: float
+    #: number of explicit T/T† gates in the input circuit.
+    explicit_t_count: float
+    #: circuit depth of the *logical* circuit (before decomposition).
+    logical_depth: int
+    #: number of qubits of the circuit.
+    num_qubits: int
+    #: histogram of logical gate names.
+    gate_counts: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"qubits            : {self.num_qubits}",
+            f"logical depth     : {self.logical_depth}",
+            f"T count           : {self.t_count:.3g}",
+            f"Toffoli count     : {self.toffoli_count:.3g}",
+            f"CNOT count        : {self.cnot_count:.3g}",
+            f"rotation count    : {self.rotation_count:.3g}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ResourceCounter:
+    """Cost model translating logical gates into Clifford+T resources.
+
+    Parameters
+    ----------
+    toffoli_t_count:
+        T gates per Toffoli (7 textbook, 4 with measurement/uncompute tricks).
+    rotation_synthesis_epsilon:
+        Target accuracy of single-qubit rotation synthesis.
+    rotation_synthesis_slope / rotation_synthesis_offset:
+        T-count of one rotation ``= slope * log2(1/epsilon) + offset``
+        (Ross–Selinger gives slope ≈ 3).
+    mcx_toffoli_factor / mcx_toffoli_offset:
+        Toffolis for a ``k``-controlled X ``= factor*k + offset`` (defaults to
+        the clean-ancilla V-chain ``2k - 3``).
+    """
+
+    toffoli_t_count: float = 7.0
+    rotation_synthesis_epsilon: float = 1e-10
+    rotation_synthesis_slope: float = 3.0
+    rotation_synthesis_offset: float = 1.0
+    mcx_toffoli_factor: float = 2.0
+    mcx_toffoli_offset: float = -3.0
+
+    # ------------------------------------------------------------------ #
+    def rotation_t_count(self) -> float:
+        """T gates needed to synthesise one arbitrary-angle rotation."""
+        eps = self.rotation_synthesis_epsilon
+        if not 0.0 < eps < 1.0:
+            raise ResourceModelError("rotation_synthesis_epsilon must be in (0, 1)")
+        return float(np.ceil(self.rotation_synthesis_slope * np.log2(1.0 / eps)
+                             + self.rotation_synthesis_offset))
+
+    def mcx_toffolis(self, num_controls: int) -> float:
+        """Toffoli count of a multi-controlled X with ``num_controls`` controls."""
+        if num_controls < 0:
+            raise ResourceModelError("num_controls must be non-negative")
+        if num_controls <= 1:
+            return 0.0
+        if num_controls == 2:
+            return 1.0
+        return float(self.mcx_toffoli_factor * num_controls + self.mcx_toffoli_offset)
+
+    # ------------------------------------------------------------------ #
+    def count_gate(self, gate: Gate) -> dict[str, float]:
+        """Resource contribution of a single logical gate.
+
+        Returns a dict with keys ``t``, ``toffoli``, ``cnot``, ``rotation``,
+        ``explicit_t``.
+        """
+        name = gate.name.lower()
+        k = len(gate.controls)
+        out = {"t": 0.0, "toffoli": 0.0, "cnot": 0.0, "rotation": 0.0, "explicit_t": 0.0}
+
+        def add_rotations(count: float) -> None:
+            out["rotation"] += count
+            out["t"] += count * self.rotation_t_count()
+
+        if name in _T_NAMES and k == 0:
+            out["explicit_t"] += 1
+            out["t"] += 1
+            return out
+        if name in _CLIFFORD_NAMES and k == 0:
+            return out
+        if name == "x" and k == 1:
+            out["cnot"] += 1
+            return out
+        if name in {"z", "y"} and k == 1:
+            out["cnot"] += 1  # CZ/CY are Clifford: one CNOT + single-qubit Cliffords
+            return out
+        if name == "x" and k >= 2:
+            toffolis = self.mcx_toffolis(k)
+            out["toffoli"] += toffolis
+            out["t"] += toffolis * self.toffoli_t_count
+            out["cnot"] += 2 * max(k - 1, 0)  # chain plumbing
+            return out
+        if name in {"z", "p", "phase"} and k >= 2:
+            # multi-controlled phase: same Toffoli ladder + one rotation
+            toffolis = self.mcx_toffolis(k)
+            out["toffoli"] += toffolis
+            out["t"] += toffolis * self.toffoli_t_count
+            add_rotations(1.0)
+            return out
+        if name in _ROTATION_NAMES and k == 0:
+            add_rotations(1.0)
+            return out
+        if name in _ROTATION_NAMES and k >= 1:
+            # controlled rotation = 2 rotations + 2 (multi-controlled) X
+            add_rotations(2.0)
+            if k == 1:
+                out["cnot"] += 2
+            else:
+                toffolis = 2 * self.mcx_toffolis(k)
+                out["toffoli"] += toffolis
+                out["t"] += toffolis * self.toffoli_t_count
+            return out
+        if name in _CLIFFORD_NAMES and k >= 1:
+            # controlled Clifford: decompose into a controlled X sandwich
+            toffolis = self.mcx_toffolis(k + 1)
+            if k == 1:
+                out["cnot"] += 2
+            else:
+                out["toffoli"] += toffolis
+                out["t"] += toffolis * self.toffoli_t_count
+            return out
+        # generic unitary block on m = k + len(targets) qubits: standard
+        # compilation needs O(4^m) CNOTs and rotations; we charge 4^m of each.
+        m = gate.num_qubits
+        generic = float(4**m)
+        out["cnot"] += generic
+        add_rotations(generic)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, circuit: QuantumCircuit) -> ResourceEstimate:
+        """Estimate the resources of a whole circuit."""
+        totals = {"t": 0.0, "toffoli": 0.0, "cnot": 0.0, "rotation": 0.0, "explicit_t": 0.0}
+        for gate in circuit:
+            contribution = self.count_gate(gate)
+            for key, value in contribution.items():
+                totals[key] += value
+        return ResourceEstimate(
+            t_count=totals["t"],
+            toffoli_count=totals["toffoli"],
+            cnot_count=totals["cnot"],
+            rotation_count=totals["rotation"],
+            explicit_t_count=totals["explicit_t"],
+            logical_depth=circuit.depth(),
+            num_qubits=circuit.num_qubits,
+            gate_counts=circuit.count_gates(),
+        )
+
+
+def estimate_circuit_resources(circuit: QuantumCircuit,
+                               counter: ResourceCounter | None = None) -> ResourceEstimate:
+    """Convenience wrapper using the default :class:`ResourceCounter`."""
+    model = counter if counter is not None else ResourceCounter()
+    return model.estimate(circuit)

@@ -1,0 +1,6 @@
+"""Plain-text reporting helpers used by the benchmarks and EXPERIMENTS.md."""
+
+from .tables import format_table
+from .figures import format_series, format_convergence_history
+
+__all__ = ["format_table", "format_series", "format_convergence_history"]

@@ -1,0 +1,55 @@
+"""Text rendering of "figures" (series) for the benchmark harness.
+
+The paper's Figures 3–5 are line plots; in a text-only environment each curve
+is dumped as an aligned table of (x, y) pairs plus, for convergence histories,
+a coarse logarithmic sparkline so the geometric contraction is visible at a
+glance in the benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["format_series", "format_convergence_history"]
+
+
+def format_series(series: Mapping[str, Sequence[float]], *, x_label: str = "x",
+                  x_values: Sequence[float] | None = None, title: str | None = None) -> str:
+    """Render one or more named series sharing the same x grid."""
+    names = list(series.keys())
+    if not names:
+        return title or "(empty series)"
+    length = len(series[names[0]])
+    xs = list(x_values) if x_values is not None else list(range(length))
+    lines = []
+    if title:
+        lines.append(title)
+    header = [x_label.rjust(12)] + [name.rjust(14) for name in names]
+    lines.append(" ".join(header))
+    for i in range(length):
+        row = [f"{xs[i]:12.4g}"]
+        for name in names:
+            value = series[name][i] if i < len(series[name]) else float("nan")
+            row.append(f"{value:14.4e}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def format_convergence_history(residuals: Sequence[float], *, bound: Sequence[float] | None = None,
+                               title: str | None = None, floor: float = 1e-16) -> str:
+    """Render a scaled-residual history with a logarithmic sparkline."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" iter |  scaled residual |   Thm III.1 bound | log10 sparkline")
+    max_log = 0.0
+    min_log = math.log10(max(min((r for r in residuals if r > 0), default=floor), floor))
+    span = max(max_log - min_log, 1.0)
+    for i, value in enumerate(residuals):
+        log_value = math.log10(max(value, floor))
+        bar_length = int(round(40 * (max_log - log_value) / span))
+        bar = "#" * max(bar_length, 0)
+        bound_text = f"{bound[i]:17.4e}" if bound is not None and i < len(bound) else " " * 17
+        lines.append(f" {i:4d} | {value:16.4e} | {bound_text} | {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Fixed-width text tables (the repository has no graphical output)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if 1e-3 <= magnitude < 1e6:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(rows: Iterable[Mapping], *, columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render a list of dictionaries as a fixed-width text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of mappings; missing keys are rendered as empty cells.
+    columns:
+        Column order (defaults to the keys of the first row).
+    title:
+        Optional title printed above the table.
+    """
+    rows = list(rows)
+    if not rows:
+        return title or "(empty table)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in cols] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Quantum state preparation.
+
+The right-hand side ``b`` (and, at every refinement step, the residual ``r_i``)
+must be loaded into the data register as the normalised state ``|b>``.  The
+paper uses the tree-based method of Kerenidis & Prakash (Ref. [23]): a binary
+tree of partial norms is computed classically in ``O(N)`` flops and translated
+into one uniformly controlled Y-rotation per tree level.
+"""
+
+from .tree import StatePreparationResult, TreeStatePreparation, prepare_state_circuit
+
+__all__ = ["TreeStatePreparation", "StatePreparationResult", "prepare_state_circuit"]

@@ -1,0 +1,174 @@
+"""Tree-based state preparation (Kerenidis–Prakash, Ref. [23] of the paper).
+
+Given a real vector ``b`` of length ``N = 2**n``, the classical preprocessing
+builds a binary tree whose leaves hold the signed amplitudes and whose
+internal nodes hold the Euclidean norms of their subtrees.  Each tree level
+``k`` then becomes one uniformly controlled ``Ry`` acting on qubit ``k`` and
+controlled by qubits ``0 .. k-1``; the rotation angle of node ``j`` is
+``2·atan2(value_right, value_left)``, which reproduces both the magnitudes and
+the signs of the amplitudes (signs are carried entirely by the leaf level,
+where the "values" are the signed entries themselves).
+
+Two circuit flavours are produced:
+
+* ``decompose=False`` (default): each level is a single dense multiplexor
+  gate — efficient to simulate and exactly equivalent;
+* ``decompose=True``: each multiplexor is expanded into CNOTs and single-qubit
+  ``Ry`` gates (``2**k`` of each at level ``k``), which is what a resource
+  estimation needs.
+
+Complex vectors are supported by preparing the magnitudes with the tree and
+appending a diagonal phase gate (counted explicitly in the resource model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import StatePreparationError
+from ..quantum import QuantumCircuit
+from ..quantum.decompositions import multiplexed_ry_circuit, multiplexor_matrix
+from ..utils import as_vector, check_power_of_two
+
+__all__ = ["TreeStatePreparation", "StatePreparationResult", "prepare_state_circuit"]
+
+
+@dataclass(frozen=True)
+class StatePreparationResult:
+    """Output of :meth:`TreeStatePreparation.build`.
+
+    Attributes
+    ----------
+    circuit:
+        Circuit preparing ``|b> = b / ||b||`` from ``|0...0>``.
+    norm:
+        Euclidean norm of the input vector (needed to undo the normalisation).
+    num_qubits:
+        Number of data qubits ``n = log2(N)``.
+    classical_flops:
+        Estimated classical preprocessing cost (``O(N)``), reported to the
+        cost model of Sec. III-C2.
+    """
+
+    circuit: QuantumCircuit
+    norm: float
+    num_qubits: int
+    classical_flops: int
+
+
+class TreeStatePreparation:
+    """Builder for tree-based state-preparation circuits.
+
+    Parameters
+    ----------
+    decompose:
+        When ``True`` the multiplexed rotations are expanded into CNot + Ry
+        gates; when ``False`` they stay as dense multiplexor blocks (cheaper
+        to simulate, identical unitary action).
+    """
+
+    def __init__(self, *, decompose: bool = False) -> None:
+        self.decompose = bool(decompose)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def tree_values(vector: np.ndarray) -> list[np.ndarray]:
+        """Binary tree of the Kerenidis–Prakash construction.
+
+        ``tree[n]`` is the leaf level (the signed amplitudes, length ``N``),
+        ``tree[k]`` for ``k < n`` holds the subtree 2-norms (length ``2**k``),
+        and ``tree[0]`` is the overall norm.
+        """
+        n_levels = int(vector.shape[0]).bit_length() - 1
+        levels = [np.asarray(vector, dtype=float)]
+        current = np.abs(levels[0]) ** 2
+        for _ in range(n_levels):
+            current = current.reshape(-1, 2).sum(axis=1)
+            levels.append(np.sqrt(current))
+        levels.reverse()
+        return levels
+
+    @staticmethod
+    def rotation_angles(tree: list[np.ndarray]) -> list[np.ndarray]:
+        """Per-level multiplexor angles ``θ = 2·atan2(value_right, value_left)``."""
+        angles: list[np.ndarray] = []
+        for level in range(1, len(tree)):
+            values = tree[level]
+            left = values[0::2]
+            right = values[1::2]
+            angles.append(2.0 * np.arctan2(right, left))
+        return angles
+
+    # ------------------------------------------------------------------ #
+    def build(self, vector) -> StatePreparationResult:
+        """Build the state-preparation circuit for ``vector``.
+
+        Raises
+        ------
+        StatePreparationError
+            If the vector has zero norm or a non power-of-two length.
+        """
+        vec = as_vector(vector, name="state vector")
+        if np.iscomplexobj(vec):
+            return self._build_complex(vec)
+        vec = vec.astype(np.float64)
+        n_qubits = self._validate(vec)
+        norm = float(np.linalg.norm(vec))
+        tree = self.tree_values(vec)
+        angle_levels = self.rotation_angles(tree)
+        circuit = QuantumCircuit(n_qubits, name="tree_state_prep")
+        for level, angles in enumerate(angle_levels):
+            self._append_multiplexor(circuit, angles, level)
+        flops = 4 * vec.shape[0]  # squaring, pairwise sums, square roots, atan2
+        return StatePreparationResult(circuit=circuit, norm=norm,
+                                      num_qubits=n_qubits, classical_flops=flops)
+
+    def _build_complex(self, vec: np.ndarray) -> StatePreparationResult:
+        n_qubits = self._validate(vec)
+        norm = float(np.linalg.norm(vec))
+        magnitudes = np.abs(vec)
+        phases = np.angle(vec)
+        magnitude_result = self.build(magnitudes)
+        circuit = magnitude_result.circuit
+        # global diagonal of phases applied on the full register as one block
+        diag = np.diag(np.exp(1j * phases)).astype(complex)
+        circuit.unitary(diag, qubits=list(range(n_qubits)), name="phase_diagonal")
+        flops = magnitude_result.classical_flops + 2 * vec.shape[0]
+        return StatePreparationResult(circuit=circuit, norm=norm,
+                                      num_qubits=n_qubits, classical_flops=flops)
+
+    # ------------------------------------------------------------------ #
+    def _validate(self, vec: np.ndarray) -> int:
+        try:
+            check_power_of_two(vec.shape[0], name="state vector length")
+        except Exception as exc:  # re-raise with the domain-specific type
+            raise StatePreparationError(str(exc)) from exc
+        if vec.shape[0] < 2:
+            raise StatePreparationError("state vector must have length >= 2")
+        norm = float(np.linalg.norm(vec))
+        if norm == 0.0 or not np.isfinite(norm):
+            raise StatePreparationError("cannot prepare a zero or non-finite vector")
+        return int(vec.shape[0]).bit_length() - 1
+
+    def _append_multiplexor(self, circuit: QuantumCircuit, angles: np.ndarray,
+                            level: int) -> None:
+        target = level
+        controls = list(range(level))
+        if not controls:
+            circuit.ry(float(angles[0]), target)
+            return
+        if self.decompose:
+            sub = multiplexed_ry_circuit(angles, controls=controls, target=target,
+                                         num_qubits=circuit.num_qubits)
+            circuit.compose(sub)
+        else:
+            matrix = multiplexor_matrix("ry", angles)
+            circuit.unitary(matrix, qubits=[*controls, target],
+                            name=f"ucry_l{level}")
+
+
+def prepare_state_circuit(vector, *, decompose: bool = False) -> StatePreparationResult:
+    """Convenience wrapper: build the tree state-preparation circuit for ``vector``."""
+    return TreeStatePreparation(decompose=decompose).build(vector)

@@ -1,0 +1,35 @@
+"""Small shared helpers (validation, RNG management, timing).
+
+These utilities are intentionally dependency-free (numpy only) and are used by
+every other sub-package; they never import from the rest of :mod:`repro` to
+avoid circular imports.
+"""
+
+from .validation import (
+    as_matrix,
+    as_vector,
+    check_power_of_two,
+    check_square,
+    check_system,
+    is_hermitian,
+    is_power_of_two,
+    is_unitary,
+    num_qubits_for_dimension,
+)
+from .rng import as_generator, spawn_generators
+from .timing import Timer
+
+__all__ = [
+    "as_matrix",
+    "as_vector",
+    "check_power_of_two",
+    "check_square",
+    "check_system",
+    "is_hermitian",
+    "is_power_of_two",
+    "is_unitary",
+    "num_qubits_for_dimension",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+]

@@ -1,0 +1,45 @@
+"""Random-number-generator helpers.
+
+Every stochastic routine of the library (matrix generators, shot sampling,
+VQLS initialisation, ...) accepts a ``rng`` argument that may be ``None``, an
+integer seed or an already constructed :class:`numpy.random.Generator`.  The
+helpers below normalise those inputs so results are reproducible whenever a
+seed is supplied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(rng=None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh non-deterministic generator), an ``int`` seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator which is
+        returned unchanged.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_generators(rng, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Useful to give each worker of a parameter sweep its own stream while the
+    sweep as a whole remains reproducible from a single seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = as_generator(rng)
+    seeds = parent.bit_generator.seed_seq.spawn(count) if hasattr(
+        parent.bit_generator, "seed_seq") and parent.bit_generator.seed_seq is not None else [
+        np.random.SeedSequence(int(parent.integers(0, 2**63 - 1))) for _ in range(count)
+    ]
+    return [np.random.default_rng(s) for s in seeds]

@@ -1,0 +1,115 @@
+"""Input validation helpers shared by the whole library.
+
+The quantum sub-packages work with matrices whose dimension is a power of two
+(``N = 2**n`` with ``n`` data qubits) and with unit-norm state vectors, so most
+of the checks gathered here are about shapes, power-of-two dimensions and
+basic structural properties (hermiticity, unitarity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionError
+
+__all__ = [
+    "as_matrix",
+    "as_vector",
+    "check_square",
+    "check_system",
+    "is_power_of_two",
+    "check_power_of_two",
+    "num_qubits_for_dimension",
+    "is_hermitian",
+    "is_unitary",
+]
+
+
+def as_matrix(a, *, dtype=None, name: str = "matrix") -> np.ndarray:
+    """Return ``a`` as a 2-D numpy array, raising :class:`DimensionError` otherwise.
+
+    Parameters
+    ----------
+    a:
+        Array-like object expected to be two-dimensional.
+    dtype:
+        Optional dtype passed to :func:`numpy.asarray`.
+    name:
+        Name used in error messages.
+    """
+    arr = np.asarray(a, dtype=dtype)
+    if arr.ndim != 2:
+        raise DimensionError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    return arr
+
+
+def as_vector(v, *, dtype=None, name: str = "vector") -> np.ndarray:
+    """Return ``v`` as a 1-D numpy array.
+
+    Column vectors of shape ``(N, 1)`` are flattened; anything else that is not
+    one-dimensional raises :class:`DimensionError`.
+    """
+    arr = np.asarray(v, dtype=dtype)
+    if arr.ndim == 2 and arr.shape[1] == 1:
+        arr = arr[:, 0]
+    if arr.ndim != 1:
+        raise DimensionError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def check_square(a, *, name: str = "matrix") -> np.ndarray:
+    """Validate that ``a`` is a square 2-D array and return it as ndarray."""
+    arr = as_matrix(a, name=name)
+    if arr.shape[0] != arr.shape[1]:
+        raise DimensionError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def check_system(a, b) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a linear system ``A x = b`` and return ``(A, b)`` as arrays.
+
+    ``A`` must be square and ``b`` must be a vector whose length matches the
+    number of rows of ``A``.
+    """
+    mat = check_square(a, name="A")
+    rhs = as_vector(b, name="b")
+    if rhs.shape[0] != mat.shape[0]:
+        raise DimensionError(
+            f"right-hand side has length {rhs.shape[0]} but A is {mat.shape[0]}x{mat.shape[1]}"
+        )
+    return mat, rhs
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` when ``n`` is a positive power of two (1, 2, 4, 8, ...)."""
+    return isinstance(n, (int, np.integer)) and n > 0 and (n & (n - 1)) == 0
+
+
+def check_power_of_two(n: int, *, name: str = "dimension") -> int:
+    """Raise :class:`DimensionError` unless ``n`` is a power of two."""
+    if not is_power_of_two(n):
+        raise DimensionError(f"{name} must be a power of two, got {n}")
+    return int(n)
+
+
+def num_qubits_for_dimension(n: int) -> int:
+    """Number of qubits needed to index ``n`` basis states (``n`` must be 2**k)."""
+    check_power_of_two(n)
+    return int(n).bit_length() - 1
+
+
+def is_hermitian(a, *, atol: float = 1e-12) -> bool:
+    """Return ``True`` when ``a`` equals its conjugate transpose within ``atol``."""
+    arr = as_matrix(a)
+    if arr.shape[0] != arr.shape[1]:
+        return False
+    return bool(np.allclose(arr, arr.conj().T, atol=atol))
+
+
+def is_unitary(a, *, atol: float = 1e-10) -> bool:
+    """Return ``True`` when ``a`` is unitary within ``atol``."""
+    arr = as_matrix(a)
+    if arr.shape[0] != arr.shape[1]:
+        return False
+    eye = np.eye(arr.shape[0])
+    return bool(np.allclose(arr @ arr.conj().T, eye, atol=atol))

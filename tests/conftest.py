@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (anything that solves QSP phase factors or prepares a
+circuit-level backend) are session-scoped so the cost is paid once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications import PoissonProblem, random_workload
+from repro.core import QSVTLinearSolver
+from repro.linalg import random_matrix_with_condition_number, random_rhs
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator for each test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def small_system(rng):
+    """A well-conditioned 4x4 system (matrix, rhs, exact solution)."""
+    matrix = random_matrix_with_condition_number(4, 5.0, rng=rng)
+    rhs = random_rhs(4, rng=rng)
+    return matrix, rhs, np.linalg.solve(matrix, rhs)
+
+
+@pytest.fixture()
+def medium_workload():
+    """The paper's Sec. IV setting: N = 16, κ = 10, seeded."""
+    return random_workload(16, 10.0, rng=7)
+
+
+@pytest.fixture()
+def poisson_problem():
+    """An 8-point 1-D Poisson problem (quantum-ready)."""
+    return PoissonProblem(8)
+
+
+@pytest.fixture(scope="session")
+def prepared_circuit_solver():
+    """A circuit-level QSVT solver prepared once for the whole session.
+
+    Small condition number and loose ε_l keep the polynomial degree low so the
+    phase-factor solve stays fast.
+    """
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=42)
+    return QSVTLinearSolver(matrix, epsilon_l=5e-2, backend="circuit")
+
+
+@pytest.fixture(scope="session")
+def prepared_ideal_solver():
+    """An ideal-polynomial-backend solver prepared once for the whole session."""
+    matrix = random_matrix_with_condition_number(16, 50.0, rng=43)
+    return QSVTLinearSolver(matrix, epsilon_l=1e-3, backend="ideal")

@@ -1,0 +1,112 @@
+"""Tests for the application workloads, the Poisson problem and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.applications import PoissonProblem, random_workload, workload_suite
+from repro.linalg import condition_number
+from repro.reporting import format_convergence_history, format_series, format_table
+
+
+class TestPoissonProblem:
+    def test_matrix_matches_eq7(self):
+        problem = PoissonProblem(8)
+        a = problem.matrix()
+        h = problem.step
+        assert a[0, 0] == pytest.approx(2.0 / h**2)
+        assert a[0, 1] == pytest.approx(-1.0 / h**2)
+
+    def test_reference_solution_solves_system(self):
+        problem = PoissonProblem(16)
+        a, b = problem.system()
+        x = problem.reference_solution()
+        np.testing.assert_allclose(a @ x, b, atol=1e-8 * np.linalg.norm(b))
+
+    def test_discrete_solution_close_to_continuous(self):
+        problem = PoissonProblem(32)
+        assert problem.discretization_error() < 1e-2
+
+    def test_discretization_error_decreases_with_resolution(self):
+        assert PoissonProblem(64).discretization_error() < PoissonProblem(8).discretization_error()
+
+    def test_condition_number_formula_close_to_exact(self):
+        problem = PoissonProblem(16)
+        assert problem.condition_number() == pytest.approx(
+            problem.condition_number(exact=True), rel=0.05)
+
+    def test_condition_number_grows_quadratically(self):
+        assert (PoissonProblem(32).condition_number()
+                / PoissonProblem(16).condition_number()) == pytest.approx(4.0, rel=0.15)
+
+    def test_quantum_readiness(self):
+        assert PoissonProblem(16).is_quantum_ready
+        assert PoissonProblem(16).num_qubits == 4
+        assert not PoissonProblem(12).is_quantum_ready
+        with pytest.raises(ValueError):
+            _ = PoissonProblem(12).num_qubits
+
+    def test_custom_forcing(self):
+        problem = PoissonProblem(8, forcing=lambda x: np.ones_like(x))
+        np.testing.assert_allclose(problem.right_hand_side(), 1.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PoissonProblem(0)
+
+
+class TestWorkloads:
+    def test_random_workload_consistency(self):
+        workload = random_workload(16, 10.0, rng=3)
+        assert workload.dimension == 16
+        np.testing.assert_allclose(workload.matrix @ workload.solution, workload.rhs,
+                                   atol=1e-10)
+        assert workload.measured_condition_number() == pytest.approx(10.0, rel=1e-6)
+        assert np.linalg.norm(workload.rhs) == pytest.approx(1.0)
+
+    def test_workload_reproducibility(self):
+        first = random_workload(8, 5.0, rng=9)
+        second = random_workload(8, 5.0, rng=9)
+        np.testing.assert_array_equal(first.matrix, second.matrix)
+
+    def test_suite_covers_requested_kappas(self):
+        suite = workload_suite(8, condition_numbers=(2.0, 20.0, 200.0), rng=1)
+        assert [w.condition_number for w in suite] == [2.0, 20.0, 200.0]
+        for workload in suite:
+            assert condition_number(workload.matrix) == pytest.approx(
+                workload.condition_number, rel=1e-6)
+
+    def test_custom_name(self):
+        assert random_workload(4, 2.0, rng=0, name="demo").name == "demo"
+
+
+class TestReporting:
+    def test_format_table_alignment_and_values(self):
+        rows = [{"method": "qsvt", "total": 1234.5678}, {"method": "ir", "total": 0.00012}]
+        text = format_table(rows, title="Costs")
+        assert text.startswith("Costs")
+        assert "qsvt" in text
+        assert "1.200e-04" in text          # small values switch to scientific notation
+        assert "1235" in text               # large values keep 4 significant digits
+
+    def test_format_table_empty(self):
+        assert format_table([], title="Nothing") == "Nothing"
+
+    def test_format_table_missing_keys(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_format_series(self):
+        text = format_series({"residual": [1e-1, 1e-3]}, x_values=[0, 1], x_label="iter")
+        assert "iter" in text and "1.0000e-01" in text
+
+    def test_format_series_empty(self):
+        assert "(empty series)" in format_series({})
+
+    def test_format_convergence_history(self):
+        text = format_convergence_history([1e-1, 1e-4, 1e-8], bound=[1e-1, 1e-2, 1e-3],
+                                          title="run")
+        assert "run" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3
+        # the sparkline grows as the residual decreases
+        assert lines[-1].count("#") > lines[2].count("#")

@@ -1,0 +1,113 @@
+"""Tests for the HHL, VQLS and classical direct-solver baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClassicalDirectSolver,
+    HHLSolver,
+    VQLSSolver,
+    classical_solve,
+    hhl_with_refinement,
+)
+from repro.exceptions import BackendError
+from repro.linalg import random_matrix_with_condition_number, random_rhs, random_spd_matrix
+
+
+class TestClassicalDirect:
+    def test_double_precision_solve(self, medium_workload):
+        x = classical_solve(medium_workload.matrix, medium_workload.rhs)
+        np.testing.assert_allclose(x, medium_workload.solution, atol=1e-10)
+
+    def test_single_precision_larger_error(self, medium_workload):
+        solver64 = ClassicalDirectSolver(medium_workload.matrix, precision="fp64")
+        solver32 = ClassicalDirectSolver(medium_workload.matrix, precision="fp32")
+        rec64 = solver64.solve(medium_workload.rhs)
+        rec32 = solver32.solve(medium_workload.rhs)
+        assert rec32.scaled_residual > rec64.scaled_residual
+        assert solver32.describe()["precision"] == "fp32"
+
+
+class TestHHL:
+    def test_spd_system_accuracy(self, rng):
+        matrix = random_spd_matrix(8, 5.0, rng=rng)
+        rhs = random_rhs(8, rng=rng)
+        solver = HHLSolver(matrix, clock_qubits=10)
+        record = solver.solve(rhs)
+        assert record.scaled_residual < 5e-2
+        assert 0 < record.success_probability <= 1.0
+
+    def test_non_hermitian_handled_through_dilation(self, medium_workload):
+        solver = HHLSolver(medium_workload.matrix, clock_qubits=10)
+        assert not solver.hermitian
+        record = solver.solve(medium_workload.rhs)
+        assert record.scaled_residual < 0.1
+
+    def test_accuracy_improves_with_clock_qubits(self, rng):
+        matrix = random_spd_matrix(8, 8.0, rng=rng)
+        rhs = random_rhs(8, rng=rng)
+        coarse = HHLSolver(matrix, clock_qubits=6).solve(rhs).scaled_residual
+        fine = HHLSolver(matrix, clock_qubits=12).solve(rhs).scaled_residual
+        assert fine < coarse
+
+    def test_epsilon_l_estimate_decreases_with_clock_qubits(self, rng):
+        matrix = random_spd_matrix(4, 4.0, rng=rng)
+        assert (HHLSolver(matrix, clock_qubits=12).epsilon_l
+                < HHLSolver(matrix, clock_qubits=6).epsilon_l)
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(BackendError):
+            HHLSolver(np.diag([1.0, 0.0]))
+
+    def test_too_few_clock_qubits_rejected(self, rng):
+        with pytest.raises(BackendError):
+            HHLSolver(random_spd_matrix(4, 2.0, rng=rng), clock_qubits=1)
+
+    def test_zero_rhs_rejected(self, rng):
+        solver = HHLSolver(random_spd_matrix(4, 2.0, rng=rng))
+        with pytest.raises(BackendError):
+            solver.solve(np.zeros(4))
+
+    def test_hhl_with_refinement_converges(self, rng):
+        matrix = random_matrix_with_condition_number(8, 6.0, rng=rng)
+        rhs = random_rhs(8, rng=rng)
+        result = hhl_with_refinement(matrix, rhs, clock_qubits=10, target_accuracy=1e-9)
+        assert result.converged
+        assert result.scaled_residuals[-1] <= 1e-9
+        assert result.solver_info["backend"] == "hhl"
+
+
+class TestVQLS:
+    def test_small_system_reaches_moderate_accuracy(self):
+        matrix = random_matrix_with_condition_number(4, 2.0, rng=10)
+        rhs = random_rhs(4, rng=10)
+        solver = VQLSSolver(matrix, layers=3, max_evaluations=4000, rng=0)
+        result = solver.run(rhs)
+        assert result.cost < 5e-2
+        record = solver.solve(rhs)
+        assert record.scaled_residual < 0.5
+
+    def test_parameter_count(self):
+        solver = VQLSSolver(np.eye(8), layers=2)
+        assert solver.num_parameters == (2 + 1) * 3
+
+    def test_ansatz_state_is_normalised(self, rng):
+        solver = VQLSSolver(np.eye(4), layers=1, rng=0)
+        params = rng.uniform(-np.pi, np.pi, solver.num_parameters)
+        assert np.linalg.norm(solver.ansatz_state(params)) == pytest.approx(1.0)
+
+    def test_cost_zero_for_exact_direction(self):
+        # with A = I the cost vanishes when the ansatz prepares |b> itself
+        solver = VQLSSolver(np.eye(2), layers=0, rng=0)
+        b = np.array([np.cos(0.3), np.sin(0.3)])
+        cost = solver.cost(np.array([2 * 0.3]), b)
+        assert cost == pytest.approx(0.0, abs=1e-12)
+
+    def test_parameter_length_validation(self):
+        solver = VQLSSolver(np.eye(4), layers=1)
+        with pytest.raises(Exception):
+            solver.ansatz_circuit(np.zeros(3))
+
+    def test_describe(self):
+        info = VQLSSolver(np.eye(4), layers=2).describe()
+        assert info["backend"] == "vqls" and info["layers"] == 2

@@ -1,0 +1,167 @@
+"""Tests for the convergence theory (Theorem III.1) and the cost models (Tables I-II)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CommunicationTrace,
+    block_encoding_calls_per_solve,
+    contraction_factor,
+    is_convergent,
+    iteration_bound,
+    poisson_complexity_table,
+    poisson_tgate_estimate,
+    predicted_scaled_residuals,
+    qsvt_only_quantum_cost,
+    quantum_cost_table,
+    refinement_quantum_cost,
+    samples_for_accuracy,
+)
+from repro.core.convergence import limiting_accuracy
+
+
+class TestTheoremIII1:
+    def test_contraction_factor(self):
+        assert contraction_factor(1e-3, 100.0) == pytest.approx(0.1)
+
+    def test_convergence_condition(self):
+        assert is_convergent(1e-3, 100.0)
+        assert not is_convergent(1e-1, 100.0)
+
+    def test_iteration_bound_formula(self):
+        # ε = 1e-12, ε_l κ = 1e-2  ->  ceil(12/2) = 6
+        assert iteration_bound(1e-12, 1e-4, 100.0) == 6
+
+    def test_iteration_bound_divergent_raises(self):
+        with pytest.raises(ValueError):
+            iteration_bound(1e-10, 0.5, 10.0)
+
+    def test_iteration_bound_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            iteration_bound(2.0, 1e-3, 10.0)
+
+    def test_predicted_residuals_geometric(self):
+        residuals = predicted_scaled_residuals(3, 1e-2, 10.0)
+        np.testing.assert_allclose(residuals, [1e-1, 1e-2, 1e-3, 1e-4])
+
+    def test_limiting_accuracy_scales_with_u_and_kappa(self):
+        assert limiting_accuracy(1e-16, 100.0) == pytest.approx(4e-14)
+
+    @given(st.floats(min_value=1e-8, max_value=1e-2),
+           st.floats(min_value=1.0, max_value=1e3),
+           st.floats(min_value=1e-14, max_value=1e-4))
+    @settings(max_examples=100, deadline=None)
+    def test_property_bound_is_sufficient(self, epsilon_l, kappa, epsilon):
+        """Running exactly the bound's number of iterations reaches ε."""
+        rho = epsilon_l * kappa
+        if rho >= 0.99 or epsilon >= 1.0:
+            return
+        bound = iteration_bound(epsilon, epsilon_l, kappa)
+        assert rho ** (bound + 1) <= epsilon * (1 + 1e-9)
+        # and one fewer iteration would (in the worst case) not be enough
+        if bound >= 1:
+            assert rho**bound > epsilon * (1 - 1e-9) or rho ** (bound) <= epsilon
+
+
+class TestTableI:
+    def test_samples_quadratic_in_accuracy(self):
+        assert samples_for_accuracy(1e-2) == 1e4
+        assert samples_for_accuracy(1e-5) == 1e10
+
+    def test_block_encoding_calls_monotone_in_kappa(self):
+        assert (block_encoding_calls_per_solve(100.0, 1e-2)
+                > block_encoding_calls_per_solve(2.0, 1e-2))
+
+    def test_asymptotic_variant(self):
+        value = block_encoding_calls_per_solve(10.0, 1e-2, concrete=False)
+        assert value == pytest.approx(10.0 * np.log(10.0 / 5e-4))
+
+    def test_refinement_beats_direct_when_epsilon_small(self):
+        kappa, epsilon, epsilon_l = 10.0, 1e-10, 1e-2
+        assert (refinement_quantum_cost(kappa, epsilon, epsilon_l)
+                < qsvt_only_quantum_cost(kappa, epsilon))
+
+    def test_costs_coincide_at_epsilon_equal_epsilon_l(self):
+        kappa, epsilon = 5.0, 1e-3
+        direct = qsvt_only_quantum_cost(kappa, epsilon)
+        refined = refinement_quantum_cost(kappa, epsilon, epsilon, num_solves=1)
+        assert refined == pytest.approx(direct)
+
+    def test_quantum_cost_table_rows(self):
+        direct, refined = quantum_cost_table(10.0, 1e-10, 1e-2)
+        assert direct.num_solves == 1
+        assert refined.num_solves >= 2
+        assert direct.total > refined.total
+        row = refined.as_row()
+        assert set(row) == {"method", "# solves", "BE calls / solve",
+                            "# samples / solve", "total"}
+
+    def test_measured_solve_count_override(self):
+        _, refined = quantum_cost_table(10.0, 1e-10, 1e-2, num_solves=3)
+        assert refined.num_solves == 3
+
+
+class TestTableII:
+    def test_rows_structure(self):
+        rows = poisson_complexity_table(4, epsilon=1e-10, epsilon_l=1e-2)
+        assert len(rows) == 8        # 4 tasks x 2 phases
+        tasks = {row["task"] for row in rows}
+        assert any("state preparation" in t for t in tasks)
+        assert any("block-encoding" in t for t in tasks)
+
+    def test_first_phase_has_classical_phase_cost(self):
+        rows = poisson_complexity_table(4, epsilon=1e-10, epsilon_l=1e-2)
+        qsvt_rows = {row["phase"]: row for row in rows if row["task"].startswith("QSVT")}
+        assert qsvt_rows["first"]["classical_estimate"] > 0
+        assert qsvt_rows["iteration"]["classical_estimate"] == 0
+
+    def test_quantum_estimate_grows_with_problem_size(self):
+        small = poisson_complexity_table(3, epsilon=1e-8, epsilon_l=1e-2)
+        large = poisson_complexity_table(6, epsilon=1e-8, epsilon_l=1e-2)
+        be_small = next(r for r in small if r["task"].startswith("block"))
+        be_large = next(r for r in large if r["task"].startswith("block"))
+        assert be_large["quantum_estimate"] > be_small["quantum_estimate"]
+
+    def test_tgate_estimate_fields_and_scaling(self):
+        estimate = poisson_tgate_estimate(3, epsilon_l=5e-2)
+        assert estimate["t_count_per_solve"] > 0
+        doubled = poisson_tgate_estimate(3, epsilon_l=5e-2, num_solves=2)
+        assert doubled["t_count_total"] == pytest.approx(2 * estimate["t_count_per_solve"])
+
+
+class TestCommunicationTrace:
+    def test_event_recording_and_totals(self):
+        trace = CommunicationTrace()
+        trace.add_circuit_upload(0, "BE(A†)", 100)
+        trace.add_vector_upload(0, "Φ", 50)
+        trace.add_solution_download(0, "x_0", 16)
+        trace.add_circuit_upload(1, "SP(r_1)", 16)
+        trace.add_solution_download(1, "x_1", 16)
+        assert trace.total_bytes("cpu->qpu") == pytest.approx(100 * 16 + 50 * 8 + 16 * 16)
+        assert trace.total_bytes("qpu->cpu") == pytest.approx(2 * 16 * 8)
+        assert trace.per_step_bytes()[1] == pytest.approx(16 * 16 + 16 * 8)
+
+    def test_setup_fraction_decreases_with_iterations(self):
+        trace = CommunicationTrace()
+        trace.add_circuit_upload(0, "BE", 1000)
+        fraction_initial = trace.setup_fraction()
+        for i in range(1, 5):
+            trace.add_circuit_upload(i, f"SP(r_{i})", 10)
+        assert fraction_initial == 1.0
+        assert trace.setup_fraction() < 1.0
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            CommunicationTrace().add(0, "sideways", "x", 1.0)
+
+    def test_render_contains_events_and_totals(self):
+        trace = CommunicationTrace()
+        trace.add_circuit_upload(0, "BE(A†)", 10)
+        trace.add_solution_download(0, "x_0", 4)
+        text = trace.render()
+        assert "BE(A†)" in text and "x_0" in text and "setup fraction" in text
+
+    def test_empty_trace(self):
+        assert CommunicationTrace().setup_fraction() == 0.0

@@ -1,0 +1,115 @@
+"""Tests for the read-out models and the de-normalisation of Remark 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SamplingModel, brent_minimize, recover_scale
+from repro.linalg import random_matrix_with_condition_number
+
+
+class TestSamplingModel:
+    def test_exact_mode_is_identity_up_to_normalisation(self, rng):
+        model = SamplingModel(mode="exact")
+        vec = rng.standard_normal(8)
+        out = model.read_out(vec)
+        np.testing.assert_allclose(out, vec / np.linalg.norm(vec))
+        assert model.shots_used() == 0
+        assert model.is_exact
+
+    def test_gaussian_error_scales_with_shots(self, rng):
+        vec = rng.standard_normal(16)
+        vec /= np.linalg.norm(vec)
+        errors = []
+        for shots in (100, 1_000_000):
+            model = SamplingModel(mode="gaussian", shots=shots, rng=3)
+            errors.append(np.linalg.norm(model.read_out(vec) - vec))
+        assert errors[1] < errors[0]
+
+    def test_multinomial_output_is_unit_norm(self, rng):
+        model = SamplingModel(mode="multinomial", shots=5000, rng=1)
+        vec = rng.standard_normal(8)
+        out = model.read_out(vec)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_multinomial_preserves_signs(self):
+        vec = np.array([0.7, -0.7, 0.1, -0.1])
+        model = SamplingModel(mode="multinomial", shots=20_000, rng=2)
+        out = model.read_out(vec)
+        assert np.all(np.sign(out[np.abs(out) > 1e-6]) == np.sign(vec[np.abs(out) > 1e-6]))
+
+    def test_invalid_mode_and_shots(self):
+        with pytest.raises(ValueError):
+            SamplingModel(mode="bogus")
+        with pytest.raises(ValueError):
+            SamplingModel(mode="gaussian", shots=0)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            SamplingModel().read_out(np.zeros(4))
+
+    def test_shots_for_accuracy(self):
+        assert SamplingModel.shots_for_accuracy(1e-2) == 10_000
+        assert SamplingModel.shots_for_accuracy(1e-3, constant=2.0) == 2_000_000
+        with pytest.raises(ValueError):
+            SamplingModel.shots_for_accuracy(0.0)
+
+
+class TestBrentMinimize:
+    def test_quadratic(self):
+        assert brent_minimize(lambda x: (x - 3.2) ** 2, (-10, 10)) == pytest.approx(3.2, abs=1e-8)
+
+    def test_asymmetric_function(self):
+        result = brent_minimize(lambda x: abs(x - 1.5) + 0.1 * (x - 1.5) ** 2, (0, 4))
+        assert result == pytest.approx(1.5, abs=1e-6)
+
+    def test_reversed_bracket(self):
+        assert brent_minimize(lambda x: (x + 1) ** 2, (5, -5)) == pytest.approx(-1.0, abs=1e-8)
+
+    @given(st.floats(min_value=-5, max_value=5), st.floats(min_value=0.1, max_value=3))
+    @settings(max_examples=50, deadline=None)
+    def test_property_quadratic_minimum(self, center, curvature):
+        found = brent_minimize(lambda x: curvature * (x - center) ** 2, (-10, 10),
+                               tolerance=1e-12)
+        assert found == pytest.approx(center, abs=1e-6)
+
+
+class TestRecoverScale:
+    def test_exact_direction_recovers_norm(self, rng):
+        a = random_matrix_with_condition_number(8, 5.0, rng=rng)
+        x = rng.standard_normal(8)
+        b = a @ x
+        eta = x / np.linalg.norm(x)
+        mu = recover_scale(a, eta, b)
+        assert mu == pytest.approx(np.linalg.norm(x), rel=1e-12)
+
+    def test_brent_matches_analytic(self, rng):
+        a = random_matrix_with_condition_number(8, 5.0, rng=rng)
+        eta = rng.standard_normal(8)
+        eta /= np.linalg.norm(eta)
+        b = rng.standard_normal(8)
+        analytic = recover_scale(a, eta, b, method="analytic")
+        brent = recover_scale(a, eta, b, method="brent")
+        assert brent == pytest.approx(analytic, abs=1e-6)
+
+    def test_negative_scale_allowed(self, rng):
+        a = np.eye(4)
+        x = rng.standard_normal(4)
+        eta = -x / np.linalg.norm(x)
+        mu = recover_scale(a, eta, x)
+        assert mu == pytest.approx(-np.linalg.norm(x))
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            recover_scale(np.eye(2), [1.0, 0.0], [1.0, 0.0], method="newton")
+
+    def test_minimises_residual(self, rng):
+        a = random_matrix_with_condition_number(6, 10.0, rng=rng)
+        eta = rng.standard_normal(6)
+        eta /= np.linalg.norm(eta)
+        b = rng.standard_normal(6)
+        mu = recover_scale(a, eta, b)
+        best = np.linalg.norm(b - mu * (a @ eta))
+        for delta in (-1e-3, 1e-3):
+            assert np.linalg.norm(b - (mu + delta) * (a @ eta)) >= best

@@ -1,0 +1,120 @@
+"""Integration tests exercising the full pipeline end to end.
+
+These tests reproduce, at reduced scale, the behaviours reported in Sec. IV of
+the paper: geometric contraction of the scaled residual (Fig. 3/4), agreement
+between the circuit-level and ideal-polynomial backends, and the cost
+advantage of refinement over a direct high-accuracy QSVT solve (Fig. 5 /
+Table I).
+"""
+
+import numpy as np
+import pytest
+
+from repro.applications import PoissonProblem, random_workload
+from repro.core import (
+    IdealPolynomialBackend,
+    MixedPrecisionRefinement,
+    QSVTLinearSolver,
+    iteration_bound,
+    qsvt_only_quantum_cost,
+    samples_for_accuracy,
+)
+from repro.linalg import scaled_residual
+
+
+class TestCircuitLevelRefinement:
+    """Full Algorithm 2 with the faithful circuit backend (small instance)."""
+
+    def test_convergence_and_bound(self, prepared_circuit_solver):
+        matrix = prepared_circuit_solver.matrix
+        rng = np.random.default_rng(0)
+        rhs = rng.standard_normal(8)
+        rhs /= np.linalg.norm(rhs)
+        x_true = np.linalg.solve(matrix, rhs)
+        driver = MixedPrecisionRefinement(prepared_circuit_solver, target_accuracy=1e-10)
+        result = driver.solve(rhs, x_true=x_true)
+        assert result.converged
+        assert result.iterations <= result.iteration_bound
+        assert result.scaled_residuals[-1] <= 1e-10
+        # Eq. (5): the forward error is within κ of the scaled residual
+        assert result.forward_errors[-1] <= result.kappa * result.scaled_residuals[-1] * 10
+
+    def test_monotone_residual_history(self, prepared_circuit_solver):
+        rng = np.random.default_rng(1)
+        rhs = rng.standard_normal(8)
+        result = MixedPrecisionRefinement(prepared_circuit_solver,
+                                          target_accuracy=1e-9).solve(rhs)
+        residuals = result.scaled_residuals
+        assert np.all(np.diff(residuals) < 0)
+
+
+class TestBackendAgreement:
+    """Circuit-level and ideal-polynomial backends must agree (substitution check)."""
+
+    def test_single_solve_directions_match(self, prepared_circuit_solver):
+        matrix = prepared_circuit_solver.matrix
+        ideal = IdealPolynomialBackend(calibrate_polynomial=False)
+        ideal.prepare(matrix, epsilon_l=prepared_circuit_solver.epsilon_l,
+                      kappa=prepared_circuit_solver.kappa)
+        rng = np.random.default_rng(2)
+        rhs = rng.standard_normal(8)
+        circuit_direction = prepared_circuit_solver.backend.apply_inverse(rhs).direction
+        ideal_direction = ideal.apply_inverse(rhs).direction
+        # both approximate the exact direction; they agree to the solve accuracy
+        assert np.linalg.norm(np.abs(circuit_direction) - np.abs(ideal_direction)) < 5e-2
+
+
+class TestRefinementBeatsDirectSolve:
+    """The headline claim of Table I / Fig. 5 at a concrete operating point."""
+
+    def test_block_encoding_call_advantage(self, medium_workload):
+        epsilon, epsilon_l = 1e-10, 1e-2
+        kappa = medium_workload.condition_number
+        solver = QSVTLinearSolver(medium_workload.matrix, epsilon_l=epsilon_l,
+                                  backend="ideal")
+        result = MixedPrecisionRefinement(solver, target_accuracy=epsilon).solve(
+            medium_workload.rhs)
+        assert result.converged
+        # measured cost of the refined run: BE calls x samples at ε_l accuracy
+        measured = result.total_block_encoding_calls * samples_for_accuracy(epsilon_l)
+        direct = qsvt_only_quantum_cost(kappa, epsilon)
+        assert measured < direct
+
+    def test_iteration_count_close_to_bound_prediction(self, medium_workload):
+        epsilon, epsilon_l = 1e-11, 1e-3
+        bound = iteration_bound(epsilon, epsilon_l, medium_workload.condition_number)
+        solver = QSVTLinearSolver(medium_workload.matrix, epsilon_l=epsilon_l,
+                                  backend="ideal")
+        result = MixedPrecisionRefinement(solver, target_accuracy=epsilon,
+                                          epsilon_l=epsilon_l).solve(medium_workload.rhs)
+        assert result.converged
+        assert result.iterations <= bound
+
+
+class TestLargeConditionNumbers:
+    """Fig. 4 regime: κ of a few hundred through the ideal backend."""
+
+    @pytest.mark.parametrize("kappa", [100.0, 300.0])
+    def test_convergence(self, kappa):
+        workload = random_workload(16, kappa, rng=17)
+        solver = QSVTLinearSolver(workload.matrix, epsilon_l=1e-3 / (kappa / 100.0),
+                                  backend="ideal")
+        result = MixedPrecisionRefinement(solver, target_accuracy=1e-10).solve(
+            workload.rhs, x_true=workload.solution)
+        assert result.converged
+        assert result.forward_errors[-1] < 1e-7
+
+
+class TestPoissonEndToEnd:
+    """Sec. III-C4 use case: solve the Poisson system with the hybrid solver."""
+
+    def test_quantum_solution_matches_thomas(self):
+        problem = PoissonProblem(16)
+        matrix, rhs = problem.system()
+        reference = problem.reference_solution()
+        solver = QSVTLinearSolver(matrix, epsilon_l=1e-3, backend="ideal")
+        result = MixedPrecisionRefinement(solver, target_accuracy=1e-9).solve(rhs)
+        assert result.converged
+        rel = np.linalg.norm(result.x - reference) / np.linalg.norm(reference)
+        assert rel < 1e-6
+        assert scaled_residual(matrix, result.x, rhs) <= 1e-9

@@ -1,0 +1,115 @@
+"""Unit and property tests for repro.linalg.generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError
+from repro.linalg import (
+    condition_number,
+    poisson_1d_matrix,
+    poisson_2d_matrix,
+    random_matrix_with_condition_number,
+    random_rhs,
+    random_spd_matrix,
+    random_unitary,
+    tridiagonal_toeplitz,
+)
+
+
+class TestRandomUnitary:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16])
+    def test_orthogonal(self, n):
+        q = random_unitary(n, rng=0)
+        np.testing.assert_allclose(q @ q.T, np.eye(n), atol=1e-12)
+
+    def test_complex_unitary(self):
+        q = random_unitary(6, rng=1, complex_valued=True)
+        np.testing.assert_allclose(q @ q.conj().T, np.eye(6), atol=1e-12)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(random_unitary(4, rng=3), random_unitary(4, rng=3))
+
+
+class TestPrescribedConditionNumber:
+    @pytest.mark.parametrize("kappa", [1.0, 2.0, 10.0, 1e3, 1e6])
+    def test_condition_number_is_exact(self, kappa):
+        a = random_matrix_with_condition_number(16, kappa, rng=0)
+        assert condition_number(a) == pytest.approx(kappa, rel=1e-8)
+
+    def test_spectral_norm_is_one(self):
+        a = random_matrix_with_condition_number(8, 100.0, rng=1)
+        assert np.linalg.norm(a, 2) == pytest.approx(1.0, rel=1e-10)
+
+    def test_symmetric_option_gives_spd(self):
+        a = random_spd_matrix(8, 50.0, rng=2)
+        np.testing.assert_allclose(a, a.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    @pytest.mark.parametrize("distribution", ["logarithmic", "linear", "cluster"])
+    def test_distributions(self, distribution):
+        a = random_matrix_with_condition_number(8, 20.0, rng=3, distribution=distribution)
+        assert condition_number(a) == pytest.approx(20.0, rel=1e-8)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            random_matrix_with_condition_number(4, 2.0, distribution="bogus")
+
+    def test_kappa_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            random_matrix_with_condition_number(4, 0.5)
+
+    def test_dimension_one(self):
+        a = random_matrix_with_condition_number(1, 1.0, rng=0)
+        assert a.shape == (1, 1)
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.floats(min_value=1.0, max_value=1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_property_condition_number(self, n, kappa):
+        a = random_matrix_with_condition_number(n, kappa, rng=0)
+        assert condition_number(a) == pytest.approx(kappa, rel=1e-6)
+
+
+class TestRhs:
+    def test_normalized(self):
+        b = random_rhs(32, rng=0)
+        assert np.linalg.norm(b) == pytest.approx(1.0)
+
+    def test_unnormalized(self):
+        b = random_rhs(32, rng=0, normalized=False)
+        assert np.linalg.norm(b) != pytest.approx(1.0)
+
+
+class TestStructuredMatrices:
+    def test_tridiagonal_structure(self):
+        a = tridiagonal_toeplitz(5, 2.0, -1.0)
+        assert np.all(np.diag(a) == 2.0)
+        assert np.all(np.diag(a, 1) == -1.0)
+        assert np.all(np.diag(a, 2) == 0.0)
+
+    def test_tridiagonal_rejects_empty(self):
+        with pytest.raises(DimensionError):
+            tridiagonal_toeplitz(0, 2.0, -1.0)
+
+    def test_poisson_unscaled_matches_stencil(self):
+        a = poisson_1d_matrix(4, scaled=False)
+        np.testing.assert_array_equal(a, tridiagonal_toeplitz(4, 2.0, -1.0))
+
+    def test_poisson_scaling(self):
+        n = 7
+        a = poisson_1d_matrix(n, scaled=True)
+        h = 1.0 / (n + 1)
+        np.testing.assert_allclose(a * h**2, tridiagonal_toeplitz(n, 2.0, -1.0))
+
+    def test_poisson_condition_number_grows_quadratically(self):
+        k8 = condition_number(poisson_1d_matrix(8, scaled=False))
+        k16 = condition_number(poisson_1d_matrix(16, scaled=False))
+        assert k16 / k8 == pytest.approx(4.0, rel=0.3)
+
+    def test_poisson_2d_dimension_and_symmetry(self):
+        a = poisson_2d_matrix(4)
+        assert a.shape == (16, 16)
+        np.testing.assert_array_equal(a, a.T)
+        assert np.all(np.diag(a) == 4.0)

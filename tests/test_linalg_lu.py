@@ -1,0 +1,140 @@
+"""Unit and property tests for LU, triangular solves, QR and Cholesky."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SingularMatrixError
+from repro.linalg import (
+    cholesky_factor,
+    cholesky_solve,
+    householder_qr,
+    lu_factor,
+    lu_solve,
+    random_matrix_with_condition_number,
+    random_spd_matrix,
+    solve_least_squares,
+    solve_lower_triangular,
+    solve_upper_triangular,
+)
+
+
+class TestTriangularSolves:
+    def test_lower(self, rng):
+        l = np.tril(rng.standard_normal((6, 6))) + 3 * np.eye(6)
+        b = rng.standard_normal(6)
+        np.testing.assert_allclose(l @ solve_lower_triangular(l, b), b, atol=1e-10)
+
+    def test_upper(self, rng):
+        u = np.triu(rng.standard_normal((6, 6))) + 3 * np.eye(6)
+        b = rng.standard_normal(6)
+        np.testing.assert_allclose(u @ solve_upper_triangular(u, b), b, atol=1e-10)
+
+    def test_unit_diagonal(self, rng):
+        l = np.tril(rng.standard_normal((5, 5)), -1) + np.eye(5)
+        b = rng.standard_normal(5)
+        x = solve_lower_triangular(l, b, unit_diagonal=True)
+        np.testing.assert_allclose(l @ x, b, atol=1e-12)
+
+    def test_zero_diagonal_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve_upper_triangular(np.array([[0.0, 1.0], [0.0, 1.0]]), [1.0, 1.0])
+
+    def test_low_precision_solve_less_accurate(self, rng):
+        u = np.triu(rng.standard_normal((8, 8))) + 4 * np.eye(8)
+        b = rng.standard_normal(8)
+        exact = solve_upper_triangular(u, b)
+        low = solve_upper_triangular(u, b, precision="fp16")
+        err = np.linalg.norm(exact - low) / np.linalg.norm(exact)
+        assert 0 < err < 1e-1
+
+
+class TestLU:
+    def test_reconstruction(self, rng):
+        a = rng.standard_normal((8, 8))
+        np.testing.assert_allclose(lu_factor(a).reconstruct(), a, atol=1e-12)
+
+    def test_solve_matches_numpy(self, rng):
+        a = rng.standard_normal((10, 10)) + 10 * np.eye(10)
+        b = rng.standard_normal(10)
+        np.testing.assert_allclose(lu_solve(a, b), np.linalg.solve(a, b), atol=1e-9)
+
+    def test_factors_are_triangular(self, rng):
+        f = lu_factor(rng.standard_normal((7, 7)))
+        np.testing.assert_allclose(f.lower, np.tril(f.lower))
+        np.testing.assert_allclose(f.upper, np.triu(f.upper))
+        np.testing.assert_allclose(np.diag(f.lower), np.ones(7))
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        np.testing.assert_allclose(lu_solve(a, [2.0, 3.0]), [3.0, 2.0])
+
+    def test_singular_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            lu_factor(np.ones((3, 3)))
+
+    def test_no_pivot_on_dominant_matrix(self, rng):
+        a = rng.standard_normal((5, 5)) + 10 * np.eye(5)
+        f = lu_factor(a, pivot=False)
+        np.testing.assert_allclose(f.reconstruct(), a, atol=1e-10)
+
+    def test_low_precision_error_magnitude(self, rng):
+        a = random_matrix_with_condition_number(16, 10.0, rng=rng)
+        b = rng.standard_normal(16)
+        exact = np.linalg.solve(a, b)
+        x_single = lu_solve(a, b, precision="fp32")
+        rel = np.linalg.norm(x_single - exact) / np.linalg.norm(exact)
+        assert 1e-9 < rel < 1e-4   # roughly u_l * kappa
+
+    def test_solve_reuses_factors_for_multiple_rhs(self, rng):
+        a = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        f = lu_factor(a)
+        for _ in range(3):
+            b = rng.standard_normal(6)
+            np.testing.assert_allclose(a @ f.solve(b), b, atol=1e-9)
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_property_identity_solve(self, n):
+        f = lu_factor(np.eye(n))
+        b = np.arange(1.0, n + 1)
+        np.testing.assert_allclose(f.solve(b), b)
+
+
+class TestQR:
+    def test_orthogonality_and_reconstruction(self, rng):
+        a = rng.standard_normal((8, 5))
+        q, r = householder_qr(a)
+        np.testing.assert_allclose(q @ q.T, np.eye(8), atol=1e-12)
+        np.testing.assert_allclose(q @ r, a, atol=1e-12)
+        np.testing.assert_allclose(r[5:], 0.0, atol=1e-12)
+
+    def test_least_squares_matches_lstsq(self, rng):
+        a = rng.standard_normal((10, 4))
+        b = rng.standard_normal(10)
+        expected = np.linalg.lstsq(a, b, rcond=None)[0]
+        np.testing.assert_allclose(solve_least_squares(a, b), expected, atol=1e-10)
+
+    def test_square_system(self, rng):
+        a = rng.standard_normal((6, 6)) + 4 * np.eye(6)
+        b = rng.standard_normal(6)
+        np.testing.assert_allclose(solve_least_squares(a, b), np.linalg.solve(a, b),
+                                   atol=1e-9)
+
+
+class TestCholesky:
+    def test_factor_reconstruction(self):
+        a = random_spd_matrix(10, 30.0, rng=4)
+        l = cholesky_factor(a)
+        np.testing.assert_allclose(l @ l.T, a, atol=1e-10)
+        np.testing.assert_allclose(l, np.tril(l))
+
+    def test_solve(self, rng):
+        a = random_spd_matrix(8, 10.0, rng=5)
+        b = rng.standard_normal(8)
+        np.testing.assert_allclose(cholesky_solve(a, b), np.linalg.solve(a, b), atol=1e-9)
+
+    def test_indefinite_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            cholesky_factor(np.array([[1.0, 2.0], [2.0, 1.0]]))

@@ -1,0 +1,163 @@
+"""Tests for norms, condition estimation, iterative methods and Thomas solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConvergenceError, DimensionError
+from repro.linalg import (
+    condition_number,
+    conjugate_gradient,
+    estimate_condition_number,
+    estimate_spectral_norm,
+    forward_error,
+    jacobi,
+    poisson_1d_matrix,
+    power_iteration,
+    random_matrix_with_condition_number,
+    random_spd_matrix,
+    relative_forward_error,
+    scaled_residual,
+    spectral_norm,
+    thomas_solve,
+)
+
+
+class TestNorms:
+    def test_scaled_residual_zero_for_exact(self, rng):
+        a = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+        x = rng.standard_normal(5)
+        assert scaled_residual(a, x, a @ x) <= 1e-14
+
+    def test_scaled_residual_invariant_under_scaling(self, rng):
+        a = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+        x = rng.standard_normal(5)
+        b = rng.standard_normal(5)
+        omega = scaled_residual(a, x, b)
+        assert scaled_residual(7.3 * a, x, 7.3 * b) == pytest.approx(omega)
+
+    def test_scaled_residual_rejects_zero_rhs(self):
+        with pytest.raises(ZeroDivisionError):
+            scaled_residual(np.eye(2), [1.0, 1.0], [0.0, 0.0])
+
+    def test_forward_errors(self):
+        assert forward_error([1.0, 0.0], [0.0, 0.0]) == pytest.approx(1.0)
+        assert relative_forward_error([2.0, 0.0], [1.0, 0.0]) == pytest.approx(0.5)
+
+    def test_spectral_norm(self):
+        assert spectral_norm(np.diag([3.0, -7.0])) == pytest.approx(7.0)
+
+    def test_equation_5_bounds(self, rng):
+        """ω/κ <= relative forward error <= κ ω (Eq. 5 of the paper)."""
+        a = random_matrix_with_condition_number(8, 20.0, rng=rng)
+        x_true = rng.standard_normal(8)
+        b = a @ x_true
+        x_approx = x_true + 1e-6 * rng.standard_normal(8)
+        omega = scaled_residual(a, x_approx, b)
+        err = relative_forward_error(x_true, x_approx)
+        kappa = condition_number(a)
+        assert omega / kappa <= err * (1 + 1e-8)
+        assert err <= kappa * omega * (1 + 1e-8)
+
+
+class TestConditionEstimation:
+    def test_exact_condition_number(self):
+        a = np.diag([1.0, 0.1, 0.01])
+        assert condition_number(a) == pytest.approx(100.0)
+
+    def test_singular_matrix_infinite(self):
+        assert condition_number(np.diag([1.0, 0.0])) == np.inf
+
+    def test_spectral_norm_estimate(self, rng):
+        a = random_matrix_with_condition_number(12, 30.0, rng=rng)
+        assert estimate_spectral_norm(a, rng=rng) == pytest.approx(np.linalg.norm(a, 2),
+                                                                   rel=1e-6)
+
+    @pytest.mark.parametrize("kappa", [2.0, 50.0, 500.0])
+    def test_condition_estimate_accurate(self, kappa, rng):
+        a = random_matrix_with_condition_number(12, kappa, rng=rng)
+        estimate = estimate_condition_number(a, rng=rng)
+        assert estimate == pytest.approx(kappa, rel=1e-3)
+
+    def test_safety_factor(self, rng):
+        a = random_matrix_with_condition_number(8, 10.0, rng=rng)
+        padded = estimate_condition_number(a, rng=rng, safety_factor=1.5)
+        assert padded == pytest.approx(15.0, rel=1e-3)
+
+
+class TestIterativeMethods:
+    def test_cg_on_spd(self, rng):
+        a = random_spd_matrix(12, 20.0, rng=rng)
+        b = rng.standard_normal(12)
+        result = conjugate_gradient(a, b, tolerance=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(a @ result.x, b, atol=1e-8)
+
+    def test_cg_rejects_indefinite(self, rng):
+        a = np.diag([1.0, -1.0, 2.0])
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(a, np.ones(3))
+
+    def test_cg_zero_rhs(self):
+        result = conjugate_gradient(np.eye(4), np.zeros(4))
+        assert result.converged and np.all(result.x == 0)
+
+    def test_jacobi_on_diagonally_dominant(self, rng):
+        a = rng.standard_normal((8, 8)) + 10 * np.eye(8)
+        b = rng.standard_normal(8)
+        result = jacobi(a, b, tolerance=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(a @ result.x, b, atol=1e-7)
+
+    def test_jacobi_history_monotone_tail(self, rng):
+        a = rng.standard_normal((6, 6)) + 10 * np.eye(6)
+        result = jacobi(a, rng.standard_normal(6), tolerance=1e-12)
+        assert result.history[-1] <= result.history[0]
+
+    def test_power_iteration_dominant_eigenvalue(self):
+        a = np.diag([5.0, 2.0, 1.0])
+        value, vector = power_iteration(a, rng=0)
+        assert value == pytest.approx(5.0, rel=1e-8)
+        assert abs(vector[0]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_power_iteration_callable(self):
+        mat = np.diag([4.0, 1.0])
+        value, _ = power_iteration(lambda v: mat @ v, 2, rng=1)
+        assert value == pytest.approx(4.0, rel=1e-8)
+
+    def test_power_iteration_requires_dimension_for_callable(self):
+        with pytest.raises(ValueError):
+            power_iteration(lambda v: v, None)
+
+
+class TestThomas:
+    def test_matches_dense_solve(self):
+        a = poisson_1d_matrix(10)
+        b = np.linspace(0, 1, 10)
+        np.testing.assert_allclose(thomas_solve(a, b), np.linalg.solve(a, b), atol=1e-8)
+
+    def test_accepts_diagonal_tuple(self):
+        n = 6
+        lower = -np.ones(n - 1)
+        diag = 2 * np.ones(n)
+        upper = -np.ones(n - 1)
+        a = poisson_1d_matrix(n, scaled=False)
+        b = np.arange(1.0, n + 1)
+        np.testing.assert_allclose(thomas_solve((lower, diag, upper), b),
+                                   np.linalg.solve(a, b), atol=1e-10)
+
+    def test_rejects_non_tridiagonal(self, rng):
+        with pytest.raises(DimensionError):
+            thomas_solve(rng.standard_normal((5, 5)), np.ones(5))
+
+    def test_single_element(self):
+        np.testing.assert_allclose(thomas_solve(np.array([[4.0]]), [8.0]), [2.0])
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_poisson_any_size(self, n):
+        a = poisson_1d_matrix(n, scaled=False)
+        x_true = np.sin(np.arange(n) + 1.0)
+        b = a @ x_true
+        np.testing.assert_allclose(thomas_solve(a, b), x_true, atol=1e-8)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.precision.contexts and simulate."""
+
+import numpy as np
+import pytest
+
+from repro.precision import (
+    DOUBLE,
+    SINGLE,
+    PrecisionContext,
+    low_precision_matmul,
+    low_precision_matvec,
+    low_precision_residual,
+    low_precision_sum,
+)
+
+
+class TestPrecisionContext:
+    def test_defaults(self):
+        ctx = PrecisionContext()
+        assert ctx.working is DOUBLE and ctx.low is SINGLE
+        assert ctx.residual_precision is DOUBLE
+
+    def test_accepts_names(self):
+        ctx = PrecisionContext(working="fp64", low="fp16", residual="fp64")
+        assert ctx.low.name == "fp16"
+        assert ctx.u == DOUBLE.unit_roundoff
+        assert ctx.u_low == pytest.approx(2.0**-11)
+        assert ctx.u_residual == DOUBLE.unit_roundoff
+
+    def test_round_working_and_low(self, rng):
+        ctx = PrecisionContext(working="fp64", low="fp16")
+        x = rng.standard_normal(10)
+        np.testing.assert_array_equal(ctx.round_working(x), x)
+        assert np.max(np.abs(ctx.round_low(x) - x)) > 0
+
+    def test_residual_of(self, rng):
+        ctx = PrecisionContext()
+        a = rng.standard_normal((5, 5))
+        x = rng.standard_normal(5)
+        b = rng.standard_normal(5)
+        np.testing.assert_allclose(ctx.residual_of(a, x, b), b - a @ x)
+
+    def test_describe_mentions_precisions(self):
+        text = PrecisionContext(working="fp64", low="fp16", residual="fp64").describe()
+        assert "fp64" in text and "fp16" in text
+
+
+class TestLowPrecisionKernels:
+    def test_matvec_error_scales_with_unit_roundoff(self, rng):
+        a = rng.standard_normal((20, 20))
+        x = rng.standard_normal(20)
+        exact = a @ x
+        err_fp32 = np.linalg.norm(low_precision_matvec(a, x, "fp32") - exact)
+        err_fp16 = np.linalg.norm(low_precision_matvec(a, x, "fp16") - exact)
+        assert err_fp32 < err_fp16
+        assert err_fp16 < 1e-1 * np.linalg.norm(exact)
+
+    def test_matmul_matches_exact_in_double(self, rng):
+        a = rng.standard_normal((6, 6))
+        b = rng.standard_normal((6, 6))
+        np.testing.assert_array_equal(low_precision_matmul(a, b, "fp64"), a @ b)
+
+    def test_residual_zero_for_exact_solution(self, rng):
+        a = np.eye(8)
+        x = rng.standard_normal(8)
+        res = low_precision_residual(a, x, x, "fp32")
+        assert np.linalg.norm(res) <= 1e-6
+
+    def test_sum_rounds_operands(self):
+        out = low_precision_sum(np.array([1.0]), np.array([2.0**-20]), "fp16")
+        assert out[0] == 1.0  # the small term is lost in fp16

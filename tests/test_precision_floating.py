@@ -1,0 +1,127 @@
+"""Unit tests for repro.precision.floating and rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PrecisionError
+from repro.precision import (
+    BFLOAT16,
+    DOUBLE,
+    HALF,
+    QUARTER,
+    SINGLE,
+    Precision,
+    chop_mantissa,
+    get_precision,
+    list_precisions,
+    machine_epsilon,
+    register_precision,
+    round_to_precision,
+)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_precision("fp64") is DOUBLE
+        assert get_precision("single") is SINGLE
+        assert get_precision("bf16") is BFLOAT16
+
+    def test_lookup_by_dtype(self):
+        assert get_precision(np.float32) is SINGLE
+        assert get_precision(np.dtype(np.float16)) is HALF
+
+    def test_lookup_passthrough(self):
+        assert get_precision(DOUBLE) is DOUBLE
+
+    def test_unknown_name(self):
+        with pytest.raises(PrecisionError):
+            get_precision("fp128")
+
+    def test_list_contains_standard_formats(self):
+        names = list_precisions()
+        for name in ("fp64", "fp32", "fp16", "bf16", "fp8"):
+            assert name in names
+
+    def test_register_custom(self):
+        custom = register_precision(Precision("fp11-test", 4, 6), "testformat")
+        assert get_precision("testformat") is custom
+
+
+class TestUnitRoundoff:
+    def test_double(self):
+        assert DOUBLE.unit_roundoff == pytest.approx(2.0**-53)
+
+    def test_single(self):
+        assert SINGLE.unit_roundoff == pytest.approx(2.0**-24)
+
+    def test_half(self):
+        assert HALF.unit_roundoff == pytest.approx(2.0**-11)
+
+    def test_ordering(self):
+        assert DOUBLE.unit_roundoff < SINGLE.unit_roundoff < HALF.unit_roundoff
+
+    def test_machine_epsilon_helper(self):
+        assert machine_epsilon("fp32") == pytest.approx(2.0**-23)
+
+    def test_bytes_per_element(self):
+        assert DOUBLE.bytes_per_element == 8.0
+        assert SINGLE.bytes_per_element == 4.0
+        assert HALF.bytes_per_element == 2.0
+
+
+class TestRounding:
+    def test_double_is_identity(self, rng):
+        x = rng.standard_normal(100)
+        np.testing.assert_array_equal(DOUBLE.round(x), x)
+
+    def test_single_matches_cast(self, rng):
+        x = rng.standard_normal(100)
+        np.testing.assert_array_equal(SINGLE.round(x), x.astype(np.float32).astype(np.float64))
+
+    def test_half_matches_cast(self, rng):
+        x = rng.standard_normal(50)
+        np.testing.assert_array_equal(HALF.round(x), x.astype(np.float16).astype(np.float64))
+
+    def test_zero_and_special_values_preserved(self):
+        x = np.array([0.0, np.inf, -np.inf, np.nan])
+        out = BFLOAT16.round(x)
+        assert out[0] == 0.0 and np.isinf(out[1]) and np.isinf(out[2]) and np.isnan(out[3])
+
+    def test_round_complex(self):
+        z = np.array([1.2345678 + 2.3456789j])
+        out = SINGLE.round_complex(z)
+        assert out[0].real == np.float32(1.2345678)
+        assert out[0].imag == np.float32(2.3456789)
+
+    def test_round_to_precision_dispatch(self):
+        assert round_to_precision(np.pi, "bf16") != np.pi
+        assert round_to_precision(np.pi, "fp64") == np.pi
+
+    def test_chop_mantissa_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            chop_mantissa(1.0, 0)
+
+
+class TestChopMantissaProperties:
+    @given(st.floats(min_value=-1e10, max_value=1e10, allow_nan=False,
+                     allow_infinity=False).filter(lambda v: v != 0.0),
+           st.integers(min_value=3, max_value=40))
+    @settings(max_examples=200, deadline=None)
+    def test_relative_error_bounded_by_epsilon(self, value, bits):
+        rounded = float(chop_mantissa(value, bits))
+        assert abs(rounded - value) <= 2.0**-bits * abs(value) * (1 + 1e-12)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                     allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, value):
+        once = chop_mantissa(value, 8)
+        twice = chop_mantissa(once, 8)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_sign_symmetry(self, value):
+        assert float(chop_mantissa(-value, 7)) == -float(chop_mantissa(value, 7))

@@ -1,0 +1,155 @@
+"""Tests for the QSVT circuit construction and its validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.blockencoding import DilationBlockEncoding, LCUBlockEncoding
+from repro.exceptions import DimensionError
+from repro.qsp import (
+    apply_polynomial_via_svd,
+    apply_qsvt_to_vector,
+    build_qsvt_circuit,
+    projector_phase_gate,
+    qsvt_transform_error,
+    solve_qsp_phases,
+    wx_to_circuit_phases,
+)
+from repro.qsp.chebyshev import evaluate_chebyshev
+from repro.quantum import circuit_unitary
+
+
+@pytest.fixture(scope="module")
+def cubic_phases():
+    """Phases for a fixed odd degree-5 polynomial, reused across tests."""
+    coeffs = np.array([0.0, 0.4, 0.0, 0.25, 0.0, 0.2])
+    result = solve_qsp_phases(coeffs)
+    return coeffs, result.phases
+
+
+class TestPhaseConversion:
+    def test_lengths(self, cubic_phases):
+        _, wx = cubic_phases
+        circuit_phases, global_phase = wx_to_circuit_phases(wx)
+        assert circuit_phases.shape[0] == wx.shape[0] - 1
+        assert abs(abs(global_phase) - 1.0) < 1e-12
+
+    def test_short_vector_rejected(self):
+        with pytest.raises(DimensionError):
+            wx_to_circuit_phases([0.3])
+
+
+class TestProjectorPhase:
+    def test_diagonal_structure(self):
+        gate = projector_phase_gate(2, 0.7)
+        diag = np.diag(gate)
+        assert diag[0] == pytest.approx(np.exp(1j * 0.7))
+        np.testing.assert_allclose(diag[1:], np.exp(-1j * 0.7))
+        np.testing.assert_allclose(gate, np.diag(diag))
+
+    def test_needs_one_ancilla(self):
+        with pytest.raises(DimensionError):
+            projector_phase_gate(0, 0.1)
+
+
+class TestCircuitStructure:
+    def test_block_encoding_call_count(self, cubic_phases, rng):
+        _, wx = cubic_phases
+        circuit_phases, _ = wx_to_circuit_phases(wx)
+        block = DilationBlockEncoding(rng.standard_normal((4, 4)))
+        circuit = build_qsvt_circuit(block, circuit_phases)
+        names = [g.name for g in circuit]
+        assert names.count("BE") + names.count("BE†") == circuit_phases.shape[0]
+        assert names.count("proj_phase") == circuit_phases.shape[0]
+
+    def test_flag_qubit_variant_equivalent(self, cubic_phases, rng):
+        _, wx = cubic_phases
+        circuit_phases, _ = wx_to_circuit_phases(wx)
+        block = DilationBlockEncoding(rng.standard_normal((2, 2)))
+        dense = build_qsvt_circuit(block, circuit_phases, use_flag_qubit=False)
+        flagged = build_qsvt_circuit(block, circuit_phases, use_flag_qubit=True)
+        assert flagged.num_qubits == dense.num_qubits + 1
+        u_dense = circuit_unitary(dense)
+        u_flag = circuit_unitary(flagged)
+        # the flag qubit is appended as the least significant qubit and starts
+        # and ends in |0>, so the flag=0 sub-block (even rows/columns) of the
+        # flagged unitary must equal the dense construction
+        np.testing.assert_allclose(u_flag[0::2, 0::2], u_dense, atol=1e-10)
+
+    def test_gate_level_block_encoding_variant(self, cubic_phases, rng):
+        _, wx = cubic_phases
+        circuit_phases, _ = wx_to_circuit_phases(wx)
+        block = DilationBlockEncoding(rng.standard_normal((2, 2)))
+        dense = build_qsvt_circuit(block, circuit_phases, dense_block_encoding=True)
+        inlined = build_qsvt_circuit(block, circuit_phases, dense_block_encoding=False)
+        np.testing.assert_allclose(circuit_unitary(dense), circuit_unitary(inlined),
+                                   atol=1e-10)
+
+    def test_empty_phases_rejected(self, rng):
+        block = DilationBlockEncoding(rng.standard_normal((2, 2)))
+        with pytest.raises(DimensionError):
+            build_qsvt_circuit(block, [])
+
+
+class TestPolynomialAction:
+    def test_diagonal_matrix_transformation(self, cubic_phases):
+        coeffs, wx = cubic_phases
+        sigma = np.array([0.9, 0.6, 0.35, 0.15])
+        block = DilationBlockEncoding(np.diag(sigma), spectral_margin=1.0)
+        scaled = sigma / block.alpha
+        for k in range(4):
+            probe = np.zeros(4)
+            probe[k] = 1.0
+            application = apply_qsvt_to_vector(block, wx, probe)
+            expected = evaluate_chebyshev(coeffs, scaled[k])
+            assert application.vector[k] == pytest.approx(expected, abs=1e-9)
+
+    def test_matches_svd_transform_for_random_matrix(self, cubic_phases, rng):
+        coeffs, wx = cubic_phases
+        matrix = rng.standard_normal((4, 4))
+        for encoding in (DilationBlockEncoding(matrix), LCUBlockEncoding(matrix)):
+            assert qsvt_transform_error(encoding, wx, coeffs) < 1e-8
+
+    def test_success_probability_in_unit_interval(self, cubic_phases, rng):
+        _, wx = cubic_phases
+        block = DilationBlockEncoding(rng.standard_normal((4, 4)))
+        application = apply_qsvt_to_vector(block, wx, rng.standard_normal(4))
+        assert 0.0 <= application.success_probability <= 1.0
+
+    def test_real_part_flag_controls_call_count(self, cubic_phases, rng):
+        _, wx = cubic_phases
+        block = DilationBlockEncoding(rng.standard_normal((4, 4)))
+        probe = rng.standard_normal(4)
+        both = apply_qsvt_to_vector(block, wx, probe, real_part=True)
+        single = apply_qsvt_to_vector(block, wx, probe, real_part=False)
+        assert both.block_encoding_calls == 2 * single.block_encoding_calls
+
+    def test_zero_vector_rejected(self, cubic_phases, rng):
+        _, wx = cubic_phases
+        block = DilationBlockEncoding(rng.standard_normal((4, 4)))
+        with pytest.raises(DimensionError):
+            apply_qsvt_to_vector(block, wx, np.zeros(4))
+
+    def test_dimension_mismatch_rejected(self, cubic_phases, rng):
+        _, wx = cubic_phases
+        block = DilationBlockEncoding(rng.standard_normal((4, 4)))
+        with pytest.raises(DimensionError):
+            apply_qsvt_to_vector(block, wx, np.ones(8))
+
+
+class TestSVDTransform:
+    def test_odd_polynomial_via_svd(self, rng):
+        matrix = rng.standard_normal((4, 4))
+        matrix /= 2 * np.linalg.norm(matrix, 2)
+        coeffs = np.array([0.0, 1.0])        # P(x) = x  ->  P^{(SV)}(A) = A
+        np.testing.assert_allclose(apply_polynomial_via_svd(matrix, coeffs), matrix,
+                                   atol=1e-12)
+
+    def test_even_polynomial_via_svd(self, rng):
+        matrix = rng.standard_normal((4, 4))
+        matrix /= 2 * np.linalg.norm(matrix, 2)
+        coeffs = np.array([-0.5, 0.0, 0.5])  # T_2 combination: P(x) = x^2 - 1 ... evaluated
+        result = apply_polynomial_via_svd(matrix, coeffs, parity=0)
+        # P(x) = 0.5*(2x^2-1) - 0.5 = x^2 - 1; with SVD A = UΣV†, result = V(Σ²-I)V†
+        _, sigma, vh = np.linalg.svd(matrix)
+        expected = (vh.conj().T * (sigma**2 - 1.0)) @ vh
+        np.testing.assert_allclose(result, expected, atol=1e-12)

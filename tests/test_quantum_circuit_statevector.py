@@ -1,0 +1,222 @@
+"""Tests for the circuit container and the state-vector engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError
+from repro.quantum import (
+    QuantumCircuit,
+    Statevector,
+    apply_circuit,
+    circuit_unitary,
+    zero_state,
+)
+from repro.quantum.gates import standard_gate_matrix
+from repro.quantum.statevector import apply_gate, basis_state
+
+
+class TestCircuitContainer:
+    def test_length_and_iteration(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        assert len(qc) == 2
+        assert [g.name for g in qc] == ["h", "x"]
+
+    def test_qubit_range_validation(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(DimensionError):
+            qc.x(2)
+
+    def test_requires_at_least_one_qubit(self):
+        with pytest.raises(DimensionError):
+            QuantumCircuit(0)
+
+    def test_count_gates(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.ccx(0, 1, 2)
+        counts = qc.count_gates()
+        assert counts == {"h": 1, "cx": 1, "mcx(2)": 1}
+
+    def test_depth(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.h(1)
+        qc.cx(0, 1)
+        qc.h(2)
+        assert qc.depth() == 2
+
+    def test_compose_with_mapping(self):
+        inner = QuantumCircuit(2)
+        inner.h(0)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(3)
+        outer.compose(inner, qubit_map=[2, 0])
+        assert outer[0].targets == (2,)
+        assert outer[1].controls == (2,) and outer[1].targets == (0,)
+
+    def test_compose_mapping_length_check(self):
+        inner = QuantumCircuit(2)
+        outer = QuantumCircuit(3)
+        with pytest.raises(DimensionError):
+            outer.compose(inner, qubit_map=[0])
+
+    def test_inverse_round_trip(self, rng):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.ry(0.3, 1)
+        qc.cx(0, 1)
+        qc.t(0)
+        identity = circuit_unitary(qc.copy().compose(qc.inverse()))
+        np.testing.assert_allclose(identity, np.eye(4), atol=1e-12)
+
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        dup = qc.copy()
+        dup.x(0)
+        assert len(qc) == 1 and len(dup) == 2
+
+
+class TestStatevector:
+    def test_zero_state(self):
+        st0 = zero_state(3)
+        assert st0.dimension == 8
+        assert st0.data[0] == 1.0 and np.all(st0.data[1:] == 0)
+
+    def test_basis_state(self):
+        st5 = basis_state(3, 5)
+        assert st5.data[5] == 1.0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(DimensionError):
+            Statevector(np.ones(3))
+
+    def test_normalized(self):
+        st2 = Statevector([3.0, 4.0]).normalized()
+        assert st2.norm() == pytest.approx(1.0)
+
+    def test_fidelity(self):
+        a = Statevector([1.0, 0.0])
+        b = Statevector([1.0, 1.0])
+        assert a.fidelity(b) == pytest.approx(0.5)
+
+    def test_tensor_ordering(self):
+        a = Statevector([0.0, 1.0])   # |1>
+        b = Statevector([1.0, 0.0])   # |0>
+        assert a.tensor(b).data[2] == 1.0   # |10> = index 2 (big-endian)
+
+
+class TestGateApplication:
+    def test_x_on_each_qubit(self):
+        for qubit in range(3):
+            qc = QuantumCircuit(3)
+            qc.x(qubit)
+            out = apply_circuit(qc)
+            expected_index = 1 << (2 - qubit)   # big-endian
+            assert out.data[expected_index] == 1.0
+
+    def test_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        out = apply_circuit(qc)
+        np.testing.assert_allclose(out.data, [1 / np.sqrt(2), 0, 0, 1 / np.sqrt(2)],
+                                   atol=1e-12)
+
+    def test_zero_controlled_gate(self):
+        qc = QuantumCircuit(2)
+        qc.mcx([0], 1, control_states=[0])
+        out = apply_circuit(qc)       # input |00> -> control satisfied -> |01>
+        assert out.data[1] == 1.0
+
+    def test_controlled_gate_not_triggered(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        out = apply_circuit(qc)       # control is |0> -> nothing happens
+        assert out.data[0] == 1.0
+
+    def test_swap(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.swap(0, 1)
+        out = apply_circuit(qc)
+        assert out.data[1] == 1.0     # |01>
+
+    def test_gate_outside_register_rejected(self):
+        state = zero_state(1)
+        qc = QuantumCircuit(2)
+        qc.x(1)
+        with pytest.raises(DimensionError):
+            apply_gate(state, qc[0])
+
+    def test_apply_circuit_dimension_check(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(DimensionError):
+            apply_circuit(qc, zero_state(3))
+
+    def test_circuit_unitary_matches_gate_product(self, rng):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.cx(0, 2)
+        qc.ry(0.4, 1)
+        qc.ccx(0, 1, 2)
+        qc.rz(1.1, 2)
+        unitary = circuit_unitary(qc)
+        np.testing.assert_allclose(unitary @ unitary.conj().T, np.eye(8), atol=1e-12)
+        # spot-check one column against direct state simulation
+        out = apply_circuit(qc, basis_state(3, 5))
+        np.testing.assert_allclose(unitary[:, 5], out.data, atol=1e-12)
+
+    def test_multi_target_unitary_big_endian_order(self):
+        # a two-qubit gate applied on (q1, q0) must see q1 as its most
+        # significant qubit; verify with a CNOT matrix acting on reversed order
+        cx = np.eye(4, dtype=complex)
+        cx[2:, 2:] = standard_gate_matrix("x")
+        qc = QuantumCircuit(2)
+        qc.unitary(cx, qubits=[1, 0])
+        qc_ref = QuantumCircuit(2)
+        qc_ref.cx(1, 0)
+        np.testing.assert_allclose(circuit_unitary(qc), circuit_unitary(qc_ref), atol=1e-12)
+
+
+class TestStatevectorProperties:
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_circuits_preserve_norm(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        qc = QuantumCircuit(num_qubits)
+        for _ in range(8):
+            kind = rng.integers(0, 4)
+            q = int(rng.integers(0, num_qubits))
+            if kind == 0:
+                qc.h(q)
+            elif kind == 1:
+                qc.ry(float(rng.uniform(-np.pi, np.pi)), q)
+            elif kind == 2 and num_qubits > 1:
+                other = int((q + 1 + rng.integers(0, num_qubits - 1)) % num_qubits)
+                qc.cx(q, other)
+            else:
+                qc.rz(float(rng.uniform(-np.pi, np.pi)), q)
+        out = apply_circuit(qc)
+        assert out.norm() == pytest.approx(1.0, abs=1e-10)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_inverse_circuit_restores_basis_state(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        qc = QuantumCircuit(num_qubits)
+        for _ in range(5):
+            q = int(rng.integers(0, num_qubits))
+            qc.ry(float(rng.uniform(-np.pi, np.pi)), q)
+            if num_qubits > 1:
+                other = int((q + 1) % num_qubits)
+                qc.cz(q, other)
+        index = int(rng.integers(0, 2**num_qubits))
+        state = basis_state(num_qubits, index)
+        forward = apply_circuit(qc, state)
+        back = apply_circuit(qc.inverse(), forward)
+        np.testing.assert_allclose(back.data, state.data, atol=1e-10)

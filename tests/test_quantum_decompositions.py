@@ -1,0 +1,108 @@
+"""Tests for gate decompositions (Toffoli, MCX, multiplexed rotations)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError
+from repro.quantum import QuantumCircuit, circuit_unitary
+from repro.quantum.decompositions import (
+    gray_code,
+    mcx_circuit,
+    multiplexed_ry_circuit,
+    multiplexed_rz_circuit,
+    multiplexor_matrix,
+    toffoli_circuit,
+)
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_adjacent_codes_differ_by_one_bit(self):
+        for i in range(63):
+            assert bin(gray_code(i) ^ gray_code(i + 1)).count("1") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+
+
+class TestToffoli:
+    def test_matches_ccx_up_to_global_phase(self):
+        decomposed = circuit_unitary(toffoli_circuit())
+        reference = QuantumCircuit(3)
+        reference.ccx(0, 1, 2)
+        expected = circuit_unitary(reference)
+        phase = decomposed[0, 0] / expected[0, 0]
+        np.testing.assert_allclose(decomposed, phase * expected, atol=1e-12)
+
+    def test_t_count_is_seven(self):
+        counts = toffoli_circuit().count_gates()
+        assert counts.get("t", 0) + counts.get("tdg", 0) == 7
+        assert counts.get("cx", 0) == 6
+
+
+class TestMCX:
+    @pytest.mark.parametrize("num_controls", [1, 2, 3, 4, 5])
+    def test_action_with_clean_ancillas(self, num_controls):
+        circuit = mcx_circuit(num_controls)
+        unitary = circuit_unitary(circuit)
+        num_ancillas = circuit.num_qubits - num_controls - 1
+        for bits in itertools.product([0, 1], repeat=num_controls + 1):
+            controls, target = bits[:-1], bits[-1]
+            in_index = 0
+            for bit in (*controls, target, *([0] * num_ancillas)):
+                in_index = (in_index << 1) | bit
+            target_out = target ^ int(all(controls))
+            out_index = 0
+            for bit in (*controls, target_out, *([0] * num_ancillas)):
+                out_index = (out_index << 1) | bit
+            assert abs(unitary[out_index, in_index] - 1.0) < 1e-10
+
+    def test_zero_controls_rejected(self):
+        with pytest.raises(DimensionError):
+            mcx_circuit(0)
+
+    def test_toffoli_count_scaling(self):
+        counts = mcx_circuit(6).count_gates()
+        assert counts.get("mcx(2)", 0) == 2 * (6 - 2) + 1
+
+
+class TestMultiplexedRotations:
+    @pytest.mark.parametrize("rotation,builder", [("ry", multiplexed_ry_circuit),
+                                                  ("rz", multiplexed_rz_circuit)])
+    @pytest.mark.parametrize("num_controls", [1, 2, 3])
+    def test_matches_block_diagonal_reference(self, rotation, builder, num_controls, rng):
+        angles = rng.uniform(-np.pi, np.pi, 2**num_controls)
+        controls = list(range(num_controls))
+        target = num_controls
+        circuit = builder(angles, controls=controls, target=target)
+        np.testing.assert_allclose(circuit_unitary(circuit),
+                                   multiplexor_matrix(rotation, angles), atol=1e-10)
+
+    def test_gate_budget(self):
+        angles = np.linspace(0.1, 0.8, 8)
+        circuit = multiplexed_ry_circuit(angles, controls=[0, 1, 2], target=3)
+        counts = circuit.count_gates()
+        # 2^k rotations and 2^(k+1) - 2 CNOTs for the recursive construction
+        assert counts["ry"] == 8 and counts["cx"] == 14
+
+    def test_angle_count_validation(self):
+        with pytest.raises(DimensionError):
+            multiplexed_ry_circuit([0.1, 0.2, 0.3], controls=[0, 1], target=2)
+
+    def test_unknown_rotation_in_reference(self):
+        with pytest.raises(ValueError):
+            multiplexor_matrix("rx-bogus", [0.1, 0.2])
+
+    @given(st.lists(st.floats(min_value=-3.0, max_value=3.0), min_size=2, max_size=2))
+    @settings(max_examples=25, deadline=None)
+    def test_property_single_control_ry(self, angles):
+        circuit = multiplexed_ry_circuit(angles, controls=[0], target=1)
+        np.testing.assert_allclose(circuit_unitary(circuit),
+                                   multiplexor_matrix("ry", angles), atol=1e-9)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.quantum.gates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.quantum.gates import Gate, controlled_matrix, standard_gate_matrix
+
+
+class TestStandardGateMatrices:
+    @pytest.mark.parametrize("name", ["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx"])
+    def test_single_qubit_gates_are_unitary(self, name):
+        u = standard_gate_matrix(name)
+        np.testing.assert_allclose(u @ u.conj().T, np.eye(2), atol=1e-12)
+
+    def test_swap_is_unitary_and_involutive(self):
+        u = standard_gate_matrix("swap")
+        np.testing.assert_allclose(u @ u, np.eye(4), atol=1e-12)
+
+    def test_aliases(self):
+        np.testing.assert_array_equal(standard_gate_matrix("cnot"),
+                                      standard_gate_matrix("x"))
+        np.testing.assert_array_equal(standard_gate_matrix("hadamard"),
+                                      standard_gate_matrix("h"))
+
+    def test_pauli_algebra(self):
+        x = standard_gate_matrix("x")
+        y = standard_gate_matrix("y")
+        z = standard_gate_matrix("z")
+        np.testing.assert_allclose(x @ y, 1j * z, atol=1e-12)
+
+    def test_rotation_gates(self):
+        np.testing.assert_allclose(standard_gate_matrix("rx", (0.0,)), np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(standard_gate_matrix("ry", (np.pi,)),
+                                   np.array([[0, -1], [1, 0]]), atol=1e-12)
+        rz = standard_gate_matrix("rz", (np.pi / 2,))
+        np.testing.assert_allclose(np.abs(np.diag(rz)), [1, 1], atol=1e-12)
+
+    def test_s_equals_rz_up_to_phase(self):
+        s = standard_gate_matrix("s")
+        rz = standard_gate_matrix("rz", (np.pi / 2,))
+        phase = s[0, 0] / rz[0, 0]
+        np.testing.assert_allclose(s, phase * rz, atol=1e-12)
+
+    def test_u_gate_general(self):
+        u = standard_gate_matrix("u", (0.3, 0.5, 0.7))
+        np.testing.assert_allclose(u @ u.conj().T, np.eye(2), atol=1e-12)
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ValueError):
+            standard_gate_matrix("foobar")
+
+    def test_parameters_rejected_for_fixed_gates(self):
+        with pytest.raises(ValueError):
+            standard_gate_matrix("x", (0.1,))
+
+
+class TestControlledMatrix:
+    def test_cnot(self):
+        cx = controlled_matrix(standard_gate_matrix("x"), 1)
+        expected = np.eye(4, dtype=complex)
+        expected[2:, 2:] = standard_gate_matrix("x")
+        np.testing.assert_array_equal(cx, expected)
+
+    def test_zero_control(self):
+        cx0 = controlled_matrix(standard_gate_matrix("x"), 1, control_states=[0])
+        expected = np.eye(4, dtype=complex)
+        expected[:2, :2] = standard_gate_matrix("x")
+        np.testing.assert_array_equal(cx0, expected)
+
+    def test_two_controls_targets_last_block(self):
+        ccz = controlled_matrix(standard_gate_matrix("z"), 2)
+        assert ccz[7, 7] == -1
+        assert np.all(np.diag(ccz)[:7] == 1)
+
+    def test_control_states_length_check(self):
+        with pytest.raises(DimensionError):
+            controlled_matrix(np.eye(2), 2, control_states=[1])
+
+
+class TestGateDataclass:
+    def test_matrix_dimension_validation(self):
+        with pytest.raises(DimensionError):
+            Gate(name="bad", targets=(0, 1), matrix=np.eye(2))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(DimensionError):
+            Gate(name="bad", targets=(0,), matrix=np.eye(2), controls=(0,))
+
+    def test_default_control_states(self):
+        g = Gate(name="x", targets=(1,), matrix=standard_gate_matrix("x"), controls=(0, 2))
+        assert g.control_states == (1, 1)
+        assert g.qubits == (0, 2, 1)
+
+    def test_expanded_matrix_matches_controlled(self):
+        g = Gate(name="x", targets=(1,), matrix=standard_gate_matrix("x"), controls=(0,))
+        np.testing.assert_array_equal(g.expanded_matrix(),
+                                      controlled_matrix(standard_gate_matrix("x"), 1))
+
+    def test_dagger_inverts(self):
+        g = Gate(name="ry", targets=(0,), matrix=standard_gate_matrix("ry", (0.7,)),
+                 params=(0.7,))
+        np.testing.assert_allclose(g.dagger().matrix @ g.matrix, np.eye(2), atol=1e-12)
+        assert g.dagger().params == (-0.7,)
+
+    def test_dagger_name_mapping(self):
+        t = Gate(name="t", targets=(0,), matrix=standard_gate_matrix("t"))
+        assert t.dagger().name == "tdg"
+        x = Gate(name="x", targets=(0,), matrix=standard_gate_matrix("x"))
+        assert x.dagger().name == "x"
+        custom = Gate(name="block", targets=(0,), matrix=np.eye(2))
+        assert custom.dagger().name == "block†"
+        assert custom.dagger().dagger().name == "block"
+
+    def test_validate_unitary(self):
+        good = Gate(name="h", targets=(0,), matrix=standard_gate_matrix("h"))
+        good.validate_unitary()
+        bad = Gate(name="bad", targets=(0,), matrix=np.array([[1, 0], [0, 2]], dtype=complex))
+        with pytest.raises(DimensionError):
+            bad.validate_unitary()

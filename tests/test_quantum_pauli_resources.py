@@ -1,0 +1,181 @@
+"""Tests for the Pauli decomposition, resource model and ASCII drawing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError, ResourceModelError
+from repro.quantum import (
+    PauliString,
+    QuantumCircuit,
+    ResourceCounter,
+    draw_circuit,
+    estimate_circuit_resources,
+    pauli_decompose,
+    pauli_matrix,
+    pauli_reconstruct,
+)
+
+
+class TestPauliString:
+    def test_matrix_of_label(self):
+        np.testing.assert_array_equal(pauli_matrix("X"), np.array([[0, 1], [1, 0]]))
+        zz = pauli_matrix("ZZ")
+        np.testing.assert_array_equal(np.diag(zz), [1, -1, -1, 1])
+
+    def test_kron_order_is_big_endian(self):
+        # label "XI": X acts on qubit 0 (most significant)
+        xi = pauli_matrix("XI")
+        np.testing.assert_array_equal(xi, np.kron(pauli_matrix("X"), np.eye(2)))
+
+    def test_weight_and_qubits(self):
+        term = PauliString("XIZ", 2.0)
+        assert term.num_qubits == 3 and term.weight == 2
+
+    def test_invalid_label(self):
+        with pytest.raises(DimensionError):
+            PauliString("XQ")
+
+    def test_matrix_includes_coefficient(self):
+        term = PauliString("Z", -3.0)
+        np.testing.assert_array_equal(term.matrix(), -3.0 * np.diag([1.0, -1.0]))
+
+
+class TestPauliDecomposition:
+    def test_roundtrip_random_complex(self, rng):
+        a = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        terms = pauli_decompose(a)
+        np.testing.assert_allclose(pauli_reconstruct(terms), a, atol=1e-12)
+
+    def test_hermitian_matrix_real_coefficients(self, rng):
+        a = rng.standard_normal((4, 4))
+        a = a + a.T
+        terms = pauli_decompose(a)
+        assert all(abs(t.coefficient.imag) < 1e-12 for t in terms)
+
+    def test_identity_single_term(self):
+        terms = pauli_decompose(np.eye(8))
+        assert len(terms) == 1 and terms[0].label == "III"
+        assert terms[0].coefficient == pytest.approx(1.0)
+
+    def test_sparsity_pruning_on_structured_matrix(self):
+        from repro.linalg import poisson_1d_matrix
+
+        terms = pauli_decompose(poisson_1d_matrix(16, scaled=False))
+        # far fewer than the 256 terms of a generic 16x16 matrix
+        assert 0 < len(terms) < 40
+
+    def test_tolerance_prunes_small_terms(self, rng):
+        a = np.eye(4) + 1e-14 * rng.standard_normal((4, 4))
+        assert len(pauli_decompose(a, tolerance=1e-10)) == 1
+
+    def test_dimension_validation(self):
+        with pytest.raises(DimensionError):
+            pauli_decompose(np.eye(3))
+
+    def test_reconstruct_empty_needs_dimension(self):
+        with pytest.raises(DimensionError):
+            pauli_reconstruct([])
+        out = pauli_reconstruct([], num_qubits=2)
+        np.testing.assert_array_equal(out, np.zeros((4, 4)))
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((4, 4))
+        np.testing.assert_allclose(pauli_reconstruct(pauli_decompose(a)), a, atol=1e-12)
+
+
+class TestResourceModel:
+    def test_clifford_gates_are_free(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.s(1)
+        estimate = estimate_circuit_resources(qc)
+        assert estimate.t_count == 0
+        assert estimate.cnot_count == 1
+
+    def test_explicit_t_gates_counted(self):
+        qc = QuantumCircuit(1)
+        qc.t(0)
+        qc.tdg(0)
+        estimate = estimate_circuit_resources(qc)
+        assert estimate.explicit_t_count == 2 and estimate.t_count == 2
+
+    def test_toffoli_cost(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        estimate = estimate_circuit_resources(qc)
+        assert estimate.toffoli_count == 1
+        assert estimate.t_count == 7
+
+    def test_mcx_cost_grows_linearly(self):
+        counter = ResourceCounter()
+        assert counter.mcx_toffolis(5) == 2 * 5 - 3
+        assert counter.mcx_toffolis(2) == 1
+        assert counter.mcx_toffolis(1) == 0
+
+    def test_rotation_synthesis_cost(self):
+        counter = ResourceCounter(rotation_synthesis_epsilon=1e-10)
+        expected = np.ceil(3.0 * np.log2(1e10) + 1.0)
+        assert counter.rotation_t_count() == expected
+        qc = QuantumCircuit(1)
+        qc.ry(0.3, 0)
+        assert counter.estimate(qc).t_count == expected
+
+    def test_controlled_rotation_cost(self):
+        qc = QuantumCircuit(2)
+        qc.cry(0.5, 0, 1)
+        estimate = estimate_circuit_resources(qc)
+        assert estimate.rotation_count == 2
+        assert estimate.cnot_count == 2
+
+    def test_generic_unitary_block_penalised(self):
+        qc = QuantumCircuit(2)
+        qc.unitary(np.eye(4), qubits=[0, 1], name="block")
+        estimate = estimate_circuit_resources(qc)
+        assert estimate.rotation_count == 16
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ResourceModelError):
+            ResourceCounter(rotation_synthesis_epsilon=2.0).rotation_t_count()
+        with pytest.raises(ResourceModelError):
+            ResourceCounter().mcx_toffolis(-1)
+
+    def test_summary_mentions_counts(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        text = estimate_circuit_resources(qc).summary()
+        assert "T count" in text and "qubits" in text
+
+
+class TestDrawing:
+    def test_wires_and_gates_present(self):
+        qc = QuantumCircuit(3, name="demo")
+        qc.h(0)
+        qc.cx(0, 2)
+        qc.mcx([0, 1], 2, control_states=[1, 0])
+        text = draw_circuit(qc)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "[H]" in lines[0]
+        assert "●" in lines[0] and "⊕" in lines[2]
+        assert "○" in lines[1]          # open control rendered differently
+
+    def test_custom_labels_and_length_check(self):
+        qc = QuantumCircuit(2)
+        qc.swap(0, 1)
+        text = draw_circuit(qc, qubit_labels=["anc", "dat"])
+        assert text.splitlines()[0].startswith("anc")
+        with pytest.raises(ValueError):
+            draw_circuit(qc, qubit_labels=["only-one"])
+
+    def test_max_width_truncation(self):
+        qc = QuantumCircuit(1)
+        for _ in range(200):
+            qc.h(0)
+        text = draw_circuit(qc, max_width=50)
+        assert all(len(line) <= 51 for line in text.splitlines())

@@ -1,0 +1,106 @@
+"""Tests for the tree-based state preparation (Kerenidis–Prakash)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import StatePreparationError
+from repro.quantum import apply_circuit
+from repro.stateprep import TreeStatePreparation, prepare_state_circuit
+
+
+def _prepared_vector(vector, **kwargs):
+    result = prepare_state_circuit(vector, **kwargs)
+    return apply_circuit(result.circuit).data, result
+
+
+class TestTreeConstruction:
+    def test_tree_levels_and_norms(self):
+        vector = np.array([3.0, 4.0, 0.0, 0.0])
+        tree = TreeStatePreparation.tree_values(vector)
+        assert len(tree) == 3
+        assert tree[0][0] == pytest.approx(5.0)
+        np.testing.assert_allclose(tree[1], [5.0, 0.0])
+        np.testing.assert_allclose(tree[2], vector)
+
+    def test_rotation_angles_shapes(self):
+        vector = np.arange(1.0, 9.0)
+        angles = TreeStatePreparation.rotation_angles(TreeStatePreparation.tree_values(vector))
+        assert [a.shape[0] for a in angles] == [1, 2, 4]
+
+
+class TestPreparationCorrectness:
+    @pytest.mark.parametrize("length", [2, 4, 8, 16, 32])
+    def test_positive_vectors(self, length, rng):
+        vector = rng.uniform(0.1, 1.0, length)
+        state, result = _prepared_vector(vector)
+        np.testing.assert_allclose(state.real, vector / np.linalg.norm(vector), atol=1e-12)
+        assert result.norm == pytest.approx(np.linalg.norm(vector))
+
+    @pytest.mark.parametrize("length", [4, 8, 16])
+    def test_signed_vectors(self, length, rng):
+        vector = rng.standard_normal(length)
+        state, _ = _prepared_vector(vector)
+        np.testing.assert_allclose(state.real, vector / np.linalg.norm(vector), atol=1e-12)
+        np.testing.assert_allclose(state.imag, 0.0, atol=1e-12)
+
+    def test_sparse_vector_with_zero_blocks(self):
+        vector = np.array([0.0, 0.0, 0.0, -2.0, 0.0, 0.0, 1.0, 0.0])
+        state, _ = _prepared_vector(vector)
+        np.testing.assert_allclose(state.real, vector / np.linalg.norm(vector), atol=1e-12)
+
+    def test_basis_vector(self):
+        vector = np.zeros(8)
+        vector[5] = -1.0
+        state, _ = _prepared_vector(vector)
+        np.testing.assert_allclose(state.real, vector, atol=1e-12)
+
+    def test_decomposed_circuit_equivalent(self, rng):
+        vector = rng.standard_normal(16)
+        dense_state, dense_result = _prepared_vector(vector, decompose=False)
+        gate_state, gate_result = _prepared_vector(vector, decompose=True)
+        np.testing.assert_allclose(dense_state, gate_state, atol=1e-10)
+        # the decomposed circuit uses only elementary gates (Ry and CNOT)
+        assert set(gate_result.circuit.count_gates()).issubset({"ry", "cx"})
+
+    def test_complex_vector(self, rng):
+        vector = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        state, _ = _prepared_vector(vector)
+        np.testing.assert_allclose(state, vector / np.linalg.norm(vector), atol=1e-12)
+
+    def test_classical_flops_linear_in_length(self):
+        _, result = _prepared_vector(np.ones(16))
+        assert result.classical_flops == 4 * 16
+
+
+class TestValidation:
+    def test_zero_vector_rejected(self):
+        with pytest.raises(StatePreparationError):
+            prepare_state_circuit(np.zeros(4))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(StatePreparationError):
+            prepare_state_circuit(np.ones(6))
+
+    def test_scalar_rejected(self):
+        with pytest.raises(StatePreparationError):
+            prepare_state_circuit(np.ones(1))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(StatePreparationError):
+            prepare_state_circuit([np.inf, 1.0])
+
+
+class TestPreparationProperties:
+    @given(hnp.arrays(np.float64, st.sampled_from([2, 4, 8, 16]),
+                      elements=st.floats(min_value=-10, max_value=10,
+                                         allow_nan=False, allow_infinity=False)))
+    @settings(max_examples=60, deadline=None)
+    def test_property_amplitudes_match(self, vector):
+        if np.linalg.norm(vector) < 1e-9:
+            vector = vector + 1.0
+        state, _ = _prepared_vector(vector)
+        np.testing.assert_allclose(state.real, vector / np.linalg.norm(vector), atol=1e-9)
+        np.testing.assert_allclose(state.imag, 0.0, atol=1e-12)

@@ -1,0 +1,55 @@
+"""Unit tests for repro.utils.rng and repro.utils.timing."""
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_reproducible(self):
+        a = as_generator(5).standard_normal(3)
+        b = as_generator(5).standard_normal(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        children = spawn_generators(3, 4)
+        assert len(children) == 4
+
+    def test_children_independent_streams(self):
+        children = spawn_generators(3, 2)
+        a = children[0].standard_normal(10)
+        b = children[1].standard_normal(10)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_from_seed(self):
+        a = spawn_generators(11, 3)[2].standard_normal(5)
+        b = spawn_generators(11, 3)[2].standard_normal(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestTimer:
+    def test_elapsed_positive(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+
+    def test_restart_resets(self):
+        t = Timer()
+        with t:
+            pass
+        t.restart()
+        assert t.elapsed == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.utils import (
+    as_matrix,
+    as_vector,
+    check_power_of_two,
+    check_square,
+    check_system,
+    is_hermitian,
+    is_power_of_two,
+    is_unitary,
+    num_qubits_for_dimension,
+)
+
+
+class TestAsMatrix:
+    def test_accepts_lists(self):
+        out = as_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(DimensionError):
+            as_matrix([1, 2, 3])
+
+    def test_rejects_tensor(self):
+        with pytest.raises(DimensionError):
+            as_matrix(np.zeros((2, 2, 2)))
+
+    def test_dtype_forwarded(self):
+        out = as_matrix([[1, 2], [3, 4]], dtype=float)
+        assert out.dtype == np.float64
+
+
+class TestAsVector:
+    def test_accepts_list(self):
+        assert as_vector([1.0, 2.0]).shape == (2,)
+
+    def test_flattens_column(self):
+        assert as_vector(np.ones((3, 1))).shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionError):
+            as_vector(np.ones((2, 2)))
+
+
+class TestCheckSquare:
+    def test_square_passes(self):
+        check_square(np.eye(3))
+
+    def test_rectangular_fails(self):
+        with pytest.raises(DimensionError):
+            check_square(np.ones((2, 3)))
+
+
+class TestCheckSystem:
+    def test_matching_system(self):
+        a, b = check_system(np.eye(2), [1.0, 2.0])
+        assert a.shape == (2, 2) and b.shape == (2,)
+
+    def test_mismatched_rhs(self):
+        with pytest.raises(DimensionError):
+            check_system(np.eye(2), [1.0, 2.0, 3.0])
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1024])
+    def test_powers_accepted(self, n):
+        assert is_power_of_two(n)
+        assert check_power_of_two(n) == n
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 12, 1000])
+    def test_non_powers_rejected(self, n):
+        assert not is_power_of_two(n)
+        with pytest.raises(DimensionError):
+            check_power_of_two(n)
+
+    def test_num_qubits(self):
+        assert num_qubits_for_dimension(16) == 4
+        assert num_qubits_for_dimension(1) == 0
+
+
+class TestStructureChecks:
+    def test_hermitian_detection(self, rng):
+        a = rng.standard_normal((4, 4))
+        assert is_hermitian(a + a.T)
+        assert not is_hermitian(a + a.T + 1e-3 * rng.standard_normal((4, 4)))
+
+    def test_hermitian_requires_square(self):
+        assert not is_hermitian(np.ones((2, 3)))
+
+    def test_unitary_detection(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        assert is_unitary(q)
+        assert not is_unitary(q * 1.01)
