@@ -17,6 +17,9 @@ The package is organised bottom-up (see ``DESIGN.md`` for the full inventory):
   iterative refinement (Algorithms 1–2), cost and communication models;
 * :mod:`repro.baselines` — HHL, HHL+IR, VQLS and classical direct solvers;
 * :mod:`repro.applications` — Poisson and random workloads;
+* :mod:`repro.engine` — high-throughput service layer: batched statevector
+  simulation (multi-RHS solves in one circuit sweep), a compiled-solver LRU
+  cache and a parallel scenario runner + registry;
 * :mod:`repro.reporting` — text tables/series used by the benchmark harness.
 
 Quickstart
@@ -40,6 +43,15 @@ from .core import (
     mixed_precision_lu_refinement,
     refine,
 )
+from .engine import (
+    BatchedStatevector,
+    CompiledSolverCache,
+    JobResult,
+    ScenarioRunner,
+    SolveJob,
+    build_scenario,
+    list_scenarios,
+)
 from .exceptions import ReproError
 
 __all__ = [
@@ -51,4 +63,11 @@ __all__ = [
     "mixed_precision_lu_refinement",
     "RefinementResult",
     "SingleSolveRecord",
+    "BatchedStatevector",
+    "CompiledSolverCache",
+    "ScenarioRunner",
+    "SolveJob",
+    "JobResult",
+    "build_scenario",
+    "list_scenarios",
 ]

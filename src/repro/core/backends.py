@@ -30,6 +30,7 @@ Three backends are provided:
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,9 +42,9 @@ from ..qsp.inverse_polynomial import (
     InversePolynomial,
     polynomial_error_from_solution_accuracy,
 )
-from ..qsp.qsvt_circuit import apply_qsvt_to_vector
+from ..qsp.qsvt_circuit import apply_qsvt_to_vector, apply_qsvt_to_vectors
 from ..qsp.chebyshev import evaluate_chebyshev
-from ..utils import as_generator, as_vector, check_square
+from ..utils import as_generator, as_vector, check_square, matrix_fingerprint
 from .sampling import SamplingModel
 
 __all__ = [
@@ -82,18 +83,74 @@ class BackendApplication:
 
 
 class QSVTBackend(abc.ABC):
-    """Interface shared by every backend."""
+    """Interface shared by every backend.
+
+    Besides the abstract ``prepare`` / ``apply_inverse`` pair, the base class
+    provides two concrete services shared by all implementations:
+
+    * **synthesis fingerprinting** — ``prepare`` implementations call
+      :meth:`_record_synthesis` so that :meth:`is_stale` can later detect a
+      matrix that was mutated *in place* after synthesis (same object, new
+      bytes).  :class:`repro.core.qsvt_solver.QSVTLinearSolver` turns that
+      check into an explicit error + ``recompile()`` path, and
+      :class:`repro.engine.cache.CompiledSolverCache` keys its entries on the
+      same fingerprint, so the two invalidation mechanisms agree by
+      construction.
+    * **batched application** — :meth:`apply_inverse_batch` answers ``B``
+      right-hand sides against the *same* compiled synthesis.  The default is
+      a loop; backends that can amortise the sweep (the circuit backend via
+      :func:`repro.qsp.qsvt_circuit.apply_qsvt_to_vectors`, the ideal backend
+      via one dense contraction) override it.
+    """
 
     #: human-readable backend name (used in reports).
     name: str = "backend"
 
+    #: fingerprint of the matrix the current synthesis was compiled for
+    #: (``None`` before the first ``prepare``).
+    synthesis_fingerprint: str | None = None
+
     @abc.abstractmethod
     def prepare(self, matrix, *, epsilon_l: float, kappa: float | None = None) -> None:
-        """One-off "circuit synthesis" for the given matrix and inner accuracy."""
+        """One-off "circuit synthesis" for the given matrix and inner accuracy.
+
+        Implementations should finish with ``self._record_synthesis(matrix)``
+        so that :meth:`is_stale` works for direct backend use;
+        :class:`~repro.core.qsvt_solver.QSVTLinearSolver` additionally records
+        the fingerprint itself after calling ``prepare``, so subclasses that
+        forget still work through the solver."""
 
     @abc.abstractmethod
     def apply_inverse(self, rhs) -> BackendApplication:
         """Return an estimate of the direction of ``A^{-1} rhs``."""
+
+    # ------------------------------------------------------------------ #
+    def apply_inverse_batch(self, rhs_batch) -> list[BackendApplication]:
+        """Apply the compiled inverse to a stack of right-hand sides.
+
+        ``rhs_batch`` is array-like of shape ``(B, N)``; one
+        :class:`BackendApplication` is returned per row.  The base
+        implementation loops over :meth:`apply_inverse`; subclasses override
+        it when they can share work across the batch.
+        """
+        batch = np.atleast_2d(np.asarray(rhs_batch, dtype=float))
+        return [self.apply_inverse(batch[i]) for i in range(batch.shape[0])]
+
+    # ------------------------------------------------------------------ #
+    def _record_synthesis(self, matrix) -> None:
+        """Remember which matrix bytes the synthesis was compiled against."""
+        self.synthesis_fingerprint = matrix_fingerprint(matrix)
+
+    def is_stale(self, matrix) -> bool:
+        """True when ``matrix`` no longer matches the compiled synthesis.
+
+        Always true before the first ``prepare``.  The check hashes the matrix
+        bytes (microseconds at paper scale), so callers can afford it on every
+        solve.
+        """
+        if self.synthesis_fingerprint is None:
+            return True
+        return matrix_fingerprint(matrix) != self.synthesis_fingerprint
 
     # ------------------------------------------------------------------ #
     def describe(self) -> dict:
@@ -223,6 +280,7 @@ class CircuitQSVTBackend(QSVTBackend):
         self.phases = phase_result.phases
         self.phase_residual = phase_result.residual
         self.epsilon_l = float(epsilon_l)
+        self._record_synthesis(mat)
         self._prepared = True
 
     def apply_inverse(self, rhs) -> BackendApplication:
@@ -244,6 +302,37 @@ class CircuitQSVTBackend(QSVTBackend):
             success_probability=application.success_probability,
             shots=self.sampling.shots_used(),
         )
+
+    def apply_inverse_batch(self, rhs_batch) -> list[BackendApplication]:
+        """Batched inverse: one circuit sweep for all ``B`` right-hand sides.
+
+        The whole batch is pushed through
+        :func:`~repro.qsp.qsvt_circuit.apply_qsvt_to_vectors`, so the QSVT
+        circuit is built once (per phase sign) and every gate updates all
+        ``B`` states in a single contraction — the per-state cost collapses to
+        roughly ``1/B`` of a looped :meth:`apply_inverse` at paper scale.
+        """
+        if not self._prepared:
+            raise BackendError("call prepare() before apply_inverse_batch()")
+        batch = np.atleast_2d(np.asarray(rhs_batch, dtype=float))
+        application = apply_qsvt_to_vectors(
+            self.block, self.phases, batch, real_part=True,
+            dense_block_encoding=self.dense_block_encoding)
+        results = []
+        for raw, prob in zip(np.real(application.vectors),
+                             application.success_probabilities):
+            norm = np.linalg.norm(raw)
+            if norm == 0.0:
+                raise BackendError("QSVT produced a zero post-selected state")
+            direction = self.sampling.read_out(raw / norm)
+            results.append(BackendApplication(
+                direction=direction,
+                block_encoding_calls=application.block_encoding_calls,
+                polynomial_degree=self.polynomial.degree,
+                success_probability=float(prob),
+                shots=self.sampling.shots_used(),
+            ))
+        return results
 
     def describe(self) -> dict:
         info = {"backend": self.name,
@@ -300,6 +389,7 @@ class IdealPolynomialBackend(QSVTBackend):
             self.kappa_effective, epsilon_l, max_norm=None,
             calibrate=self.calibrate_polynomial, error_convention=self.error_convention)
         self.epsilon_l = float(epsilon_l)
+        self._record_synthesis(mat)
         self._prepared = True
 
     def apply_inverse(self, rhs) -> BackendApplication:
@@ -322,6 +412,35 @@ class IdealPolynomialBackend(QSVTBackend):
             success_probability=1.0,
             shots=self.sampling.shots_used(),
         )
+
+    def apply_inverse_batch(self, rhs_batch) -> list[BackendApplication]:
+        """Batched inverse: one dense contraction for all ``B`` right-hand sides.
+
+        The Chebyshev transform of the singular values is evaluated once and
+        the whole batch is pushed through ``V diag(P(Σ/α)) W†`` as a single
+        matrix-matrix product.
+        """
+        if not self._prepared:
+            raise BackendError("call prepare() before apply_inverse_batch()")
+        batch = np.atleast_2d(np.asarray(rhs_batch, dtype=float))
+        norms = np.linalg.norm(batch, axis=1)
+        if np.any(norms == 0.0):
+            raise BackendError("cannot apply the inverse to a zero right-hand side")
+        transformed = evaluate_chebyshev(self.polynomial.coefficients, self._sigma / self.alpha)
+        raw = (self._v @ (transformed[:, None] * (self._wh @ (batch / norms[:, None]).T))).T
+        raw_norms = np.linalg.norm(raw, axis=1)
+        if np.any(raw_norms == 0.0):
+            raise BackendError("polynomial transformation produced a zero vector")
+        return [
+            BackendApplication(
+                direction=self.sampling.read_out(raw[i] / raw_norms[i]),
+                block_encoding_calls=self.polynomial.degree,
+                polynomial_degree=self.polynomial.degree,
+                success_probability=1.0,
+                shots=self.sampling.shots_used(),
+            )
+            for i in range(batch.shape[0])
+        ]
 
     def describe(self) -> dict:
         info = {"backend": self.name, "sampling": self.sampling.mode}
@@ -350,12 +469,17 @@ class ExactInverseBackend(QSVTBackend):
     def __init__(self, *, rng=None, sampling: SamplingModel | None = None) -> None:
         self.rng = as_generator(rng)
         self.sampling = sampling if sampling is not None else SamplingModel()
+        # numpy Generators are not thread-safe and the engine layer shares
+        # compiled backends across worker threads (cache + thread-mode
+        # runner); serialise the draws.
+        self._rng_lock = threading.Lock()
         self._prepared = False
 
     def prepare(self, matrix, *, epsilon_l: float, kappa: float | None = None) -> None:
         self.matrix = check_square(np.asarray(matrix, dtype=float), name="A")
         self.epsilon_l = float(epsilon_l)
         self._lu = None
+        self._record_synthesis(self.matrix)
         self._prepared = True
 
     def apply_inverse(self, rhs) -> BackendApplication:
@@ -363,7 +487,8 @@ class ExactInverseBackend(QSVTBackend):
             raise BackendError("call prepare() before apply_inverse()")
         vector = as_vector(rhs, name="rhs").astype(float)
         exact = np.linalg.solve(self.matrix, vector)
-        perturbation = self.rng.standard_normal(exact.shape[0])
+        with self._rng_lock:
+            perturbation = self.rng.standard_normal(exact.shape[0])
         perturbation *= self.epsilon_l * np.linalg.norm(exact) / np.linalg.norm(perturbation)
         noisy = exact + perturbation
         direction = self.sampling.read_out(noisy / np.linalg.norm(noisy))

@@ -14,6 +14,20 @@ then performs
 Used on its own it is the "QSVT only" solver of Table I / Fig. 5; plugged into
 :class:`repro.core.refinement.MixedPrecisionRefinement` it becomes the inner
 solver of Algorithm 2.
+
+Synthesis lifecycle
+-------------------
+The expensive synthesis is performed **once** and keyed to the matrix bytes
+(:func:`repro.utils.matrix_fingerprint`).  Mutating the matrix in place after
+construction no longer silently reuses the stale circuits: :meth:`solve`
+raises :class:`~repro.exceptions.StaleSynthesisError` and the caller decides
+between :meth:`recompile` (refresh the synthesis for the new bytes) or a new
+solver.  :class:`repro.engine.cache.CompiledSolverCache` keys its entries on
+the same fingerprint, so a cached solver can never serve a mutated matrix.
+
+For many right-hand sides against the same matrix, :meth:`solve_batch`
+answers the whole stack through the backend's batched application (one
+circuit sweep on the circuit backend) instead of ``B`` independent solves.
 """
 
 from __future__ import annotations
@@ -22,12 +36,13 @@ import time
 
 import numpy as np
 
+from ..exceptions import StaleSynthesisError
 from ..linalg import condition_number, scaled_residual
 from ..qsp.inverse_polynomial import (
     inverse_polynomial_degree,
     polynomial_error_from_solution_accuracy,
 )
-from ..utils import as_vector, check_square
+from ..utils import as_vector, check_square, matrix_fingerprint
 from .backends import CircuitQSVTBackend, IdealPolynomialBackend, QSVTBackend, make_backend
 from .normalization import recover_scale
 from .results import SingleSolveRecord
@@ -75,12 +90,11 @@ class QSVTLinearSolver:
         if not 0.0 < epsilon_l < 1.0:
             raise ValueError("epsilon_l must be in (0, 1)")
         self.epsilon_l = float(epsilon_l)
-        self.kappa = float(kappa) if kappa is not None else condition_number(self.matrix)
+        self._user_kappa = None if kappa is None else float(kappa)
+        self.kappa = self._user_kappa if kappa is not None else condition_number(self.matrix)
         self.scale_recovery = scale_recovery
         self.backend = self._resolve_backend(backend, backend_options)
-        start = time.perf_counter()
-        self.backend.prepare(self.matrix, epsilon_l=self.epsilon_l, kappa=self.kappa)
-        self.preparation_time = time.perf_counter() - start
+        self._compile()
 
     # ------------------------------------------------------------------ #
     def _resolve_backend(self, backend, backend_options) -> QSVTBackend:
@@ -94,6 +108,64 @@ class QSVTLinearSolver:
                 and self.matrix.shape[0] <= _AUTO_DIMENSION_LIMIT):
             return CircuitQSVTBackend(**backend_options)
         return IdealPolynomialBackend(**backend_options)
+
+    # ------------------------------------------------------------------ #
+    # synthesis lifecycle
+    # ------------------------------------------------------------------ #
+    def _compile(self) -> None:
+        """Run the backend synthesis and record the matrix fingerprint."""
+        start = time.perf_counter()
+        self.backend.prepare(self.matrix, epsilon_l=self.epsilon_l, kappa=self.kappa)
+        self.preparation_time = time.perf_counter() - start
+        self.fingerprint = matrix_fingerprint(self.matrix)
+        # prepare() just ran against exactly these bytes; recording the
+        # fingerprint on the backend here keeps third-party subclasses whose
+        # prepare() does not call _record_synthesis working through the
+        # solver (and is a no-op for the built-in backends).
+        self.backend.synthesis_fingerprint = self.fingerprint
+
+    def is_stale(self) -> bool:
+        """True when the matrix bytes changed since the last synthesis.
+
+        The solver holds a *reference* to the matrix, so an in-place mutation
+        (``A *= 2``, ``A[0, 0] = ...``) changes the system but not the
+        compiled block-encoding / polynomial / phases.  This check — a hash of
+        the matrix bytes — detects the divergence.
+        """
+        return matrix_fingerprint(self.matrix) != self.fingerprint
+
+    def recompile(self) -> "QSVTLinearSolver":
+        """Re-run the circuit synthesis against the current matrix bytes.
+
+        Refreshes the condition number (unless one was pinned at
+        construction), the block-encoding, the inverse polynomial and the QSP
+        phases.  Returns ``self`` so the call chains:
+        ``solver.recompile().solve(rhs)``.
+        """
+        self.kappa = (self._user_kappa if self._user_kappa is not None
+                      else condition_number(self.matrix))
+        self._compile()
+        return self
+
+    def _check_fresh(self) -> None:
+        # one hash covers both staleness modes: the stored digests are
+        # compared against a single fingerprint of the current bytes.
+        current = matrix_fingerprint(self.matrix)
+        if current != self.fingerprint:
+            raise StaleSynthesisError(
+                "the matrix was modified in place after circuit synthesis; call "
+                "recompile() to refresh the block-encoding/polynomial/phases, or "
+                "build a new QSVTLinearSolver")
+        # the backend may be shared: another solver (or a direct prepare()
+        # call) can have re-synthesised it for a different matrix, in which
+        # case this solver's matrix is intact but the backend's compiled
+        # artefacts are not ours anymore.
+        if current != self.backend.synthesis_fingerprint:
+            raise StaleSynthesisError(
+                "the backend's compiled synthesis no longer matches this solver's "
+                "matrix (the backend instance was re-prepared for a different "
+                "matrix — e.g. it is shared between solvers); call recompile() or "
+                "give each solver its own backend")
 
     # ------------------------------------------------------------------ #
     @property
@@ -118,12 +190,40 @@ class QSVTLinearSolver:
         b = as_vector(rhs, name="rhs").astype(float)
         if b.shape[0] != self.dimension:
             raise ValueError("right-hand side length does not match the matrix")
+        self._check_fresh()
         start = time.perf_counter()
         application = self.backend.apply_inverse(b)
+        elapsed = time.perf_counter() - start
+        return self._assemble_record(application, b, elapsed)
+
+    def solve_batch(self, rhs_batch) -> list[SingleSolveRecord]:
+        """Solve ``A x = b_i`` for a stack of right-hand sides at accuracy ``ε_l``.
+
+        ``rhs_batch`` is array-like of shape ``(B, N)``.  The compiled
+        synthesis is shared and the backend answers the whole batch in one
+        application (a single circuit sweep on the circuit backend, see
+        :meth:`repro.core.backends.CircuitQSVTBackend.apply_inverse_batch`);
+        only the cheap classical de-normalisation runs per right-hand side.
+        Returns one :class:`~repro.core.results.SingleSolveRecord` per row,
+        with the shared quantum wall time split evenly across the records.
+        """
+        batch = np.atleast_2d(np.asarray(rhs_batch, dtype=float))
+        if batch.shape[1] != self.dimension:
+            raise ValueError("right-hand side length does not match the matrix")
+        self._check_fresh()
+        start = time.perf_counter()
+        applications = self.backend.apply_inverse_batch(batch)
+        elapsed = (time.perf_counter() - start) / max(len(applications), 1)
+        return [self._assemble_record(application, batch[i], elapsed)
+                for i, application in enumerate(applications)]
+
+    # ------------------------------------------------------------------ #
+    def _assemble_record(self, application, b: np.ndarray,
+                         elapsed: float) -> SingleSolveRecord:
+        """De-normalise one backend application into a solve record."""
         direction = np.real(np.asarray(application.direction, dtype=float))
         scale = recover_scale(self.matrix, direction, b, method=self.scale_recovery)
         x = scale * direction
-        elapsed = time.perf_counter() - start
         omega = scaled_residual(self.matrix, x, b) if np.linalg.norm(b) > 0 else 0.0
         return SingleSolveRecord(
             x=x,

@@ -1,0 +1,56 @@
+"""High-throughput solve engine: batching, caching, parallel scenario running.
+
+The rest of :mod:`repro` reproduces the paper's algorithms for *one* solve at
+a time; this sub-package is the service layer that turns them into a
+high-throughput system, exploiting the compile-once / solve-many structure of
+Algorithm 2 along three independent axes:
+
+* **batching** — :class:`~repro.engine.batched.BatchedStatevector` simulates
+  ``B`` states as one ``(B, 2**n)`` amplitude stack, so a multi-right-hand-side
+  QSVT solve (:meth:`repro.core.qsvt_solver.QSVTLinearSolver.solve_batch`)
+  costs one circuit sweep instead of ``B``;
+* **caching** — :class:`~repro.engine.cache.CompiledSolverCache` keys compiled
+  solvers (block-encoding + polynomial + QSP phases) on the exact matrix
+  bytes, so repeated requests against the same system skip synthesis entirely;
+* **parallelism** — :class:`~repro.engine.runner.ScenarioRunner` fans
+  independent :class:`~repro.engine.runner.SolveJob` requests out across a
+  thread or process pool, with per-worker caches and per-job fault isolation.
+
+:mod:`repro.engine.registry` binds the three together behind a discoverable
+scenario API (``build_scenario("kappa-sweep", ...)``).  See
+``benchmarks/bench_engine_throughput.py`` for the measured batched-vs-looped
+speedup and cache behaviour.
+"""
+
+from .batched import (
+    BatchedStatevector,
+    apply_circuit_batch,
+    apply_gate_batch,
+    zero_batch,
+)
+from .cache import CompiledSolverCache
+from .registry import (
+    Scenario,
+    build_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from .runner import JobResult, ScenarioRunner, SolveJob, execute_job
+
+__all__ = [
+    "BatchedStatevector",
+    "zero_batch",
+    "apply_gate_batch",
+    "apply_circuit_batch",
+    "CompiledSolverCache",
+    "SolveJob",
+    "JobResult",
+    "execute_job",
+    "ScenarioRunner",
+    "Scenario",
+    "register_scenario",
+    "build_scenario",
+    "list_scenarios",
+    "scenario_names",
+]

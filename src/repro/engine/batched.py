@@ -1,0 +1,194 @@
+"""Batched dense state-vector simulation.
+
+:class:`BatchedStatevector` stores a stack of ``B`` amplitude vectors as one
+``(B, 2**n)`` array and applies a gate to *all* of them with a single
+``numpy.tensordot`` contraction: the state is viewed as a tensor of shape
+``(B,) + (2,) * n`` (batch axis first, then one axis per qubit, qubit 0 most
+significant — the same big-endian convention as
+:mod:`repro.quantum.statevector`) and the gate matrix is contracted over the
+target axes.  Relative to a Python loop over ``B`` independent
+:class:`~repro.quantum.Statevector` simulations this amortises every per-gate
+cost — circuit iteration, gate-tensor reshaping, numpy dispatch — over the
+whole batch, which is what makes the multi-right-hand-side QSVT solve of
+:func:`repro.qsp.qsvt_circuit.apply_qsvt_to_vectors` cost one circuit sweep
+instead of ``B``.
+
+The raw array kernels live next to the single-state ones in
+:func:`repro.quantum.statevector.apply_gate_batched` /
+:func:`repro.quantum.measurement.postselect_batched`, so the lower layers
+(``qsp``, ``core``) can batch without importing the engine; this module wraps
+them in the engine-level batch object.  The design mirrors the vectorised
+engines of the related simulator repos (qibo's backend dispatch, quantumsim's
+tensor engine): the batch is an *engine-level* object — circuits and gates
+stay simulator-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DimensionError
+from ..quantum.circuit import QuantumCircuit
+from ..quantum.gates import Gate
+from ..quantum.measurement import postselect_batched
+from ..quantum.statevector import (
+    Statevector,
+    apply_circuit_batched,
+    apply_gate_batched,
+)
+from ..utils import check_power_of_two
+
+__all__ = [
+    "BatchedStatevector",
+    "zero_batch",
+    "apply_gate_batch",
+    "apply_circuit_batch",
+]
+
+
+class BatchedStatevector:
+    """A stack of ``B`` states of an ``n``-qubit register.
+
+    Parameters
+    ----------
+    data:
+        Complex amplitudes of shape ``(B, 2**n)``.  As with
+        :class:`~repro.quantum.Statevector` they are *not* renormalised:
+        sub-normalised rows legitimately appear after post-selection.
+    """
+
+    def __init__(self, data) -> None:
+        arr = np.asarray(data, dtype=complex)
+        if arr.ndim != 2:
+            raise DimensionError(
+                f"batched statevector data must be 2-D (B, 2**n), got shape {arr.shape}")
+        if arr.shape[0] < 1:
+            raise DimensionError("a batch needs at least one state")
+        check_power_of_two(arr.shape[1], name="statevector length")
+        self._data = arr
+        self.num_qubits = int(arr.shape[1]).bit_length() - 1
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_statevectors(cls, states: Sequence[Statevector]) -> "BatchedStatevector":
+        """Stack individual :class:`~repro.quantum.Statevector` objects."""
+        if not states:
+            raise DimensionError("cannot build a batch from zero states")
+        return cls(np.stack([state.data for state in states]))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def data(self) -> np.ndarray:
+        """Amplitude stack of shape ``(batch_size, 2**num_qubits)``."""
+        return self._data
+
+    @property
+    def batch_size(self) -> int:
+        """Number of states ``B`` in the stack."""
+        return self._data.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Hilbert-space dimension of each state."""
+        return self._data.shape[1]
+
+    def norms(self) -> np.ndarray:
+        """Euclidean norm of every state (length ``B``)."""
+        return np.linalg.norm(self._data, axis=1)
+
+    def normalized(self) -> "BatchedStatevector":
+        """Unit-norm copy of every state (raises if any row is zero)."""
+        norms = self.norms()
+        if np.any(norms == 0.0):
+            raise ZeroDivisionError("cannot normalise a zero state in the batch")
+        return BatchedStatevector(self._data / norms[:, None])
+
+    def probabilities(self) -> np.ndarray:
+        """Per-state measurement probabilities ``|amplitude|**2`` (``(B, 2**n)``)."""
+        return np.abs(self._data) ** 2
+
+    def copy(self) -> "BatchedStatevector":
+        """Deep copy."""
+        return BatchedStatevector(self._data.copy())
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __getitem__(self, index: int) -> Statevector:
+        """Extract one state of the batch as a :class:`~repro.quantum.Statevector`."""
+        return Statevector(self._data[index].copy())
+
+    def to_statevectors(self) -> list[Statevector]:
+        """Unstack into individual :class:`~repro.quantum.Statevector` objects."""
+        return [self[i] for i in range(self.batch_size)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BatchedStatevector(batch_size={self.batch_size}, "
+                f"num_qubits={self.num_qubits})")
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+    def apply_gate(self, gate: Gate) -> "BatchedStatevector":
+        """Apply one gate to every state and return the new batch."""
+        return BatchedStatevector(apply_gate_batched(self._data, gate))
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> "BatchedStatevector":
+        """Run a circuit on every state of the batch."""
+        if self.num_qubits != circuit.num_qubits:
+            raise DimensionError(
+                f"batch has {self.num_qubits} qubits but circuit expects "
+                f"{circuit.num_qubits}")
+        return BatchedStatevector(apply_circuit_batched(circuit, self._data))
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+    def postselect(self, qubits: Sequence[int], outcome: int | Sequence[int], *,
+                   renormalize: bool = True) -> tuple["BatchedStatevector", np.ndarray]:
+        """Project ``qubits`` of every state onto ``outcome``.
+
+        Batched analogue of :func:`repro.quantum.measurement.postselect`: the
+        returned batch lives on the *remaining* qubits and the second element
+        is the per-state outcome probability (length ``B``).  See
+        :func:`repro.quantum.measurement.postselect_batched` for the kernel
+        and parameter semantics.
+        """
+        reduced, probabilities = postselect_batched(self._data, qubits, outcome,
+                                                    renormalize=renormalize)
+        return BatchedStatevector(reduced), probabilities
+
+
+def zero_batch(batch_size: int, num_qubits: int) -> BatchedStatevector:
+    """A batch of ``batch_size`` copies of ``|0...0>`` on ``num_qubits`` qubits."""
+    if batch_size < 1:
+        raise DimensionError("batch_size must be >= 1")
+    if num_qubits < 1:
+        raise DimensionError("num_qubits must be >= 1")
+    data = np.zeros((batch_size, 2**num_qubits), dtype=complex)
+    data[:, 0] = 1.0
+    return BatchedStatevector(data)
+
+
+def apply_gate_batch(batch: BatchedStatevector, gate: Gate) -> BatchedStatevector:
+    """Apply one gate to every state of the batch (input is not modified)."""
+    return batch.apply_gate(gate)
+
+
+def apply_circuit_batch(circuit: QuantumCircuit,
+                        batch: BatchedStatevector | None = None, *,
+                        batch_size: int | None = None) -> BatchedStatevector:
+    """Run ``circuit`` on every state of ``batch`` and return the result.
+
+    When ``batch`` is omitted, a batch of ``batch_size`` zero states is used
+    (``batch_size`` is then required).
+    """
+    if batch is None:
+        if batch_size is None:
+            raise DimensionError("either a batch or a batch_size is required")
+        batch = zero_batch(batch_size, circuit.num_qubits)
+    return batch.apply_circuit(circuit)

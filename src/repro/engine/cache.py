@@ -1,0 +1,230 @@
+"""LRU cache of compiled QSVT solvers.
+
+Algorithm 2 is compile-once / solve-many: the block-encoding, the Eq.-(4)
+inverse polynomial and the QSP phase factors depend only on ``(A, ε_l)`` and
+are reused across every refinement iteration.  A service that answers many
+requests therefore wants one more level of reuse — across *requests*: two
+solves against the same matrix at the same inner accuracy should share one
+synthesis.  :class:`CompiledSolverCache` provides exactly that, keyed by
+
+* the **matrix fingerprint** (:func:`repro.utils.matrix_fingerprint`, exact
+  bytes — the same guard :class:`repro.core.qsvt_solver.QSVTLinearSolver`
+  uses for staleness detection, so cache keys can never serve a mutated
+  matrix),
+* the inner accuracy ``ε_l``,
+* the backend kind and its options.
+
+Eviction is least-recently-used; ``hits`` / ``misses`` / ``compiles``
+counters make the reuse observable (the throughput benchmark and the engine
+tests assert on them).  The cache is thread-safe and is what
+:class:`repro.engine.runner.ScenarioRunner` workers consult before paying for
+a synthesis.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.backends import QSVTBackend
+from ..core.qsvt_solver import QSVTLinearSolver
+from ..utils import matrix_fingerprint
+
+__all__ = ["CompiledSolverCache"]
+
+
+class CompiledSolverCache:
+    """Reuse compiled :class:`~repro.core.qsvt_solver.QSVTLinearSolver` objects.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of compiled solvers kept alive; the least recently
+        used entry is evicted first.  ``None`` disables eviction.
+
+    Examples
+    --------
+    >>> cache = CompiledSolverCache()
+    >>> s1 = cache.solver(matrix, epsilon_l=1e-2, backend="circuit")  # compiles
+    >>> s2 = cache.solver(matrix, epsilon_l=1e-2, backend="circuit")  # cache hit
+    >>> s1 is s2, cache.stats()["compiles"]
+    (True, 1)
+    """
+
+    def __init__(self, maxsize: int | None = 32) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1 (or None for unbounded)")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, QSVTLinearSolver] = OrderedDict()
+        self._lock = threading.Lock()
+        #: per-key compile locks so concurrent misses for the *same* key wait
+        #: for one synthesis instead of each paying for their own, while
+        #: different keys still compile in parallel.
+        self._compile_locks: dict[tuple, threading.Lock] = {}
+        self._hits = 0
+        self._misses = 0
+        self._compiles = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _canonical_option(cls, value):
+        """Deterministic, identity-free form of one backend option value.
+
+        Cache keys must not depend on object identity (``repr`` of a numpy
+        ``Generator`` embeds a memory address: equal configurations would
+        never hit, and address reuse could collide different ones), so only
+        plainly comparable values are accepted.
+        """
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, (tuple, list)):
+            return tuple(cls._canonical_option(item) for item in value)
+        if isinstance(value, dict):
+            return tuple(sorted((str(k), cls._canonical_option(v))
+                                for k, v in value.items()))
+        raise TypeError(
+            f"backend option value {value!r} ({type(value).__name__}) cannot be "
+            "used as a cache key; pass primitives (numbers, strings, tuples) or "
+            "construct the QSVTLinearSolver directly instead of going through "
+            "the cache")
+
+    @classmethod
+    def _key(cls, matrix, epsilon_l: float, backend, kappa, backend_options) -> tuple:
+        if isinstance(backend, QSVTBackend):
+            raise TypeError(
+                "CompiledSolverCache requires the backend by *name* ('circuit', "
+                "'ideal', 'exact', 'auto'); a backend instance carries state that "
+                "cannot be shared safely across cache entries")
+        options = tuple(sorted((str(k), cls._canonical_option(v))
+                               for k, v in backend_options.items()))
+        return (matrix_fingerprint(matrix), float(epsilon_l), str(backend).lower(),
+                None if kappa is None else float(kappa), options)
+
+    # ------------------------------------------------------------------ #
+    def solver(self, matrix, *, epsilon_l: float = 1e-2, backend: str = "auto",
+               kappa: float | None = None, **backend_options) -> QSVTLinearSolver:
+        """Return a compiled solver for ``(matrix, ε_l, backend)``, reusing one if cached.
+
+        On a miss, a :class:`~repro.core.qsvt_solver.QSVTLinearSolver` is
+        built (paying block-encoding + polynomial + phase synthesis) and
+        stored; on a hit, the cached instance is returned untouched — zero
+        re-synthesis.  The signature mirrors the solver constructor so the
+        cache is a drop-in replacement for direct construction.
+
+        The cached solver owns a *private copy* of the matrix: mutating the
+        caller's array afterwards can therefore never poison the entry —
+        requests presenting the original bytes keep hitting a solver whose
+        matrix still matches them.  Every lookup is counted as exactly one
+        hit or one miss, and a miss implies this call performed the synthesis
+        (concurrent misses for one key serialise on a per-key lock, so a
+        burst of identical requests compiles once).
+        """
+        key = self._key(matrix, epsilon_l, backend, kappa, backend_options)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            compile_lock = self._compile_locks.setdefault(key, threading.Lock())
+        with compile_lock:
+            # another thread may have finished the synthesis while we waited.
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    self._entries.move_to_end(key)
+                    return cached
+                self._misses += 1
+            # compile outside the global lock: synthesis can take seconds and
+            # other keys must not serialise behind it.  The solver gets its
+            # own copy of the matrix so later caller-side mutations cannot
+            # reach the cached synthesis.
+            try:
+                solver = QSVTLinearSolver(np.array(matrix, dtype=float, copy=True),
+                                          epsilon_l=epsilon_l, backend=backend,
+                                          kappa=kappa, **backend_options)
+            except BaseException:
+                # failed syntheses must not leak their per-key lock (a stream
+                # of failing requests would otherwise grow the map unboundedly)
+                with self._lock:
+                    self._compile_locks.pop(key, None)
+                raise
+            with self._lock:
+                self._compiles += 1
+                self._entries[key] = solver
+                self._entries.move_to_end(key)
+                self._compile_locks.pop(key, None)
+                while self.maxsize is not None and len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+        return solver
+
+    # ------------------------------------------------------------------ #
+    def invalidate(self, matrix) -> int:
+        """Drop every entry compiled for ``matrix`` (by fingerprint).
+
+        Returns the number of entries removed.  Note that in-place mutation
+        already changes the fingerprint and therefore the key — explicit
+        invalidation is only needed to reclaim memory or force a re-synthesis
+        of unchanged bytes.
+        """
+        fingerprint = matrix_fingerprint(matrix)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == fingerprint]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every cached solver (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, matrix) -> bool:
+        """Whether *any* entry was compiled for ``matrix`` (any ε_l/backend)."""
+        fingerprint = matrix_fingerprint(matrix)
+        with self._lock:
+            return any(key[0] == fingerprint for key in self._entries)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hits(self) -> int:
+        """Lookups answered without synthesis."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that required a synthesis."""
+        return self._misses
+
+    @property
+    def compiles(self) -> int:
+        """Solver compilations performed on behalf of callers."""
+        return self._compiles
+
+    def stats(self) -> dict:
+        """Counter snapshot (hits, misses, compiles, evictions, size, hit rate)."""
+        with self._lock:
+            size = len(self._entries)
+        total = self._hits + self._misses
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "compiles": self._compiles,
+            "evictions": self._evictions,
+            "size": size,
+            "hit_rate": (self._hits / total) if total else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (f"CompiledSolverCache(size={stats['size']}, hits={stats['hits']}, "
+                f"misses={stats['misses']}, compiles={stats['compiles']})")

@@ -1,0 +1,182 @@
+"""Discoverable scenario families for the solve engine.
+
+The repo grows new workloads PR over PR (Poisson chains, κ sweeps, ε_l
+ablations, multi-right-hand-side batches, ...) and each benchmark used to
+hand-roll its own problem construction.  The registry turns a *scenario
+family* into a named, parameterised factory of :class:`~repro.engine.runner.SolveJob`
+lists so that benchmarks, examples and services all reach workloads through
+one API:
+
+>>> from repro.engine import ScenarioRunner, build_scenario, list_scenarios
+>>> list_scenarios()                      # discover what exists
+>>> scenario = build_scenario("kappa-sweep", dimension=16, kappas=(2, 10, 50))
+>>> results = ScenarioRunner(mode="process").run(scenario.jobs)
+
+Third-party code registers new families with the :func:`register_scenario`
+decorator; the built-ins wrap the existing generators of
+:mod:`repro.applications` (Poisson discretisation, random workloads) plus the
+batched multi-RHS and sweep families this engine PR introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..applications.poisson import PoissonProblem
+from ..applications.workloads import random_workload
+from ..linalg import random_rhs
+from ..utils import as_generator
+from .runner import SolveJob
+
+__all__ = [
+    "Scenario",
+    "register_scenario",
+    "build_scenario",
+    "list_scenarios",
+    "scenario_names",
+]
+
+
+@dataclass
+class Scenario:
+    """A named bundle of independent solve jobs.
+
+    Attributes
+    ----------
+    name:
+        Registry name the bundle was built from.
+    description:
+        One-line summary of the family.
+    jobs:
+        The generated :class:`~repro.engine.runner.SolveJob` list.
+    params:
+        The keyword arguments the family was instantiated with (after
+        defaulting), kept for reporting.
+    """
+
+    name: str
+    description: str
+    jobs: list[SolveJob]
+    params: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+#: registered factories: name -> (description, builder(**params) -> list[SolveJob]).
+_REGISTRY: dict[str, tuple[str, Callable[..., list[SolveJob]]]] = {}
+
+
+def register_scenario(name: str, *, description: str = ""):
+    """Decorator registering ``builder(**params) -> list[SolveJob]`` under ``name``.
+
+    Re-registering a name overwrites the previous factory (latest wins), so
+    applications can shadow a built-in family with a tuned variant.
+    """
+
+    def decorator(builder: Callable[..., list[SolveJob]]):
+        summary = description
+        if not summary and builder.__doc__:
+            summary = builder.__doc__.strip().splitlines()[0]
+        _REGISTRY[name] = (summary or name, builder)
+        return builder
+
+    return decorator
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered scenario family."""
+    return sorted(_REGISTRY)
+
+
+def list_scenarios() -> dict[str, str]:
+    """Mapping of scenario name to its one-line description."""
+    return {name: _REGISTRY[name][0] for name in scenario_names()}
+
+
+def build_scenario(name: str, **params) -> Scenario:
+    """Instantiate a registered scenario family with the given parameters."""
+    try:
+        description, builder = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}") from None
+    jobs = builder(**params)
+    return Scenario(name=name, description=description, jobs=list(jobs), params=params)
+
+
+# ---------------------------------------------------------------------- #
+# built-in families
+# ---------------------------------------------------------------------- #
+@register_scenario("poisson",
+                   description="one refined solve of the 1-D Poisson problem")
+def _poisson(num_points: int = 16, epsilon_l: float = 1e-2,
+             target_accuracy: float = 1e-10, backend: str = "auto") -> list[SolveJob]:
+    problem = PoissonProblem(num_points)
+    matrix, rhs = problem.system()
+    return [SolveJob(
+        name=f"poisson-n{num_points}", matrix=matrix, rhs=rhs,
+        epsilon_l=epsilon_l, target_accuracy=target_accuracy, backend=backend,
+        kappa=problem.condition_number(exact=True),
+        metadata={"num_points": num_points})]
+
+
+@register_scenario("poisson-multi-rhs",
+                   description="one Poisson matrix, many right-hand sides "
+                               "(compile-once / solve-many; cache- and batch-friendly)")
+def _poisson_multi_rhs(num_points: int = 16, num_rhs: int = 8,
+                       epsilon_l: float = 1e-2,
+                       target_accuracy: float | None = None,
+                       backend: str = "auto", rng=None) -> list[SolveJob]:
+    if num_rhs < 1:
+        raise ValueError("num_rhs must be >= 1")
+    problem = PoissonProblem(num_points)
+    matrix = problem.matrix()
+    kappa = problem.condition_number(exact=True)
+    gen = as_generator(rng)
+    jobs = []
+    for index in range(num_rhs):
+        jobs.append(SolveJob(
+            name=f"poisson-n{num_points}-rhs{index}", matrix=matrix,
+            rhs=random_rhs(num_points, rng=gen), epsilon_l=epsilon_l,
+            target_accuracy=target_accuracy, backend=backend, kappa=kappa,
+            metadata={"num_points": num_points, "rhs_index": index}))
+    return jobs
+
+
+@register_scenario("kappa-sweep",
+                   description="random workloads sweeping the condition number "
+                               "(the Sec. IV / Fig. 4 axis)")
+def _kappa_sweep(dimension: int = 16, kappas=(2.0, 10.0, 100.0),
+                 epsilon_l: float = 1e-2, target_accuracy: float = 1e-10,
+                 backend: str = "auto", rng=None) -> list[SolveJob]:
+    gen = as_generator(rng)
+    jobs = []
+    for kappa in kappas:
+        workload = random_workload(dimension, float(kappa), rng=gen)
+        jobs.append(SolveJob(
+            name=workload.name, matrix=workload.matrix, rhs=workload.rhs,
+            epsilon_l=epsilon_l, target_accuracy=target_accuracy,
+            backend=backend, kappa=float(kappa),
+            metadata={"kappa": float(kappa), "dimension": dimension}))
+    return jobs
+
+
+@register_scenario("epsilon-sweep",
+                   description="one workload refined at several inner accuracies "
+                               "epsilon_l (the Fig. 3 axis)")
+def _epsilon_sweep(dimension: int = 16, kappa: float = 10.0,
+                   epsilons=(1e-1, 1e-2, 1e-3), target_accuracy: float = 1e-10,
+                   backend: str = "auto", rng=0) -> list[SolveJob]:
+    workload = random_workload(dimension, float(kappa), rng=rng)
+    jobs = []
+    for epsilon_l in epsilons:
+        jobs.append(SolveJob(
+            name=f"{workload.name}-eps{epsilon_l:g}", matrix=workload.matrix,
+            rhs=workload.rhs, epsilon_l=float(epsilon_l),
+            target_accuracy=target_accuracy, backend=backend, kappa=float(kappa),
+            metadata={"epsilon_l": float(epsilon_l), "kappa": float(kappa)}))
+    return jobs

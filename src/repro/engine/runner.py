@@ -1,0 +1,227 @@
+"""Parallel scenario runner: fan independent solve jobs out across workers.
+
+A production deployment of the paper's pipeline answers streams of
+independent requests — different matrices, different right-hand sides,
+different accuracy targets.  Each request is CPU-bound dense simulation with
+no shared state beyond the compiled synthesis, which makes the workload
+embarrassingly parallel.  :class:`ScenarioRunner` models it as a queue of
+:class:`SolveJob` descriptions executed by a ``concurrent.futures`` pool:
+
+* ``mode="serial"`` — run in the calling thread (the reference semantics the
+  tests compare the parallel modes against);
+* ``mode="thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`;
+  numpy releases the GIL inside its kernels, so threads already overlap the
+  heavy contractions and share one :class:`~repro.engine.cache.CompiledSolverCache`;
+* ``mode="process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (fork start method when available) for full CPU parallelism; each worker
+  process keeps its own compiled-solver cache, so jobs hitting the same
+  matrix still compile at most once *per worker*.
+
+Jobs are plain data (numpy arrays + strings), hence picklable; results come
+back as :class:`JobResult` records in submission order, with per-job failures
+captured in ``error`` instead of aborting the whole run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.refinement import MixedPrecisionRefinement
+from .cache import CompiledSolverCache
+
+__all__ = ["SolveJob", "JobResult", "execute_job", "ScenarioRunner"]
+
+
+@dataclass
+class SolveJob:
+    """One independent linear-system request.
+
+    Attributes
+    ----------
+    name:
+        Identifier echoed into the matching :class:`JobResult`.
+    matrix / rhs:
+        The system ``A x = b``.
+    epsilon_l:
+        Inner (single-solve) accuracy of the QSVT solver.
+    target_accuracy:
+        When set, the job runs full mixed-precision refinement (Algorithm 2)
+        down to this scaled residual; when ``None`` the job is a single QSVT
+        solve at ``epsilon_l``.
+    backend:
+        Backend *name* (``"auto"``, ``"circuit"``, ``"ideal"``, ``"exact"``) —
+        names keep the job picklable and cache-friendly.
+    kappa:
+        Optional pinned condition number.
+    backend_options:
+        Extra keyword arguments for the backend factory.
+    metadata:
+        Free-form labels (scenario parameters etc.), copied to the result.
+    """
+
+    name: str
+    matrix: np.ndarray
+    rhs: np.ndarray
+    epsilon_l: float = 1e-2
+    target_accuracy: float | None = None
+    backend: str = "auto"
+    kappa: float | None = None
+    backend_options: dict = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one :class:`SolveJob`.
+
+    ``error`` is ``None`` on success; on failure it holds the exception
+    rendered as ``"TypeName: message"`` and the numeric fields are zeroed.
+    """
+
+    name: str
+    x: np.ndarray | None
+    scaled_residual: float
+    converged: bool
+    iterations: int
+    block_encoding_calls: int
+    wall_time: float
+    error: str | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the job completed without raising."""
+        return self.error is None
+
+
+#: per-process default cache used by :func:`execute_job` when the caller does
+#: not supply one; worker processes each materialise their own copy on first
+#: use, so repeated matrices compile at most once per worker.
+_WORKER_CACHE: CompiledSolverCache | None = None
+
+
+def _default_cache() -> CompiledSolverCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = CompiledSolverCache()
+    return _WORKER_CACHE
+
+
+def execute_job(job: SolveJob, cache: CompiledSolverCache | None = None) -> JobResult:
+    """Run one job to completion (module-level so process pools can pickle it).
+
+    The compiled solver is fetched through ``cache`` (default: the
+    per-process cache), so a batch of jobs against one matrix pays for a
+    single synthesis.  Exceptions are captured into ``JobResult.error``.
+    """
+    start = time.perf_counter()
+    try:
+        solver = (cache if cache is not None else _default_cache()).solver(
+            job.matrix, epsilon_l=job.epsilon_l, backend=job.backend,
+            kappa=job.kappa, **job.backend_options)
+        if job.target_accuracy is not None:
+            result = MixedPrecisionRefinement(
+                solver, target_accuracy=job.target_accuracy).solve(job.rhs)
+            return JobResult(
+                name=job.name, x=result.x,
+                scaled_residual=float(result.history[-1].scaled_residual),
+                converged=bool(result.converged),
+                iterations=int(result.iterations),
+                block_encoding_calls=int(result.total_block_encoding_calls),
+                wall_time=time.perf_counter() - start,
+                metadata=dict(job.metadata))
+        record = solver.solve(job.rhs)
+        return JobResult(
+            name=job.name, x=record.x,
+            scaled_residual=float(record.scaled_residual),
+            converged=bool(record.scaled_residual <= job.epsilon_l),
+            iterations=0,
+            block_encoding_calls=int(record.block_encoding_calls),
+            wall_time=time.perf_counter() - start,
+            metadata=dict(job.metadata))
+    except Exception as exc:  # noqa: BLE001 - per-job fault isolation
+        return JobResult(
+            name=job.name, x=None, scaled_residual=float("nan"),
+            converged=False, iterations=0, block_encoding_calls=0,
+            wall_time=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+            metadata=dict(job.metadata))
+
+
+class ScenarioRunner:
+    """Execute a list of :class:`SolveJob` across a worker pool.
+
+    Parameters
+    ----------
+    mode:
+        ``"serial"``, ``"thread"`` or ``"process"`` (see module docstring).
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at 8 (dense
+        simulation saturates memory bandwidth before it saturates many cores).
+    cache:
+        Compiled-solver cache shared by the serial and thread modes (process
+        workers keep per-process caches).  A fresh cache is created when
+        omitted.
+    """
+
+    _MODES = ("serial", "thread", "process")
+
+    def __init__(self, *, mode: str = "thread", max_workers: int | None = None,
+                 cache: CompiledSolverCache | None = None) -> None:
+        if mode not in self._MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {self._MODES}")
+        self.mode = mode
+        if max_workers is None:
+            max_workers = min(os.cpu_count() or 1, 8)
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+        self.cache = cache if cache is not None else CompiledSolverCache()
+
+    # ------------------------------------------------------------------ #
+    def run(self, jobs) -> list[JobResult]:
+        """Execute every job and return results in submission order.
+
+        Individual failures are recorded in ``JobResult.error``; the run
+        itself only raises for infrastructure problems (e.g. a worker process
+        dying).
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.mode == "serial":
+            return [execute_job(job, self.cache) for job in jobs]
+        if self.mode == "thread":
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [pool.submit(execute_job, job, self.cache) for job in jobs]
+                return [future.result() for future in futures]
+        # process mode: jobs must cross a pickle boundary, so the shared cache
+        # stays behind and each worker uses its per-process default cache.
+        with ProcessPoolExecutor(max_workers=self.max_workers,
+                                 mp_context=_fork_context()) as pool:
+            return list(pool.map(execute_job, jobs))
+
+    def run_scenario(self, name: str, **params) -> list[JobResult]:
+        """Build a registered scenario (see :mod:`repro.engine.registry`) and run it."""
+        from .registry import build_scenario
+
+        return self.run(build_scenario(name, **params).jobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScenarioRunner(mode={self.mode!r}, max_workers={self.max_workers})"
+
+
+def _fork_context():
+    """Fork start method when the platform offers it (workers inherit
+    ``sys.path`` and the imported package), ``None`` → platform default."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None

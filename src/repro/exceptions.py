@@ -19,6 +19,7 @@ __all__ = [
     "StatePreparationError",
     "PrecisionError",
     "BackendError",
+    "StaleSynthesisError",
     "ResourceModelError",
 ]
 
@@ -72,6 +73,15 @@ class PrecisionError(ReproError, ValueError):
 
 class BackendError(ReproError, RuntimeError):
     """A QPU backend could not execute the requested program."""
+
+
+class StaleSynthesisError(BackendError):
+    """Compiled solver artefacts no longer match the matrix they were built for.
+
+    Raised when a matrix is mutated in place after circuit synthesis (detected
+    by a fingerprint mismatch, see :func:`repro.utils.matrix_fingerprint`);
+    call :meth:`repro.core.qsvt_solver.QSVTLinearSolver.recompile` to refresh
+    the synthesis, or build a new solver."""
 
 
 class ResourceModelError(ReproError, ValueError):

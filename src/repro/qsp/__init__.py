@@ -36,6 +36,7 @@ from .rectangle import rectangle_polynomial, window_inverse_polynomial
 from .phase_factors import PhaseFactorResult, qsp_polynomial_values, solve_qsp_phases
 from .qsvt_circuit import (
     apply_qsvt_to_vector,
+    apply_qsvt_to_vectors,
     build_qsvt_circuit,
     projector_phase_gate,
     wx_to_circuit_phases,
@@ -62,6 +63,7 @@ __all__ = [
     "build_qsvt_circuit",
     "projector_phase_gate",
     "apply_qsvt_to_vector",
+    "apply_qsvt_to_vectors",
     "apply_polynomial_via_svd",
     "qsvt_transform_error",
 ]

@@ -43,15 +43,17 @@ import numpy as np
 from ..blockencoding.base import BlockEncoding
 from ..exceptions import DimensionError
 from ..quantum import QuantumCircuit, Statevector
-from ..quantum.measurement import postselect
-from ..quantum.statevector import apply_circuit
+from ..quantum.measurement import postselect, postselect_batched
+from ..quantum.statevector import apply_circuit, apply_circuit_batched
 
 __all__ = [
     "wx_to_circuit_phases",
     "projector_phase_gate",
     "build_qsvt_circuit",
     "QSVTApplication",
+    "QSVTBatchApplication",
     "apply_qsvt_to_vector",
+    "apply_qsvt_to_vectors",
 ]
 
 
@@ -249,3 +251,107 @@ def apply_qsvt_to_vector(block: BlockEncoding, wx_phases, data_vector, *,
     probability /= len(sign_list)
     return QSVTApplication(vector=accumulated, success_probability=float(probability),
                            block_encoding_calls=total_calls, circuit_depth=depth)
+
+
+# ---------------------------------------------------------------------- #
+# batched application
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QSVTBatchApplication:
+    """Result of applying one QSVT polynomial to a stack of data vectors.
+
+    Attributes
+    ----------
+    vectors:
+        The (unnormalised) transformed vectors, shape ``(B, N)``; row ``i`` is
+        ``Re(P)(Ã) · v_i``.
+    success_probabilities:
+        Per-vector ancilla post-selection probability (length ``B``).
+    block_encoding_calls:
+        Block-encoding (and adjoint) calls consumed *per vector* — the batch
+        shares one circuit sweep, so the total sweep cost is the same as a
+        single-vector application.
+    circuit_depth:
+        Logical depth of one QSVT circuit.
+    """
+
+    vectors: np.ndarray
+    success_probabilities: np.ndarray
+    block_encoding_calls: int
+    circuit_depth: int
+
+    @property
+    def batch_size(self) -> int:
+        """Number of vectors in the batch."""
+        return self.vectors.shape[0]
+
+
+def apply_qsvt_to_vectors(block: BlockEncoding, wx_phases, data_vectors, *,
+                          real_part: bool = True,
+                          dense_block_encoding: bool = True) -> QSVTBatchApplication:
+    """Apply ``Re(P_wx)`` of the encoded matrix to ``B`` vectors in one sweep.
+
+    Batched analogue of :func:`apply_qsvt_to_vector` built on the batched
+    simulation kernels of :mod:`repro.quantum`: the ``B`` (normalised) data
+    vectors are stacked into a ``(B, 2**q)`` amplitude array next to
+    ``|0^a>`` ancillas, the QSVT circuit is built **once** per phase sign and
+    every gate updates all ``B`` states through a single ``tensordot``
+    contraction (:func:`~repro.quantum.statevector.apply_circuit_batched`),
+    and the ancillas are post-selected row-wise
+    (:func:`~repro.quantum.measurement.postselect_batched`).  This is the
+    engine behind the multi-right-hand-side solve of
+    :meth:`repro.core.backends.CircuitQSVTBackend.apply_inverse_batch`: one
+    circuit sweep for the whole batch instead of ``B`` sweeps.
+
+    Parameters
+    ----------
+    data_vectors:
+        Array-like of shape ``(B, N)`` with ``N = block.dimension`` (a single
+        vector must go through :func:`apply_qsvt_to_vector`).
+
+    Returns the *unnormalised* transformed vectors, exactly like the
+    single-vector version.
+    """
+    data = np.asarray(data_vectors, dtype=complex)
+    if data.ndim != 2:
+        raise DimensionError(
+            f"data_vectors must be a (B, N) stack, got shape {data.shape}")
+    if data.shape[1] != block.dimension:
+        raise DimensionError(
+            f"data vector length {data.shape[1]} does not match the encoded dimension "
+            f"{block.dimension}")
+    batch_size = data.shape[0]
+    if batch_size < 1:
+        raise DimensionError("data_vectors must contain at least one vector")
+    norms = np.linalg.norm(data, axis=1)
+    if np.any(norms == 0.0):
+        raise DimensionError("cannot apply the QSVT to a zero vector")
+    data = data / norms[:, None]
+
+    theta = np.asarray(wx_phases, dtype=float)
+    sign_list = [1.0, -1.0] if real_part else [1.0]
+    accumulated = np.zeros((batch_size, block.dimension), dtype=complex)
+    probabilities = np.zeros(batch_size)
+    total_calls = 0
+    depth = 0
+    ancilla_qubits = list(range(block.num_ancillas))
+    for sign in sign_list:
+        phases, global_phase = wx_to_circuit_phases(sign * theta)
+        circuit = build_qsvt_circuit(block, phases,
+                                     dense_block_encoding=dense_block_encoding)
+        depth = max(depth, circuit.depth())
+        total_calls += phases.shape[0]
+        # initial batch |0^a> ⊗ data_i, one row per vector
+        full = np.zeros((batch_size, 2**block.num_qubits), dtype=complex)
+        full[:, : block.dimension] = data
+        output = apply_circuit_batched(circuit, full)
+        projected, probs = postselect_batched(output, ancilla_qubits, 0,
+                                              renormalize=False)
+        accumulated += np.conj(global_phase) * projected
+        probabilities += probs
+    accumulated /= len(sign_list)
+    probabilities /= len(sign_list)
+    return QSVTBatchApplication(vectors=accumulated,
+                                success_probabilities=probabilities,
+                                block_encoding_calls=total_calls,
+                                circuit_depth=depth)

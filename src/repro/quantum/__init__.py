@@ -24,11 +24,19 @@ the basis state ``|q0 q1 ... q_{n-1}>`` has index ``q0*2^{n-1} + ... + q_{n-1}``
 
 from .gates import Gate, controlled_matrix, standard_gate_matrix
 from .circuit import QuantumCircuit
-from .statevector import Statevector, apply_circuit, circuit_unitary, zero_state
+from .statevector import (
+    Statevector,
+    apply_circuit,
+    apply_circuit_batched,
+    apply_gate_batched,
+    circuit_unitary,
+    zero_state,
+)
 from .measurement import (
     MeasurementResult,
     marginal_probabilities,
     postselect,
+    postselect_batched,
     probabilities,
     sample_counts,
 )
@@ -51,12 +59,15 @@ __all__ = [
     "Statevector",
     "zero_state",
     "apply_circuit",
+    "apply_gate_batched",
+    "apply_circuit_batched",
     "circuit_unitary",
     "MeasurementResult",
     "probabilities",
     "marginal_probabilities",
     "sample_counts",
     "postselect",
+    "postselect_batched",
     "PauliString",
     "pauli_matrix",
     "pauli_decompose",

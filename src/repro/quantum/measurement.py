@@ -24,6 +24,7 @@ __all__ = [
     "marginal_probabilities",
     "sample_counts",
     "postselect",
+    "postselect_batched",
     "expectation_value",
 ]
 
@@ -176,6 +177,58 @@ def postselect(state: Statevector, qubits: Sequence[int], outcome: int | Sequenc
         # all qubits measured: return a trivial 1-qubit register holding the phase
         reduced = np.array([reduced[0], 0.0], dtype=complex)
     return Statevector(reduced), prob
+
+
+def postselect_batched(states: np.ndarray, qubits: Sequence[int],
+                       outcome: int | Sequence[int], *,
+                       renormalize: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`postselect` on a ``(B, 2**n)`` stack of states.
+
+    Projects ``qubits`` of every row onto the basis ``outcome`` at once and
+    returns ``(reduced, probabilities)`` where ``reduced`` has shape
+    ``(B, 2**(n - len(qubits)))`` and ``probabilities[i]`` is the chance of
+    observing the outcome in state ``i``.  Unlike the single-state version,
+    at least one qubit must remain unmeasured (the linear-solver use case
+    always keeps the data register).
+    """
+    states = np.asarray(states, dtype=complex)
+    if states.ndim != 2:
+        raise DimensionError(
+            f"batched states must be a (B, 2**n) array, got shape {states.shape}")
+    num_qubits = int(states.shape[1]).bit_length() - 1
+    if 2**num_qubits != states.shape[1]:
+        raise DimensionError("statevector length must be a power of two")
+    qubits = [int(q) for q in qubits]
+    for q in qubits:
+        if not 0 <= q < num_qubits:
+            raise DimensionError(f"qubit {q} out of range")
+    if len(set(qubits)) != len(qubits):
+        raise DimensionError("duplicate qubit in post-selection")
+    if len(qubits) >= num_qubits:
+        raise DimensionError("batched post-selection must leave at least one qubit")
+    if isinstance(outcome, (int, np.integer)):
+        bits = [(int(outcome) >> (len(qubits) - 1 - i)) & 1 for i in range(len(qubits))]
+    else:
+        bits = [int(b) for b in outcome]
+        if len(bits) != len(qubits):
+            raise DimensionError("outcome length must match the number of measured qubits")
+    tensor = states.reshape((states.shape[0],) + (2,) * num_qubits)
+    index: list = [slice(None)] * (num_qubits + 1)
+    for qubit, bit in zip(qubits, bits):
+        index[qubit + 1] = bit
+    reduced = np.ascontiguousarray(tensor[tuple(index)]).reshape(states.shape[0], -1)
+    total = np.linalg.norm(states, axis=1)
+    if np.any(total == 0.0):
+        raise ZeroDivisionError("cannot post-select a zero state in the batch")
+    reduced_norms = np.linalg.norm(reduced, axis=1)
+    probs = (reduced_norms / total) ** 2
+    if renormalize:
+        if np.any(reduced_norms == 0.0):
+            raise ZeroDivisionError(
+                "post-selection outcome has zero probability for some state; "
+                "cannot renormalise")
+        reduced = reduced / reduced_norms[:, None]
+    return reduced, probs
 
 
 def expectation_value(state: Statevector, observable: np.ndarray) -> float:

@@ -16,10 +16,12 @@ from .validation import (
     is_unitary,
     num_qubits_for_dimension,
 )
+from .fingerprint import matrix_fingerprint
 from .rng import as_generator, spawn_generators
 from .timing import Timer
 
 __all__ = [
+    "matrix_fingerprint",
     "as_matrix",
     "as_vector",
     "check_power_of_two",
