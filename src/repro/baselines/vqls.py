@@ -105,8 +105,13 @@ class VQLSSolver:
         return qc
 
     def ansatz_state(self, parameters) -> np.ndarray:
-        """State vector prepared by the ansatz."""
-        return apply_circuit(self.ansatz_circuit(parameters)).data
+        """State vector prepared by the ansatz.
+
+        The parameters change on every optimiser evaluation, so the circuit
+        is one-shot: the per-gate loop (``fusion="none"``) skips the plan
+        compilation and caching that only pay off for replayed circuits.
+        """
+        return apply_circuit(self.ansatz_circuit(parameters), fusion="none").data
 
     def cost(self, parameters, rhs_normalized: np.ndarray) -> float:
         """Normalised global VQLS cost ``1 - |<b|A|ψ>|²/||A|ψ>||²``."""

@@ -42,7 +42,7 @@ from ..qsp.inverse_polynomial import (
     InversePolynomial,
     polynomial_error_from_solution_accuracy,
 )
-from ..qsp.qsvt_circuit import apply_qsvt_to_vector, apply_qsvt_to_vectors
+from ..qsp.qsvt_circuit import compile_qsvt_program
 from ..qsp.chebyshev import evaluate_chebyshev
 from ..utils import as_generator, as_vector, check_square, matrix_fingerprint
 from .sampling import SamplingModel
@@ -141,6 +141,17 @@ class QSVTBackend(abc.ABC):
         """Remember which matrix bytes the synthesis was compiled against."""
         self.synthesis_fingerprint = matrix_fingerprint(matrix)
 
+    def payload_bytes(self) -> int:
+        """Bytes of compiled artefacts this backend keeps alive.
+
+        Used by :class:`repro.engine.cache.CompiledSolverCache` for
+        byte-accounted eviction.  The base implementation counts the stored
+        matrix; backends with heavier compiled state (execution plans, SVD
+        factors, phase vectors) extend it.
+        """
+        matrix = getattr(self, "matrix", None)
+        return int(matrix.nbytes) if matrix is not None else 0
+
     def is_stale(self, matrix) -> bool:
         """True when ``matrix`` no longer matches the compiled synthesis.
 
@@ -236,6 +247,12 @@ class CircuitQSVTBackend(QSVTBackend):
     error_convention:
         Mapping from ``ε_l`` to the polynomial construction error
         (``"conservative"`` = ``ε_l/(2κ)``, the paper's choice).
+    fusion:
+        Gate-fusion mode of the compiled execution plans (``"greedy"``
+        default, ``"none"`` for the per-gate reference path) — see
+        :mod:`repro.quantum.plan`.
+    max_fused_qubits:
+        Width cap of fused dense unitaries in the compiled plans.
     """
 
     name = "circuit-qsvt"
@@ -247,7 +264,9 @@ class CircuitQSVTBackend(QSVTBackend):
                  phase_tolerance: float = 1e-12,
                  sampling: SamplingModel | None = None,
                  kappa_margin: float = 1.05,
-                 error_convention: str = "conservative") -> None:
+                 error_convention: str = "conservative",
+                 fusion: str | None = None,
+                 max_fused_qubits: int | None = None) -> None:
         self.block_encoding_method = block_encoding
         self.dense_block_encoding = bool(dense_block_encoding)
         self.max_polynomial_norm = float(max_polynomial_norm)
@@ -256,6 +275,8 @@ class CircuitQSVTBackend(QSVTBackend):
         self.sampling = sampling if sampling is not None else SamplingModel()
         self.kappa_margin = float(kappa_margin)
         self.error_convention = error_convention
+        self.fusion = fusion
+        self.max_fused_qubits = max_fused_qubits
         self._prepared = False
 
     # ------------------------------------------------------------------ #
@@ -280,6 +301,12 @@ class CircuitQSVTBackend(QSVTBackend):
         self.phases = phase_result.phases
         self.phase_residual = phase_result.residual
         self.epsilon_l = float(epsilon_l)
+        # compile the QSVT circuits into fused execution plans once; every
+        # apply_inverse / apply_inverse_batch call replays them.
+        self.program = compile_qsvt_program(
+            self.block, self.phases, real_part=True,
+            dense_block_encoding=self.dense_block_encoding,
+            fusion=self.fusion, max_fused_qubits=self.max_fused_qubits)
         self._record_synthesis(mat)
         self._prepared = True
 
@@ -287,9 +314,7 @@ class CircuitQSVTBackend(QSVTBackend):
         if not self._prepared:
             raise BackendError("call prepare() before apply_inverse()")
         vector = as_vector(rhs, name="rhs").astype(float)
-        application = apply_qsvt_to_vector(self.block, self.phases, vector,
-                                           real_part=True,
-                                           dense_block_encoding=self.dense_block_encoding)
+        application = self.program.apply(vector)
         raw = np.real(application.vector)
         norm = np.linalg.norm(raw)
         if norm == 0.0:
@@ -304,20 +329,18 @@ class CircuitQSVTBackend(QSVTBackend):
         )
 
     def apply_inverse_batch(self, rhs_batch) -> list[BackendApplication]:
-        """Batched inverse: one circuit sweep for all ``B`` right-hand sides.
+        """Batched inverse: one plan sweep for all ``B`` right-hand sides.
 
-        The whole batch is pushed through
-        :func:`~repro.qsp.qsvt_circuit.apply_qsvt_to_vectors`, so the QSVT
-        circuit is built once (per phase sign) and every gate updates all
-        ``B`` states in a single contraction — the per-state cost collapses to
-        roughly ``1/B`` of a looped :meth:`apply_inverse` at paper scale.
+        The whole batch replays the compiled
+        :class:`~repro.qsp.qsvt_circuit.QSVTProgram`, so every fused
+        contraction updates all ``B`` states at once — the per-state cost
+        collapses to roughly ``1/B`` of a looped :meth:`apply_inverse` at
+        paper scale.
         """
         if not self._prepared:
             raise BackendError("call prepare() before apply_inverse_batch()")
         batch = np.atleast_2d(np.asarray(rhs_batch, dtype=float))
-        application = apply_qsvt_to_vectors(
-            self.block, self.phases, batch, real_part=True,
-            dense_block_encoding=self.dense_block_encoding)
+        application = self.program.apply_batch(batch)
         results = []
         for raw, prob in zip(np.real(application.vectors),
                              application.success_probabilities):
@@ -334,6 +357,13 @@ class CircuitQSVTBackend(QSVTBackend):
             ))
         return results
 
+    def payload_bytes(self) -> int:
+        total = super().payload_bytes()
+        if self._prepared:
+            total += self.program.payload_bytes()
+            total += int(np.asarray(self.phases).nbytes)
+        return total
+
     def describe(self) -> dict:
         info = {"backend": self.name,
                 "block_encoding": self.block_encoding_method,
@@ -345,6 +375,9 @@ class CircuitQSVTBackend(QSVTBackend):
                 "achieved_epsilon_l": self.polynomial.relative_inverse_error(),
                 "phase_residual": self.phase_residual,
                 "block_encoding_alpha": self.block.alpha,
+                "fusion": self.program.plans[0].fusion,
+                "contractions_per_sweep": self.program.contractions_per_sweep,
+                "gates_per_sweep": self.program.source_gates_per_sweep,
             })
         return info
 
@@ -441,6 +474,12 @@ class IdealPolynomialBackend(QSVTBackend):
             )
             for i in range(batch.shape[0])
         ]
+
+    def payload_bytes(self) -> int:
+        total = super().payload_bytes()
+        if self._prepared:
+            total += int(self._v.nbytes + self._sigma.nbytes + self._wh.nbytes)
+        return total
 
     def describe(self) -> dict:
         info = {"backend": self.name, "sampling": self.sampling.mode}

@@ -173,6 +173,21 @@ class QSVTLinearSolver:
         """Problem dimension ``N``."""
         return self.matrix.shape[0]
 
+    def payload_bytes(self) -> int:
+        """Bytes kept alive by this solver: its matrix plus the backend's
+        compiled artefacts (execution plans, phases, SVD factors).
+
+        :class:`repro.engine.cache.CompiledSolverCache` uses this for
+        byte-accounted eviction.
+        """
+        payload = getattr(self.backend, "payload_bytes", None)
+        total = int(payload()) if callable(payload) else 0
+        # the backend usually holds the same matrix object and already
+        # counted it; only add ours when it is a distinct buffer.
+        if getattr(self.backend, "matrix", None) is not self.matrix:
+            total += int(self.matrix.nbytes)
+        return total
+
     def describe(self) -> dict:
         """Metadata about the prepared solver (backend, degree, ``κ``...)."""
         info = self.backend.describe()

@@ -15,6 +15,11 @@ CPU, while the correction ``A e_i = r_i`` is delegated to the inner solver
 ``ω = ||b − A x̃|| / ||b||`` drops below the target ``ε``, when the iteration
 budget is exhausted, or when the residual stagnates at the limiting accuracy
 of the working precision.
+
+Independent refinements against the *same* matrix batch through
+:meth:`MixedPrecisionRefinement.solve_batch`: the residual solves of the
+still-active systems are stacked and answered by one fused-plan circuit
+sweep per iteration instead of one sweep per system.
 """
 
 from __future__ import annotations
@@ -237,6 +242,151 @@ class MixedPrecisionRefinement:
             solver_info=(self.inner_solver.describe()
                          if hasattr(self.inner_solver, "describe") else {}),
         )
+
+    # ------------------------------------------------------------------ #
+    # batched refinement
+    # ------------------------------------------------------------------ #
+    def _inner_solve_batch(self, rhs_stack: np.ndarray) -> list:
+        """Batch the inner solves when the solver supports it (one fused-plan
+        sweep per iteration on the circuit backend), looping otherwise."""
+        solve_batch = getattr(self.inner_solver, "solve_batch", None)
+        if callable(solve_batch):
+            return solve_batch(rhs_stack)
+        return [self.inner_solver.solve(rhs_stack[i])
+                for i in range(rhs_stack.shape[0])]
+
+    def solve_batch(self, rhs_batch, *, x_true=None) -> list[RefinementResult]:
+        """Run Algorithm 2 on ``B`` independent right-hand sides at once.
+
+        All systems share the same matrix and compiled synthesis, so the
+        residual solves of the refinements are *batched*: every iteration
+        stacks the residuals of the still-active systems and answers them
+        through the inner solver's ``solve_batch`` — one fused-plan circuit
+        sweep per iteration for the whole batch (see
+        :meth:`repro.core.qsvt_solver.QSVTLinearSolver.solve_batch`) instead
+        of ``B`` sweeps.  Each system keeps its own convergence, stagnation
+        and divergence bookkeeping and drops out of the batch as soon as it
+        finishes; one :class:`~repro.core.results.RefinementResult` is
+        returned per row, equivalent to ``B`` independent :meth:`solve`
+        calls.
+
+        Parameters
+        ----------
+        rhs_batch:
+            Array-like of shape ``(B, N)``.
+        x_true:
+            Optional ``(B, N)`` stack of reference solutions for forward
+            errors.
+        """
+        batch = np.atleast_2d(np.asarray(rhs_batch, dtype=float))
+        if batch.shape[1] != self.matrix.shape[0]:
+            raise ValueError("right-hand side length does not match the matrix")
+        size = batch.shape[0]
+        norms = np.linalg.norm(batch, axis=1)
+        if np.any(norms == 0.0):
+            raise ValueError("every right-hand side must be nonzero")
+        if x_true is None:
+            references = [None] * size
+        else:
+            refs = np.atleast_2d(np.asarray(x_true, dtype=float))
+            if refs.shape != batch.shape:
+                raise ValueError("x_true must match the shape of rhs_batch")
+            references = [refs[i] for i in range(size)]
+
+        traces = [CommunicationTrace() if self.track_communication else None
+                  for _ in range(size)]
+        for i, trace in enumerate(traces):
+            if trace is not None:
+                self._setup_communication(trace, batch.shape[1])
+
+        histories: list[list[RefinementIteration]] = [[] for _ in range(size)]
+        total_calls = [0] * size
+        floor = limiting_accuracy(self.precision.u, self.kappa)
+
+        # ---- initial solves x_0 (one batched sweep) ---------------------- #
+        start = time.perf_counter()
+        records = self._inner_solve_batch(batch)
+        elapsed = (time.perf_counter() - start) / size
+        xs: list[np.ndarray] = []
+        omegas = np.empty(size)
+        for i, record in enumerate(records):
+            x = self.precision.round_working(record.x)
+            xs.append(x)
+            total_calls[i] += record.block_encoding_calls
+            omegas[i] = scaled_residual(self.matrix, x, batch[i])
+            histories[i].append(RefinementIteration(
+                index=0, scaled_residual=float(omegas[i]),
+                predicted_residual=self._predicted(0),
+                forward_error=self._forward_error(references[i], x),
+                correction_norm=float(np.linalg.norm(record.x)),
+                cumulative_block_encoding_calls=total_calls[i],
+                wall_time=elapsed))
+            if traces[i] is not None:
+                traces[i].add_solution_download(0, "x_0", batch.shape[1],
+                                                "initial QSVT solution")
+
+        best_omegas = omegas.copy()
+        stagnations = [0] * size
+        converged = [bool(omegas[i] <= self.target_accuracy) for i in range(size)]
+        done = list(converged)
+        iterations = [0] * size
+
+        # ---- refinement loop: one batched residual solve per iteration -- #
+        iteration = 0
+        while not all(done) and iteration < self.max_iterations:
+            iteration += 1
+            active = [i for i in range(size) if not done[i]]
+            start = time.perf_counter()
+            residuals = np.stack([
+                self.precision.residual_of(self.matrix, xs[i], batch[i])
+                for i in active])
+            correction_records = self._inner_solve_batch(residuals)
+            elapsed = (time.perf_counter() - start) / len(active)
+            for i, record in zip(active, correction_records):
+                iterations[i] = iteration
+                x = self.precision.round_working(xs[i] + record.x)
+                xs[i] = x
+                total_calls[i] += record.block_encoding_calls
+                omega = scaled_residual(self.matrix, x, batch[i])
+                omegas[i] = omega
+                histories[i].append(RefinementIteration(
+                    index=iteration, scaled_residual=float(omega),
+                    predicted_residual=self._predicted(iteration),
+                    forward_error=self._forward_error(references[i], x),
+                    correction_norm=float(np.linalg.norm(record.x)),
+                    cumulative_block_encoding_calls=total_calls[i],
+                    wall_time=elapsed))
+                if traces[i] is not None:
+                    traces[i].add_circuit_upload(
+                        iteration, f"SP(r_{iteration})", batch.shape[1],
+                        "state preparation of the residual")
+                    traces[i].add_solution_download(
+                        iteration, f"x_{iteration}", batch.shape[1],
+                        "refined solution sample")
+                converged[i] = omega <= self.target_accuracy
+                if omega < best_omegas[i] * (1.0 - 1e-3):
+                    best_omegas[i] = omega
+                    stagnations[i] = 0
+                else:
+                    stagnations[i] += 1
+                if converged[i]:
+                    done[i] = True
+                elif omega > self.divergence_factor * max(best_omegas[i], floor):
+                    done[i] = True
+                elif stagnations[i] >= self.stagnation_iterations:
+                    done[i] = True
+
+        solver_info = (self.inner_solver.describe()
+                       if hasattr(self.inner_solver, "describe") else {})
+        return [
+            RefinementResult(
+                x=xs[i], converged=bool(converged[i]), iterations=iterations[i],
+                target_accuracy=self.target_accuracy, history=histories[i],
+                iteration_bound=self.iteration_bound, epsilon_l=self.epsilon_l,
+                kappa=self.kappa, total_block_encoding_calls=total_calls[i],
+                communication=traces[i], solver_info=solver_info)
+            for i in range(size)
+        ]
 
     @staticmethod
     def _forward_error(reference, x) -> float:

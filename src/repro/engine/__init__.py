@@ -10,8 +10,10 @@ Algorithm 2 along three independent axes:
   QSVT solve (:meth:`repro.core.qsvt_solver.QSVTLinearSolver.solve_batch`)
   costs one circuit sweep instead of ``B``;
 * **caching** — :class:`~repro.engine.cache.CompiledSolverCache` keys compiled
-  solvers (block-encoding + polynomial + QSP phases) on the exact matrix
-  bytes, so repeated requests against the same system skip synthesis entirely;
+  solvers (block-encoding + polynomial + QSP phases + fused execution plans)
+  on the exact matrix bytes, so repeated requests against the same system
+  skip synthesis *and* plan fusion entirely, with byte-accounted LRU
+  eviction (``max_bytes``);
 * **parallelism** — :class:`~repro.engine.runner.ScenarioRunner` fans
   independent :class:`~repro.engine.runner.SolveJob` requests out across a
   thread or process pool, with per-worker caches and per-job fault isolation.

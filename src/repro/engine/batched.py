@@ -137,13 +137,24 @@ class BatchedStatevector:
         """Apply one gate to every state and return the new batch."""
         return BatchedStatevector(apply_gate_batched(self._data, gate))
 
-    def apply_circuit(self, circuit: QuantumCircuit) -> "BatchedStatevector":
-        """Run a circuit on every state of the batch."""
+    def apply_circuit(self, circuit: QuantumCircuit, *,
+                      fusion: str | None = None) -> "BatchedStatevector":
+        """Run a circuit on every state of the batch.
+
+        Execution goes through the circuit's compiled
+        :class:`~repro.quantum.plan.ExecutionPlan` (``fusion="none"`` replays
+        the per-gate reference loop), exactly like the single-state path.
+        """
         if self.num_qubits != circuit.num_qubits:
             raise DimensionError(
                 f"batch has {self.num_qubits} qubits but circuit expects "
                 f"{circuit.num_qubits}")
-        return BatchedStatevector(apply_circuit_batched(circuit, self._data))
+        return BatchedStatevector(apply_circuit_batched(circuit, self._data,
+                                                        fusion=fusion))
+
+    def apply_plan(self, plan) -> "BatchedStatevector":
+        """Replay an already-compiled :class:`~repro.quantum.plan.ExecutionPlan`."""
+        return BatchedStatevector(plan.apply_batched(self._data))
 
     # ------------------------------------------------------------------ #
     # measurement

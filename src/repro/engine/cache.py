@@ -14,11 +14,16 @@ synthesis.  :class:`CompiledSolverCache` provides exactly that, keyed by
 * the inner accuracy ``ε_l``,
 * the backend kind and its options.
 
-Eviction is least-recently-used; ``hits`` / ``misses`` / ``compiles``
-counters make the reuse observable (the throughput benchmark and the engine
-tests assert on them).  The cache is thread-safe and is what
-:class:`repro.engine.runner.ScenarioRunner` workers consult before paying for
-a synthesis.
+Eviction is least-recently-used and **byte-accounted**: every entry's payload
+(matrix bytes + compiled plan arrays + phases/SVD factors, via
+:meth:`repro.core.qsvt_solver.QSVTLinearSolver.payload_bytes`) is tracked,
+and a ``max_bytes`` budget evicts by memory footprint rather than entry
+count (an entry-count cap ``maxsize`` remains available).  ``hits`` /
+``misses`` / ``compiles`` counters and the byte totals make the reuse
+observable through :meth:`CompiledSolverCache.stats` (the throughput
+benchmark and the engine tests assert on them).  The cache is thread-safe
+and is what :class:`repro.engine.runner.ScenarioRunner` workers consult
+before paying for a synthesis.
 """
 
 from __future__ import annotations
@@ -42,7 +47,14 @@ class CompiledSolverCache:
     ----------
     maxsize:
         Maximum number of compiled solvers kept alive; the least recently
-        used entry is evicted first.  ``None`` disables eviction.
+        used entry is evicted first.  ``None`` disables the entry-count cap.
+    max_bytes:
+        Memory budget for the summed entry payloads (matrix + compiled plan
+        arrays).  While the total exceeds the budget, least-recently-used
+        entries are evicted — except the most recent one, which is always
+        kept so an oversized solver still caches.  ``None`` (default)
+        disables byte accounting as an eviction trigger (sizes are still
+        tracked and reported by :meth:`stats`).
 
     Examples
     --------
@@ -53,11 +65,17 @@ class CompiledSolverCache:
     (True, 1)
     """
 
-    def __init__(self, maxsize: int | None = 32) -> None:
+    def __init__(self, maxsize: int | None = 32,
+                 max_bytes: int | None = None) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be >= 1 (or None for unbounded)")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
         self._entries: OrderedDict[tuple, QSVTLinearSolver] = OrderedDict()
+        self._entry_bytes: dict[tuple, int] = {}
+        self._total_bytes = 0
         self._lock = threading.Lock()
         #: per-key compile locks so concurrent misses for the *same* key wait
         #: for one synthesis instead of each paying for their own, while
@@ -153,15 +171,48 @@ class CompiledSolverCache:
                 with self._lock:
                     self._compile_locks.pop(key, None)
                 raise
+            entry_bytes = self._payload_bytes(solver)
             with self._lock:
                 self._compiles += 1
                 self._entries[key] = solver
                 self._entries.move_to_end(key)
+                self._entry_bytes[key] = entry_bytes
+                self._total_bytes += entry_bytes
                 self._compile_locks.pop(key, None)
-                while self.maxsize is not None and len(self._entries) > self.maxsize:
-                    self._entries.popitem(last=False)
-                    self._evictions += 1
+                self._evict_locked()
         return solver
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _payload_bytes(solver) -> int:
+        """Memory footprint of one cached entry (matrix + compiled artefacts)."""
+        payload = getattr(solver, "payload_bytes", None)
+        if callable(payload):
+            return int(payload())
+        matrix = getattr(solver, "matrix", None)
+        return int(matrix.nbytes) if matrix is not None else 0
+
+    def _drop_locked(self, key: tuple) -> None:
+        del self._entries[key]
+        self._total_bytes -= self._entry_bytes.pop(key, 0)
+
+    def _evict_locked(self) -> None:
+        """Enforce the entry-count cap, then the byte budget (LRU order).
+
+        The byte budget never evicts the most recently used entry: a single
+        solver bigger than ``max_bytes`` stays cached (evicting it would make
+        the cache useless for exactly the workloads that need it most).
+        """
+        while self.maxsize is not None and len(self._entries) > self.maxsize:
+            key = next(iter(self._entries))
+            self._drop_locked(key)
+            self._evictions += 1
+        if self.max_bytes is None:
+            return
+        while self._total_bytes > self.max_bytes and len(self._entries) > 1:
+            key = next(iter(self._entries))
+            self._drop_locked(key)
+            self._evictions += 1
 
     # ------------------------------------------------------------------ #
     def invalidate(self, matrix) -> int:
@@ -176,13 +227,15 @@ class CompiledSolverCache:
         with self._lock:
             stale = [key for key in self._entries if key[0] == fingerprint]
             for key in stale:
-                del self._entries[key]
+                self._drop_locked(key)
         return len(stale)
 
     def clear(self) -> None:
         """Drop every cached solver (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._entry_bytes.clear()
+            self._total_bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -210,10 +263,18 @@ class CompiledSolverCache:
         """Solver compilations performed on behalf of callers."""
         return self._compiles
 
+    @property
+    def total_bytes(self) -> int:
+        """Summed payload bytes of the live entries."""
+        with self._lock:
+            return self._total_bytes
+
     def stats(self) -> dict:
-        """Counter snapshot (hits, misses, compiles, evictions, size, hit rate)."""
+        """Counter snapshot (hits, misses, compiles, evictions, size, bytes,
+        hit rate)."""
         with self._lock:
             size = len(self._entries)
+            total_bytes = self._total_bytes
         total = self._hits + self._misses
         return {
             "hits": self._hits,
@@ -221,6 +282,8 @@ class CompiledSolverCache:
             "compiles": self._compiles,
             "evictions": self._evictions,
             "size": size,
+            "total_bytes": total_bytes,
+            "max_bytes": self.max_bytes,
             "hit_rate": (self._hits / total) if total else 0.0,
         }
 

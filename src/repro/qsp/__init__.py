@@ -35,9 +35,11 @@ from .inverse_polynomial import (
 from .rectangle import rectangle_polynomial, window_inverse_polynomial
 from .phase_factors import PhaseFactorResult, qsp_polynomial_values, solve_qsp_phases
 from .qsvt_circuit import (
+    QSVTProgram,
     apply_qsvt_to_vector,
     apply_qsvt_to_vectors,
     build_qsvt_circuit,
+    compile_qsvt_program,
     projector_phase_gate,
     wx_to_circuit_phases,
 )
@@ -62,6 +64,8 @@ __all__ = [
     "wx_to_circuit_phases",
     "build_qsvt_circuit",
     "projector_phase_gate",
+    "QSVTProgram",
+    "compile_qsvt_program",
     "apply_qsvt_to_vector",
     "apply_qsvt_to_vectors",
     "apply_polynomial_via_svd",

@@ -37,6 +37,7 @@ QSP product.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -44,7 +45,7 @@ from ..blockencoding.base import BlockEncoding
 from ..exceptions import DimensionError
 from ..quantum import QuantumCircuit, Statevector
 from ..quantum.measurement import postselect, postselect_batched
-from ..quantum.statevector import apply_circuit, apply_circuit_batched
+from ..quantum.plan import ExecutionPlan
 
 __all__ = [
     "wx_to_circuit_phases",
@@ -52,6 +53,8 @@ __all__ = [
     "build_qsvt_circuit",
     "QSVTApplication",
     "QSVTBatchApplication",
+    "QSVTProgram",
+    "compile_qsvt_program",
     "apply_qsvt_to_vector",
     "apply_qsvt_to_vectors",
 ]
@@ -202,9 +205,168 @@ class QSVTApplication:
     circuit_depth: int
 
 
+class QSVTProgram:
+    """Compiled QSVT application: one :class:`~repro.quantum.plan.ExecutionPlan`
+    per phase sign, replayable against any right-hand side.
+
+    Built by :func:`compile_qsvt_program`.  Compilation (circuit assembly +
+    gate fusion) happens once; :meth:`apply` and :meth:`apply_batch` only
+    replay the fused contraction sequences — this is the object
+    :class:`repro.core.backends.CircuitQSVTBackend` stores at ``prepare()``
+    time and the compiled-solver cache keeps alive across requests.
+    """
+
+    def __init__(self, *, num_qubits: int, num_ancillas: int, dimension: int,
+                 plans: Sequence[ExecutionPlan],
+                 global_phases: Sequence[complex],
+                 block_encoding_calls_per_run: int, circuit_depth: int) -> None:
+        if len(plans) != len(global_phases):
+            raise DimensionError("one global phase is required per plan")
+        self.num_qubits = int(num_qubits)
+        self.num_ancillas = int(num_ancillas)
+        self.dimension = int(dimension)
+        self.plans = tuple(plans)
+        self.global_phases = tuple(complex(p) for p in global_phases)
+        self.block_encoding_calls_per_run = int(block_encoding_calls_per_run)
+        self.circuit_depth = int(circuit_depth)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_runs(self) -> int:
+        """Circuit runs per application (2 when the real part is taken)."""
+        return len(self.plans)
+
+    @property
+    def block_encoding_calls(self) -> int:
+        """Block-encoding (and adjoint) calls per application."""
+        return self.block_encoding_calls_per_run * self.num_runs
+
+    @property
+    def contractions_per_sweep(self) -> int:
+        """Tensor contractions one application performs (all runs)."""
+        return sum(plan.num_contractions for plan in self.plans)
+
+    @property
+    def source_gates_per_sweep(self) -> int:
+        """Circuit gates the unfused per-gate loop would apply (all runs)."""
+        return sum(plan.source_gate_count for plan in self.plans)
+
+    def payload_bytes(self) -> int:
+        """Bytes held by the compiled plans (for byte-accounted caches)."""
+        return sum(plan.payload_bytes() for plan in self.plans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QSVTProgram(num_qubits={self.num_qubits}, runs={self.num_runs}, "
+                f"contractions={self.contractions_per_sweep}, "
+                f"gates={self.source_gates_per_sweep})")
+
+    # ------------------------------------------------------------------ #
+    def _normalised(self, data_vector) -> np.ndarray:
+        data = np.asarray(data_vector, dtype=complex)
+        if data.shape[-1] != self.dimension:
+            raise DimensionError(
+                f"data vector length {data.shape[-1]} does not match the encoded "
+                f"dimension {self.dimension}")
+        norms = np.linalg.norm(data, axis=-1)
+        if np.any(norms == 0.0):
+            raise DimensionError("cannot apply the QSVT to a zero vector")
+        return data / (norms[..., None] if data.ndim == 2 else norms)
+
+    def apply(self, data_vector) -> QSVTApplication:
+        """Replay the compiled plans on one data vector (see module docstring)."""
+        data = self._normalised(np.asarray(data_vector, dtype=complex).reshape(-1))
+        accumulated = np.zeros(self.dimension, dtype=complex)
+        probability = 0.0
+        ancilla_qubits = list(range(self.num_ancillas))
+        for plan, global_phase in zip(self.plans, self.global_phases):
+            # initial state |0^a> ⊗ data
+            full = np.zeros(2**self.num_qubits, dtype=complex)
+            full[: self.dimension] = data
+            output = Statevector(plan.apply(full))
+            projected, prob = postselect(output, ancilla_qubits, 0,
+                                         renormalize=False)
+            accumulated += np.conj(global_phase) * projected.data
+            probability += prob
+        accumulated /= self.num_runs
+        probability /= self.num_runs
+        return QSVTApplication(vector=accumulated,
+                               success_probability=float(probability),
+                               block_encoding_calls=self.block_encoding_calls,
+                               circuit_depth=self.circuit_depth)
+
+    def apply_batch(self, data_vectors) -> QSVTBatchApplication:
+        """Replay the compiled plans on a ``(B, N)`` stack in one sweep per run."""
+        data = np.asarray(data_vectors, dtype=complex)
+        if data.ndim != 2:
+            raise DimensionError(
+                f"data_vectors must be a (B, N) stack, got shape {data.shape}")
+        if data.shape[0] < 1:
+            raise DimensionError("data_vectors must contain at least one vector")
+        data = self._normalised(data)
+        batch_size = data.shape[0]
+        accumulated = np.zeros((batch_size, self.dimension), dtype=complex)
+        probabilities = np.zeros(batch_size)
+        ancilla_qubits = list(range(self.num_ancillas))
+        for plan, global_phase in zip(self.plans, self.global_phases):
+            # initial batch |0^a> ⊗ data_i, one row per vector
+            full = np.zeros((batch_size, 2**self.num_qubits), dtype=complex)
+            full[:, : self.dimension] = data
+            output = plan.apply_batched(full)
+            projected, probs = postselect_batched(output, ancilla_qubits, 0,
+                                                  renormalize=False)
+            accumulated += np.conj(global_phase) * projected
+            probabilities += probs
+        accumulated /= self.num_runs
+        probabilities /= self.num_runs
+        return QSVTBatchApplication(vectors=accumulated,
+                                    success_probabilities=probabilities,
+                                    block_encoding_calls=self.block_encoding_calls,
+                                    circuit_depth=self.circuit_depth)
+
+
+def compile_qsvt_program(block: BlockEncoding, wx_phases, *,
+                         real_part: bool = True,
+                         dense_block_encoding: bool = True,
+                         fusion: str | None = None,
+                         max_fused_qubits: int | None = None) -> QSVTProgram:
+    """Compile the QSVT application for ``(block, wx_phases)`` into a program.
+
+    One circuit is assembled per phase sign (both signs when ``real_part`` is
+    on, see the module docstring) and lowered to a fused
+    :class:`~repro.quantum.plan.ExecutionPlan`; the QSVT alternation of
+    block-encoding layers and ancilla-diagonal projector phases collapses
+    into far fewer contractions than gates.  ``fusion``/``max_fused_qubits``
+    are forwarded to :func:`repro.quantum.plan.compile_plan` (``"none"``
+    keeps one op per gate — the reference the fused program is tested
+    against).
+    """
+    theta = np.asarray(wx_phases, dtype=float)
+    sign_list = [1.0, -1.0] if real_part else [1.0]
+    plans: list[ExecutionPlan] = []
+    global_phases: list[complex] = []
+    depth = 0
+    calls_per_run = 0
+    for sign in sign_list:
+        phases, global_phase = wx_to_circuit_phases(sign * theta)
+        circuit = build_qsvt_circuit(block, phases,
+                                     dense_block_encoding=dense_block_encoding)
+        depth = max(depth, circuit.depth())
+        calls_per_run = phases.shape[0]
+        plans.append(circuit.compile(fusion=fusion,
+                                     max_fused_qubits=max_fused_qubits))
+        global_phases.append(global_phase)
+    return QSVTProgram(num_qubits=block.num_qubits,
+                       num_ancillas=block.num_ancillas,
+                       dimension=block.dimension,
+                       plans=plans, global_phases=global_phases,
+                       block_encoding_calls_per_run=calls_per_run,
+                       circuit_depth=depth)
+
+
 def apply_qsvt_to_vector(block: BlockEncoding, wx_phases, data_vector, *,
                          real_part: bool = True,
-                         dense_block_encoding: bool = True) -> QSVTApplication:
+                         dense_block_encoding: bool = True,
+                         fusion: str | None = None) -> QSVTApplication:
     """Apply ``Re(P_wx)`` (or ``P_wx``) of the encoded matrix to ``data_vector``.
 
     The data vector is normalised, loaded next to ``|0^a>`` ancillas, run
@@ -213,44 +375,20 @@ def apply_qsvt_to_vector(block: BlockEncoding, wx_phases, data_vector, *,
     negated phases and the two (unnormalised) outcomes are averaged, which
     realises the real part of the polynomial exactly (see module docstring).
 
+    The execution compiles a :class:`QSVTProgram` and replays it; thanks to
+    the process-wide plan cache a repeated call with the same block and
+    phases skips the fusion pass.  Callers holding many right-hand sides
+    should compile once via :func:`compile_qsvt_program` (this is what the
+    circuit backend does).
+
     Returns the *unnormalised* transformed vector: its norm carries the
     success amplitude, which the linear solver uses only through the
     direction (the scale is recovered classically, Remark 2 of the paper).
     """
-    data = np.asarray(data_vector, dtype=complex).reshape(-1)
-    if data.shape[0] != block.dimension:
-        raise DimensionError(
-            f"data vector length {data.shape[0]} does not match the encoded dimension "
-            f"{block.dimension}")
-    norm = np.linalg.norm(data)
-    if norm == 0.0:
-        raise DimensionError("cannot apply the QSVT to a zero vector")
-    data = data / norm
-
-    theta = np.asarray(wx_phases, dtype=float)
-    sign_list = [1.0, -1.0] if real_part else [1.0]
-    accumulated = np.zeros(block.dimension, dtype=complex)
-    probability = 0.0
-    total_calls = 0
-    depth = 0
-    ancilla_qubits = list(range(block.num_ancillas))
-    for sign in sign_list:
-        phases, global_phase = wx_to_circuit_phases(sign * theta)
-        circuit = build_qsvt_circuit(block, phases,
-                                     dense_block_encoding=dense_block_encoding)
-        depth = max(depth, circuit.depth())
-        total_calls += phases.shape[0]
-        # initial state |0^a> ⊗ data
-        full = np.zeros(2**block.num_qubits, dtype=complex)
-        full[: block.dimension] = data
-        output = apply_circuit(circuit, Statevector(full))
-        projected, prob = postselect(output, ancilla_qubits, 0, renormalize=False)
-        accumulated += np.conj(global_phase) * projected.data
-        probability += prob
-    accumulated /= len(sign_list)
-    probability /= len(sign_list)
-    return QSVTApplication(vector=accumulated, success_probability=float(probability),
-                           block_encoding_calls=total_calls, circuit_depth=depth)
+    program = compile_qsvt_program(block, wx_phases, real_part=real_part,
+                                   dense_block_encoding=dense_block_encoding,
+                                   fusion=fusion)
+    return program.apply(data_vector)
 
 
 # ---------------------------------------------------------------------- #
@@ -288,20 +426,19 @@ class QSVTBatchApplication:
 
 def apply_qsvt_to_vectors(block: BlockEncoding, wx_phases, data_vectors, *,
                           real_part: bool = True,
-                          dense_block_encoding: bool = True) -> QSVTBatchApplication:
+                          dense_block_encoding: bool = True,
+                          fusion: str | None = None) -> QSVTBatchApplication:
     """Apply ``Re(P_wx)`` of the encoded matrix to ``B`` vectors in one sweep.
 
-    Batched analogue of :func:`apply_qsvt_to_vector` built on the batched
-    simulation kernels of :mod:`repro.quantum`: the ``B`` (normalised) data
-    vectors are stacked into a ``(B, 2**q)`` amplitude array next to
-    ``|0^a>`` ancillas, the QSVT circuit is built **once** per phase sign and
-    every gate updates all ``B`` states through a single ``tensordot``
-    contraction (:func:`~repro.quantum.statevector.apply_circuit_batched`),
-    and the ancillas are post-selected row-wise
+    Batched analogue of :func:`apply_qsvt_to_vector`: the ``B`` (normalised)
+    data vectors are stacked into a ``(B, 2**q)`` amplitude array next to
+    ``|0^a>`` ancillas and the compiled :class:`QSVTProgram` sweeps the whole
+    stack once per phase sign — every fused contraction updates all ``B``
+    states — before row-wise ancilla post-selection
     (:func:`~repro.quantum.measurement.postselect_batched`).  This is the
     engine behind the multi-right-hand-side solve of
     :meth:`repro.core.backends.CircuitQSVTBackend.apply_inverse_batch`: one
-    circuit sweep for the whole batch instead of ``B`` sweeps.
+    plan sweep for the whole batch instead of ``B`` sweeps.
 
     Parameters
     ----------
@@ -312,46 +449,7 @@ def apply_qsvt_to_vectors(block: BlockEncoding, wx_phases, data_vectors, *,
     Returns the *unnormalised* transformed vectors, exactly like the
     single-vector version.
     """
-    data = np.asarray(data_vectors, dtype=complex)
-    if data.ndim != 2:
-        raise DimensionError(
-            f"data_vectors must be a (B, N) stack, got shape {data.shape}")
-    if data.shape[1] != block.dimension:
-        raise DimensionError(
-            f"data vector length {data.shape[1]} does not match the encoded dimension "
-            f"{block.dimension}")
-    batch_size = data.shape[0]
-    if batch_size < 1:
-        raise DimensionError("data_vectors must contain at least one vector")
-    norms = np.linalg.norm(data, axis=1)
-    if np.any(norms == 0.0):
-        raise DimensionError("cannot apply the QSVT to a zero vector")
-    data = data / norms[:, None]
-
-    theta = np.asarray(wx_phases, dtype=float)
-    sign_list = [1.0, -1.0] if real_part else [1.0]
-    accumulated = np.zeros((batch_size, block.dimension), dtype=complex)
-    probabilities = np.zeros(batch_size)
-    total_calls = 0
-    depth = 0
-    ancilla_qubits = list(range(block.num_ancillas))
-    for sign in sign_list:
-        phases, global_phase = wx_to_circuit_phases(sign * theta)
-        circuit = build_qsvt_circuit(block, phases,
-                                     dense_block_encoding=dense_block_encoding)
-        depth = max(depth, circuit.depth())
-        total_calls += phases.shape[0]
-        # initial batch |0^a> ⊗ data_i, one row per vector
-        full = np.zeros((batch_size, 2**block.num_qubits), dtype=complex)
-        full[:, : block.dimension] = data
-        output = apply_circuit_batched(circuit, full)
-        projected, probs = postselect_batched(output, ancilla_qubits, 0,
-                                              renormalize=False)
-        accumulated += np.conj(global_phase) * projected
-        probabilities += probs
-    accumulated /= len(sign_list)
-    probabilities /= len(sign_list)
-    return QSVTBatchApplication(vectors=accumulated,
-                                success_probabilities=probabilities,
-                                block_encoding_calls=total_calls,
-                                circuit_depth=depth)
+    program = compile_qsvt_program(block, wx_phases, real_part=real_part,
+                                   dense_block_encoding=dense_block_encoding,
+                                   fusion=fusion)
+    return program.apply_batch(data_vectors)

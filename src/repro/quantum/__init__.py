@@ -8,6 +8,9 @@ from-scratch replacement.  It provides
   constructors (``h``, ``cx``, ``mcx``, arbitrary ``unitary`` blocks, ...),
 * a dense state-vector engine (:mod:`repro.quantum.statevector`) able to apply
   circuits, compute full unitaries and post-select ancilla outcomes,
+* a compiled execution-plan IR (:mod:`repro.quantum.plan`): circuits are
+  lowered once into fused contraction sequences that every execution path
+  (single state, batches, the QSVT backends) replays,
 * measurement/sampling utilities (:mod:`repro.quantum.measurement`),
 * gate decompositions used for fault-tolerant resource estimation
   (:mod:`repro.quantum.decompositions`, :mod:`repro.quantum.resources`),
@@ -24,6 +27,13 @@ the basis state ``|q0 q1 ... q_{n-1}>`` has index ``q0*2^{n-1} + ... + q_{n-1}``
 
 from .gates import Gate, controlled_matrix, standard_gate_matrix
 from .circuit import QuantumCircuit
+from .plan import (
+    ExecutionPlan,
+    PlanOp,
+    circuit_plan_fingerprint,
+    compile_plan,
+    plan_cache,
+)
 from .statevector import (
     Statevector,
     apply_circuit,
@@ -56,6 +66,11 @@ __all__ = [
     "standard_gate_matrix",
     "controlled_matrix",
     "QuantumCircuit",
+    "ExecutionPlan",
+    "PlanOp",
+    "compile_plan",
+    "circuit_plan_fingerprint",
+    "plan_cache",
     "Statevector",
     "zero_state",
     "apply_circuit",

@@ -267,6 +267,23 @@ class QuantumCircuit:
         return dup
 
     # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def compile(self, *, fusion: str | None = None,
+                max_fused_qubits: int | None = None, cache: bool = True):
+        """Lower the circuit to a :class:`~repro.quantum.plan.ExecutionPlan`.
+
+        The plan is the compiled form every execution path replays (see
+        :mod:`repro.quantum.plan`); compilation is cached process-wide on the
+        exact gate bytes, so calling this repeatedly — or rebuilding an
+        identical circuit — pays for the fusion pass once.
+        """
+        from .plan import compile_plan
+
+        return compile_plan(self, fusion=fusion,
+                            max_fused_qubits=max_fused_qubits, cache=cache)
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def count_gates(self) -> dict[str, int]:

@@ -8,6 +8,13 @@ simulation technique.  Controlled gates are applied by slicing the tensor on
 the control axes so only the activated sub-block is updated — no ``2**n x
 2**n`` matrices are ever built during simulation.
 
+Whole-circuit execution (:func:`apply_circuit`, :func:`apply_circuit_batched`)
+is routed through the compiled :class:`~repro.quantum.plan.ExecutionPlan` IR:
+the circuit is lowered once (gate fusion, diagonal fast paths — see
+:mod:`repro.quantum.plan`) and the plan is replayed; ``fusion="none"``
+selects the original per-gate loop, which the fused plans are verified
+against to 1e-12.
+
 Qubit 0 is the most significant bit of the basis-state index (big-endian).
 """
 
@@ -204,8 +211,15 @@ def apply_gate_batched(states: np.ndarray, gate: Gate) -> np.ndarray:
     return tensor.reshape(states.shape[0], -1)
 
 
-def apply_circuit_batched(circuit: QuantumCircuit, states: np.ndarray) -> np.ndarray:
-    """Run ``circuit`` on a ``(B, 2**n)`` stack of states (one sweep for all)."""
+def apply_circuit_batched(circuit: QuantumCircuit, states: np.ndarray, *,
+                          fusion: str | None = None) -> np.ndarray:
+    """Run ``circuit`` on a ``(B, 2**n)`` stack of states (one sweep for all).
+
+    The circuit is lowered to a cached
+    :class:`~repro.quantum.plan.ExecutionPlan` and the plan sweeps the whole
+    stack; ``fusion="none"`` instead replays the legacy per-gate loop (the
+    reference path the fused plans are tested against).
+    """
     current = np.asarray(states, dtype=complex)
     if current.ndim != 2:
         raise DimensionError(
@@ -214,20 +228,31 @@ def apply_circuit_batched(circuit: QuantumCircuit, states: np.ndarray) -> np.nda
         raise DimensionError(
             f"states have dimension {current.shape[1]} but circuit expects "
             f"{circuit.dimension}")
-    for gate in circuit:
-        current = apply_gate_batched(current, gate)
-    return current
+    if fusion == "none":
+        for gate in circuit:
+            current = apply_gate_batched(current, gate)
+        return current
+    return circuit.compile(fusion=fusion).apply_batched(current)
 
 
-def apply_circuit(circuit: QuantumCircuit, state: Statevector | None = None) -> Statevector:
-    """Run ``circuit`` on ``state`` (default ``|0...0>``) and return the result."""
+def apply_circuit(circuit: QuantumCircuit, state: Statevector | None = None, *,
+                  fusion: str | None = None) -> Statevector:
+    """Run ``circuit`` on ``state`` (default ``|0...0>``) and return the result.
+
+    Execution goes through the compiled
+    :class:`~repro.quantum.plan.ExecutionPlan` of the circuit (cached on the
+    exact gate bytes, see :mod:`repro.quantum.plan`); pass ``fusion="none"``
+    for the legacy gate-by-gate loop, which is the unfused reference path.
+    """
     current = zero_state(circuit.num_qubits) if state is None else state
     if current.num_qubits != circuit.num_qubits:
         raise DimensionError(
             f"state has {current.num_qubits} qubits but circuit expects {circuit.num_qubits}")
-    for gate in circuit:
-        current = apply_gate(current, gate)
-    return current
+    if fusion == "none":
+        for gate in circuit:
+            current = apply_gate(current, gate)
+        return current
+    return Statevector(circuit.compile(fusion=fusion).apply(current.data))
 
 
 def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
@@ -238,7 +263,8 @@ def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
     """
     dim = circuit.dimension
     unitary = np.zeros((dim, dim), dtype=complex)
+    plan = circuit.compile()   # one compilation for all 2**n columns
     for j in range(dim):
         col = basis_state(circuit.num_qubits, j)
-        unitary[:, j] = apply_circuit(circuit, col).data
+        unitary[:, j] = plan.apply(col.data)
     return unitary

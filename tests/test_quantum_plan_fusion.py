@@ -1,0 +1,347 @@
+"""Execution-plan IR: fusion correctness, plan caching, fused engine paths.
+
+The correctness oracle of :mod:`repro.quantum.plan` is agreement with the
+legacy per-gate loop (``fusion="none"``) to 1e-12, checked here
+property-style on random circuits (random targets, controls, control states
+and phases) and on real QSVT solve circuits, plus the plan-cache hit
+counters, the byte-accounted solver cache and the batched refinement that
+ride on the IR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.applications import random_workload
+from repro.core import MixedPrecisionRefinement, QSVTLinearSolver
+from repro.core.backends import CircuitQSVTBackend
+from repro.engine import BatchedStatevector, CompiledSolverCache
+from repro.linalg import random_rhs
+from repro.quantum import QuantumCircuit, Statevector, apply_circuit
+from repro.quantum.plan import (
+    DEFAULT_MAX_FUSED_QUBITS,
+    ExecutionPlan,
+    compile_plan,
+    circuit_plan_fingerprint,
+    plan_cache,
+)
+from repro.qsp.qsvt_circuit import compile_qsvt_program
+
+
+def _random_circuit(num_qubits: int, num_gates: int, rng) -> QuantumCircuit:
+    """Random mix of rotations, entanglers, custom unitaries and multi-controls."""
+    qc = QuantumCircuit(num_qubits)
+    for _ in range(num_gates):
+        kind = int(rng.integers(0, 6 if num_qubits >= 3 else 5))
+        if kind == 0:
+            qc.h(int(rng.integers(num_qubits)))
+        elif kind == 1:
+            qc.rz(float(rng.normal()), int(rng.integers(num_qubits)))
+        elif kind == 2:
+            qc.p(float(rng.normal()), int(rng.integers(num_qubits)))
+        elif kind == 3:
+            a, b = (int(q) for q in rng.choice(num_qubits, 2, replace=False))
+            qc.cx(a, b)
+        elif kind == 4:
+            raw = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+            unitary, _ = np.linalg.qr(raw)
+            a, b = (int(q) for q in rng.choice(num_qubits, 2, replace=False))
+            qc.unitary(unitary, (a, b))
+        else:
+            controls = [int(q) for q in rng.choice(num_qubits, 2, replace=False)]
+            target = next(q for q in range(num_qubits) if q not in controls)
+            states = [int(s) for s in rng.integers(0, 2, size=2)]
+            qc.mcx(controls, target, control_states=states)
+    return qc
+
+
+class TestFusedPlansMatchReference:
+    def test_random_circuits_agree_to_1e12(self):
+        rng = np.random.default_rng(2025)
+        for _ in range(25):
+            num_qubits = int(rng.integers(2, 6))
+            circuit = _random_circuit(num_qubits, int(rng.integers(1, 30)), rng)
+            state = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+            reference = apply_circuit(circuit, Statevector(state.copy()),
+                                      fusion="none").data
+            for fusion in ("none", "greedy"):
+                plan = compile_plan(circuit, fusion=fusion, cache=False)
+                assert np.max(np.abs(plan.apply(state) - reference)) < 1e-12
+
+    def test_random_circuits_batched_agree_to_1e12(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            num_qubits = int(rng.integers(2, 6))
+            circuit = _random_circuit(num_qubits, int(rng.integers(1, 25)), rng)
+            batch = (rng.normal(size=(3, 2**num_qubits))
+                     + 1j * rng.normal(size=(3, 2**num_qubits)))
+            plan = compile_plan(circuit, cache=False)
+            fused = plan.apply_batched(batch)
+            for i in range(batch.shape[0]):
+                reference = apply_circuit(circuit, Statevector(batch[i].copy()),
+                                          fusion="none").data
+                assert np.max(np.abs(fused[i] - reference)) < 1e-12
+
+    def test_apply_circuit_default_matches_reference_loop(self, rng):
+        circuit = _random_circuit(4, 20, rng)
+        state = rng.normal(size=16) + 1j * rng.normal(size=16)
+        fused = apply_circuit(circuit, Statevector(state.copy()))
+        loop = apply_circuit(circuit, Statevector(state.copy()), fusion="none")
+        assert np.max(np.abs(fused.data - loop.data)) < 1e-12
+
+    def test_batched_statevector_plan_path(self, rng):
+        circuit = _random_circuit(3, 12, rng)
+        data = rng.normal(size=(4, 8)) + 1j * rng.normal(size=(4, 8))
+        batch = BatchedStatevector(data)
+        fused = batch.apply_circuit(circuit)
+        reference = batch.apply_circuit(circuit, fusion="none")
+        assert np.max(np.abs(fused.data - reference.data)) < 1e-12
+        replayed = batch.apply_plan(circuit.compile())
+        assert np.max(np.abs(replayed.data - reference.data)) < 1e-12
+
+
+class TestFusionPass:
+    def test_none_lowers_one_op_per_gate(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).rz(0.3, 2).mcx([0, 1], 2)
+        plan = qc.compile(fusion="none", cache=False)
+        assert plan.num_contractions == len(qc) == 4
+        assert plan.fusion == "none"
+
+    def test_greedy_fuses_overlapping_gates(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).rz(0.2, 0).cx(0, 1).h(2).cx(1, 2)
+        plan = qc.compile(fusion="greedy", cache=False)
+        assert plan.num_contractions < len(qc)
+        assert plan.source_gate_count == len(qc)
+        assert plan.stats()["fusion_ratio"] > 1.0
+
+    def test_nested_sets_fuse_beyond_width_cap(self, rng):
+        # a 5-qubit dense layer followed by a 1-qubit diagonal on a subset
+        # must fuse even though 5 > max_fused_qubits: the union never grows.
+        raw = rng.normal(size=(32, 32)) + 1j * rng.normal(size=(32, 32))
+        unitary, _ = np.linalg.qr(raw)
+        qc = QuantumCircuit(5)
+        qc.unitary(unitary, range(5), name="BE")
+        qc.rz(0.7, 0)
+        qc.unitary(unitary.conj().T, range(5), name="BE†")
+        plan = qc.compile(fusion="greedy", max_fused_qubits=2, cache=False)
+        assert plan.num_contractions == 1
+        state = rng.normal(size=32) + 1j * rng.normal(size=32)
+        reference = apply_circuit(qc, Statevector(state.copy()), fusion="none")
+        assert np.max(np.abs(plan.apply(state) - reference.data)) < 1e-12
+
+    def test_diagonal_fast_path(self):
+        qc = QuantumCircuit(3)
+        qc.rz(0.4, 0).p(0.9, 2).z(1)
+        plan = qc.compile(fusion="greedy", cache=False)
+        assert plan.num_contractions == 1
+        assert plan.ops[0].kind == "diagonal"
+        state = np.arange(8, dtype=complex) + 1.0
+        reference = apply_circuit(qc, Statevector(state.copy()), fusion="none")
+        assert np.max(np.abs(plan.apply(state) - reference.data)) < 1e-12
+
+    def test_wide_controlled_gate_stays_sliced(self):
+        qc = QuantumCircuit(6)
+        qc.h(5)
+        qc.mcx([0, 1, 2, 3, 4], 5, control_states=[1, 0, 1, 0, 1])
+        plan = qc.compile(fusion="greedy", max_fused_qubits=3, cache=False)
+        kinds = [op.kind for op in plan.ops]
+        assert "controlled" in kinds
+        state = np.zeros(64, dtype=complex)
+        state[0b10101_0] = 1.0   # control pattern satisfied
+        reference = apply_circuit(qc, Statevector(state.copy()), fusion="none")
+        assert np.max(np.abs(plan.apply(state) - reference.data)) < 1e-12
+
+    def test_invalid_fusion_mode_rejected(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        with pytest.raises(ValueError):
+            qc.compile(fusion="eager")
+        with pytest.raises(ValueError):
+            qc.compile(max_fused_qubits=0)
+
+
+class TestPlanCache:
+    def test_identical_circuits_hit(self):
+        cache = plan_cache()
+        qc1 = QuantumCircuit(3)
+        qc1.h(0).cx(0, 1).rz(0.25, 2)
+        qc2 = QuantumCircuit(3)
+        qc2.h(0).cx(0, 1).rz(0.25, 2)
+        assert circuit_plan_fingerprint(qc1) == circuit_plan_fingerprint(qc2)
+        hits_before = cache.hits
+        first = qc1.compile()
+        second = qc2.compile()    # rebuilt but byte-identical -> cache hit
+        assert second is first
+        assert cache.hits == hits_before + 1
+
+    def test_different_parameters_miss(self):
+        qc1 = QuantumCircuit(2)
+        qc1.rz(0.25, 0)
+        qc2 = QuantumCircuit(2)
+        qc2.rz(0.35, 0)
+        assert circuit_plan_fingerprint(qc1) != circuit_plan_fingerprint(qc2)
+        assert qc1.compile() is not qc2.compile()
+
+    def test_stats_and_clear(self):
+        cache = plan_cache()
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1)
+        qc.compile()
+        stats = cache.stats()
+        assert stats["size"] >= 1 and stats["hits"] + stats["misses"] > 0
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_byte_budget_bounds_plan_memory(self):
+        from repro.quantum.plan import PlanCache
+
+        cache = PlanCache(maxsize=8, max_bytes=1)
+        plans = []
+        for theta in (0.1, 0.2, 0.3):
+            qc = QuantumCircuit(2)
+            qc.rz(theta, 0)
+            plan = compile_plan(qc, cache=False)
+            cache.put((circuit_plan_fingerprint(qc), "greedy", 4), plan)
+            plans.append(plan)
+        stats = cache.stats()
+        # over budget: only the most recent plan survives
+        assert stats["size"] == 1 and stats["evictions"] == 2
+        assert stats["total_bytes"] == plans[-1].payload_bytes()
+
+    def test_qsvt_recompile_hits_plan_cache(self, prepared_circuit_solver):
+        backend = prepared_circuit_solver.backend
+        # first compile (re)materialises the plans in the LRU, the second —
+        # byte-identical circuits rebuilt from scratch — must hit.
+        compile_qsvt_program(backend.block, backend.phases)
+        hits_before = plan_cache().hits
+        program = compile_qsvt_program(backend.block, backend.phases)
+        assert plan_cache().hits >= hits_before + program.num_runs
+
+
+class TestFusedQSVTSolve:
+    def test_fused_matches_unfused_on_solve_circuit(self, medium_workload):
+        fused = CircuitQSVTBackend()
+        fused.prepare(medium_workload.matrix, epsilon_l=1e-2)
+        unfused = CircuitQSVTBackend(fusion="none")
+        unfused.prepare(medium_workload.matrix, epsilon_l=1e-2)
+        rhs = np.stack([random_rhs(16, rng=i) for i in range(4)])
+        single_dev = np.max(np.abs(
+            fused.apply_inverse(rhs[0]).direction
+            - unfused.apply_inverse(rhs[0]).direction))
+        assert single_dev < 1e-12
+        for a, b in zip(fused.apply_inverse_batch(rhs),
+                        unfused.apply_inverse_batch(rhs)):
+            assert np.max(np.abs(a.direction - b.direction)) < 1e-12
+
+    def test_backend_reports_contraction_reduction(self, prepared_circuit_solver):
+        info = prepared_circuit_solver.describe()
+        assert info["fusion"] == "greedy"
+        assert info["gates_per_sweep"] / info["contractions_per_sweep"] >= 1.5
+
+    def test_program_compiled_once_and_replayed(self, medium_workload):
+        backend = CircuitQSVTBackend()
+        backend.prepare(medium_workload.matrix, epsilon_l=1e-2)
+        program = backend.program
+        backend.apply_inverse(medium_workload.rhs)
+        backend.apply_inverse_batch(np.stack([medium_workload.rhs] * 2))
+        assert backend.program is program
+        assert program.payload_bytes() > 0
+
+    def test_plan_isolated_from_gate_list(self, rng):
+        # the compiled plan must be a snapshot: appending gates afterwards
+        # does not change an already-compiled plan.
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        plan = qc.compile(cache=False)
+        before = plan.apply(np.array([1, 0, 0, 0], dtype=complex))
+        qc.x(1)
+        after = plan.apply(np.array([1, 0, 0, 0], dtype=complex))
+        assert np.array_equal(before, after)
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.max_fused_qubits == DEFAULT_MAX_FUSED_QUBITS
+
+
+class TestByteAccountedCache:
+    def test_totals_exposed_in_stats(self, medium_workload):
+        cache = CompiledSolverCache()
+        solver = cache.solver(medium_workload.matrix, epsilon_l=1e-2,
+                              backend="circuit")
+        stats = cache.stats()
+        assert stats["total_bytes"] == solver.payload_bytes() > 0
+        assert stats["max_bytes"] is None
+
+    def test_max_bytes_evicts_lru_not_most_recent(self, medium_workload):
+        cache = CompiledSolverCache(max_bytes=1)
+        first = cache.solver(medium_workload.matrix, epsilon_l=1e-2,
+                             backend="exact")
+        other = random_workload(16, 5.0, rng=99)
+        second = cache.solver(other.matrix, epsilon_l=1e-2, backend="exact")
+        stats = cache.stats()
+        # over budget: the older entry is evicted, the newest always survives
+        assert stats["size"] == 1 and stats["evictions"] == 1
+        assert cache.solver(other.matrix, epsilon_l=1e-2, backend="exact") is second
+        assert cache.solver(medium_workload.matrix, epsilon_l=1e-2,
+                            backend="exact") is not first
+
+    def test_budget_keeps_entries_that_fit(self, medium_workload):
+        probe = CompiledSolverCache()
+        solver = probe.solver(medium_workload.matrix, epsilon_l=1e-2,
+                              backend="exact")
+        budget = 3 * solver.payload_bytes()
+        cache = CompiledSolverCache(max_bytes=budget)
+        for epsilon in (1e-1, 5e-2, 1e-2):
+            cache.solver(medium_workload.matrix, epsilon_l=epsilon,
+                         backend="exact")
+        stats = cache.stats()
+        assert stats["size"] == 3 and stats["evictions"] == 0
+        assert stats["total_bytes"] <= budget
+
+    def test_invalidate_releases_bytes(self, medium_workload):
+        cache = CompiledSolverCache()
+        cache.solver(medium_workload.matrix, epsilon_l=1e-2, backend="exact")
+        assert cache.total_bytes > 0
+        assert cache.invalidate(medium_workload.matrix) == 1
+        assert cache.total_bytes == 0
+
+
+class TestBatchedRefinement:
+    def test_solve_batch_matches_sequential(self, medium_workload):
+        solver = QSVTLinearSolver(medium_workload.matrix, epsilon_l=1e-2,
+                                  backend="circuit")
+        driver = MixedPrecisionRefinement(solver, target_accuracy=1e-10)
+        rng = np.random.default_rng(5)
+        batch = rng.standard_normal((3, 16))
+        batched = driver.solve_batch(batch)
+        for i, result in enumerate(batched):
+            sequential = driver.solve(batch[i])
+            assert result.converged and sequential.converged
+            assert result.iterations == sequential.iterations
+            assert np.max(np.abs(result.x - sequential.x)) < 1e-9
+            assert (result.total_block_encoding_calls
+                    == sequential.total_block_encoding_calls)
+
+    def test_solve_batch_histories_and_forward_errors(self, medium_workload):
+        solver = QSVTLinearSolver(medium_workload.matrix, epsilon_l=1e-2,
+                                  backend="circuit")
+        driver = MixedPrecisionRefinement(solver, target_accuracy=1e-8)
+        rng = np.random.default_rng(6)
+        batch = rng.standard_normal((2, 16))
+        x_true = np.linalg.solve(medium_workload.matrix, batch.T).T
+        results = driver.solve_batch(batch, x_true=x_true)
+        for result in results:
+            assert result.converged
+            residuals = [it.scaled_residual for it in result.history]
+            assert residuals[-1] <= 1e-8
+            assert np.isfinite(result.history[-1].forward_error)
+
+    def test_solve_batch_validates_input(self, medium_workload):
+        solver = QSVTLinearSolver(medium_workload.matrix, epsilon_l=1e-2,
+                                  backend="exact")
+        driver = MixedPrecisionRefinement(solver)
+        with pytest.raises(ValueError):
+            driver.solve_batch(np.zeros((2, 16)))
+        with pytest.raises(ValueError):
+            driver.solve_batch(np.ones((2, 8)))
