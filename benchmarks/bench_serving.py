@@ -1,0 +1,389 @@
+"""Serving layer — shared-memory hand-off, persistent store, coalesced async.
+
+Measures the three boundaries the zero-copy serving layer eliminates:
+
+* **process boundary** — ``ScenarioRunner(mode="process")`` with the
+  shared-memory hand-off (one segment per distinct matrix, fingerprint
+  handles in the jobs) vs per-job pickling of the full ``N x N`` payload, on
+  repeated-matrix workloads with a warm synthesis store (so both sides skip
+  synthesis and the hand-off itself is what differs);
+* **run/process lifetime boundary** — cold compile (block-encoding +
+  polynomial + QSP phases + plan fusion, then spilled to the
+  :class:`~repro.engine.store.SynthesisStore`) vs warm restore of the same
+  solver from disk in a fresh cache, including a 1e-12 equality check of the
+  restored solver's solutions;
+* **request boundary** — ``K`` concurrent same-matrix requests through the
+  coalescing :class:`~repro.engine.aio.AsyncSolveEngine` (one fused
+  ``solve_batch`` sweep) vs the same ``K`` requests awaited sequentially
+  (``K`` sweeps).
+
+Results go to ``benchmarks/results/serving.txt`` (human-readable) and to
+``BENCH_serving.json`` at the repository root (machine-readable speedups).
+Run directly for the CI smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+
+which exits non-zero when the serving acceptance criteria regress (store
+restore must beat compilation by >= 5x, coalesced K=8 must run in under half
+of 8x the sequential time, all equality checks at 1e-12; the >= 2x
+shared-memory hand-off gate applies to the full run only — it needs the
+large-N configurations the smoke variant skips).
+"""
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core import QSVTLinearSolver
+from repro.engine import (
+    AsyncSolveEngine,
+    CompiledSolverCache,
+    ScenarioRunner,
+    SolveJob,
+    SynthesisStore,
+)
+from repro.linalg import random_matrix_with_condition_number, random_rhs
+from repro.reporting import format_table
+from repro.utils import as_generator
+
+try:
+    from .common import emit
+except ImportError:          # script mode: python benchmarks/bench_serving.py
+    from common import emit
+
+_EPSILON_L = 1e-2
+_KAPPA = 10.0
+_REPEATS = 3
+_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: shared-memory hand-off thresholds (full run only; see module docstring)
+_MIN_SHAREDMEM_SPEEDUP = 2.0
+#: warm restore must be at least this many times faster than a cold compile
+_MIN_STORE_SPEEDUP = 5.0
+#: K coalesced requests must finish in under this fraction of K sequential
+_MAX_COALESCED_FRACTION = 0.5
+_EQUALITY_TOL = 1e-12
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# ---------------------------------------------------------------------- #
+# (1) shared-memory hand-off vs per-job pickling
+# ---------------------------------------------------------------------- #
+def _measure_sharedmem(dimension: int, num_jobs: int, *, workers: int,
+                       repeats: int) -> dict:
+    """Process-mode runner: same jobs, warm store, only the hand-off differs."""
+    matrix = random_matrix_with_condition_number(dimension, _KAPPA, rng=0)
+    gen = as_generator(1)
+    jobs = [SolveJob(name=f"job{i}", matrix=matrix,
+                     rhs=random_rhs(dimension, rng=gen),
+                     epsilon_l=_EPSILON_L, backend="ideal", kappa=_KAPPA)
+            for i in range(num_jobs)]
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SynthesisStore(tmp)
+        # warm the store so neither mode pays synthesis inside the workers —
+        # what remains is exactly the per-job hand-off + solve.
+        CompiledSolverCache(store=store).solver(
+            matrix, epsilon_l=_EPSILON_L, backend="ideal", kappa=_KAPPA)
+
+        def run(shared: bool):
+            runner = ScenarioRunner(mode="process", max_workers=workers,
+                                    use_shared_memory=shared, store=store)
+            report = runner.run(jobs)
+            failed = [r.error for r in report if not r.ok]
+            if failed:
+                raise RuntimeError(f"jobs failed: {failed}")
+            return report
+
+        pickle_time, pickle_report = _best_of(repeats, lambda: run(False))
+        shared_time, shared_report = _best_of(repeats, lambda: run(True))
+    deviation = max(
+        float(np.max(np.abs(a.x - b.x)))
+        for a, b in zip(shared_report, pickle_report))
+    return {
+        "dimension": dimension,
+        "num_jobs": num_jobs,
+        "workers": workers,
+        "matrix_mbytes": matrix.nbytes / 1e6,
+        "pickle_time_s": pickle_time,
+        "shared_time_s": shared_time,
+        "speedup": pickle_time / shared_time,
+        "pickle_jobs_per_sec": num_jobs / pickle_time,
+        "shared_jobs_per_sec": num_jobs / shared_time,
+        "max_deviation": deviation,
+        "segments": shared_report.summary["shared_memory"]["segments"],
+        "worker_compiles": shared_report.summary["cache"]["compiles"],
+    }
+
+
+# ---------------------------------------------------------------------- #
+# (2) cold compile vs warm store restore
+# ---------------------------------------------------------------------- #
+def _measure_store(dimension: int, *, repeats: int) -> dict:
+    """Synthesis (circuit backend) + spill vs restore-from-disk, plus 1e-12 check."""
+    matrix = random_matrix_with_condition_number(dimension, _KAPPA, rng=2025)
+    rhs = random_rhs(dimension, rng=3)
+    reference = QSVTLinearSolver(matrix, epsilon_l=_EPSILON_L, backend="circuit",
+                                 kappa=_KAPPA)
+    expected = reference.solve(rhs).x
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SynthesisStore(tmp)
+
+        def cold():
+            cache = CompiledSolverCache(store=SynthesisStore(tmp))
+            cache.store.clear()
+            return cache.solver(matrix, epsilon_l=_EPSILON_L, backend="circuit",
+                                kappa=_KAPPA)
+
+        def warm():
+            cache = CompiledSolverCache(store=SynthesisStore(tmp))
+            solver = cache.solver(matrix, epsilon_l=_EPSILON_L,
+                                  backend="circuit", kappa=_KAPPA)
+            if cache.stats()["store_hits"] != 1:
+                raise RuntimeError("warm lookup did not hit the store")
+            return solver
+
+        cold_time, _ = _best_of(repeats, cold)
+        cold()                                      # leave a warm entry behind
+        warm_time, restored = _best_of(repeats, warm)
+        deviation = float(np.max(np.abs(restored.solve(rhs).x - expected)))
+        entry_bytes = store.disk_bytes()
+    return {
+        "dimension": dimension,
+        "backend": "circuit",
+        "cold_compile_s": cold_time,
+        "warm_restore_s": warm_time,
+        "speedup": cold_time / warm_time,
+        "entry_mbytes": entry_bytes / 1e6,
+        "max_deviation": deviation,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# (3) coalesced vs sequential async requests
+# ---------------------------------------------------------------------- #
+def _measure_async(dimension: int, num_requests: int, *, repeats: int) -> dict:
+    """K concurrent same-matrix requests: one fused sweep vs K sweeps.
+
+    Everything that is not the request path — event loop, engine, executor
+    threads, the one-off synthesis — is set up outside the timed sections,
+    so the numbers compare exactly what a running service experiences:
+    ``K`` awaits answered one sweep at a time vs one gathered burst answered
+    by a single coalesced sweep.
+    """
+    matrix = random_matrix_with_condition_number(dimension, _KAPPA, rng=7)
+    gen = as_generator(9)
+    batch = [random_rhs(dimension, rng=gen) for _ in range(num_requests)]
+    cache = CompiledSolverCache()
+    solver = cache.solver(matrix, epsilon_l=_EPSILON_L, backend="circuit",
+                          kappa=_KAPPA)          # prewarm: measure sweeps, not synthesis
+    expected = [solver.solve(rhs).x for rhs in batch]
+
+    async def measure():
+        async with AsyncSolveEngine(cache=cache) as engine:
+            def request(rhs):
+                return engine.solve(matrix, rhs, epsilon_l=_EPSILON_L,
+                                    backend="circuit", kappa=_KAPPA)
+
+            await request(batch[0])              # warm the executor threads
+
+            sequential_time = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for rhs in batch:
+                    await request(rhs)
+                sequential_time = min(sequential_time,
+                                      time.perf_counter() - start)
+            batches_before = engine.stats()["batches"]
+
+            coalesced_time = float("inf")
+            records = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                records = await asyncio.gather(*[request(rhs)
+                                                 for rhs in batch])
+                coalesced_time = min(coalesced_time,
+                                     time.perf_counter() - start)
+            batches_per_burst = ((engine.stats()["batches"] - batches_before)
+                                 / repeats)
+            return sequential_time, coalesced_time, records, batches_per_burst
+
+    sequential_time, coalesced_time, records, batches_per_burst = asyncio.run(
+        measure())
+    if batches_per_burst != 1:
+        raise RuntimeError(
+            f"gathered burst split into {batches_per_burst} batches")
+    deviation = max(
+        float(np.max(np.abs(record.x - exact)))
+        for record, exact in zip(records, expected))
+    return {
+        "dimension": dimension,
+        "num_requests": num_requests,
+        "backend": "circuit",
+        "sequential_time_s": sequential_time,
+        "coalesced_time_s": coalesced_time,
+        "speedup": sequential_time / coalesced_time,
+        "coalesced_fraction": coalesced_time / sequential_time,
+        "coalesced_batches": int(batches_per_burst),
+        "max_deviation": deviation,
+    }
+
+
+# ---------------------------------------------------------------------- #
+def run_benchmark(*, smoke: bool = False) -> dict:
+    """Run every configuration, emit tables and write ``BENCH_serving.json``."""
+    if smoke:
+        sharedmem_configs = [(64, 8)]
+        store_dims = [16]
+        async_configs = [(16, 8)]
+        workers, repeats = 2, 1
+    else:
+        sharedmem_configs = [(64, 32), (256, 32), (512, 32), (1024, 48)]
+        store_dims = [8, 16]
+        async_configs = [(16, 8), (16, 32)]
+        workers, repeats = 2, _REPEATS
+
+    sharedmem = [_measure_sharedmem(n, jobs, workers=workers, repeats=repeats)
+                 for n, jobs in sharedmem_configs]
+    store = [_measure_store(n, repeats=repeats) for n in store_dims]
+    coalescing = [_measure_async(n, k, repeats=repeats)
+                  for n, k in async_configs]
+
+    summary = {
+        "epsilon_l": _EPSILON_L,
+        "kappa": _KAPPA,
+        "smoke": smoke,
+        "sharedmem": {
+            "cases": sharedmem,
+            "best_speedup": max(c["speedup"] for c in sharedmem),
+            "best_speedup_dimension": max(
+                sharedmem, key=lambda c: c["speedup"])["dimension"],
+            "max_deviation": max(c["max_deviation"] for c in sharedmem),
+        },
+        "store": {
+            "cases": store,
+            "min_speedup": min(c["speedup"] for c in store),
+            "max_deviation": max(c["max_deviation"] for c in store),
+        },
+        "async": {
+            "cases": coalescing,
+            "min_speedup": min(c["speedup"] for c in coalescing),
+            "max_coalesced_fraction": max(c["coalesced_fraction"]
+                                          for c in coalescing),
+            "max_deviation": max(c["max_deviation"] for c in coalescing),
+        },
+    }
+
+    text = "\n\n".join([
+        format_table(
+            [{"N": c["dimension"], "jobs": c["num_jobs"],
+              "matrix [MB]": c["matrix_mbytes"],
+              "pickle [s]": c["pickle_time_s"], "shared [s]": c["shared_time_s"],
+              "speedup": c["speedup"], "max dev": c["max_deviation"]}
+             for c in sharedmem],
+            title=("Shared-memory hand-off vs per-job pickling "
+                   f"(process mode, {workers} workers, warm store, "
+                   "repeated-matrix workload)")),
+        format_table(
+            [{"N": c["dimension"], "cold compile [s]": c["cold_compile_s"],
+              "warm restore [s]": c["warm_restore_s"], "speedup": c["speedup"],
+              "entry [MB]": c["entry_mbytes"], "max dev": c["max_deviation"]}
+             for c in store],
+            title="Persistent synthesis store: cold compile vs warm restore "
+                  "(circuit backend)"),
+        format_table(
+            [{"N": c["dimension"], "K": c["num_requests"],
+              "sequential [s]": c["sequential_time_s"],
+              "coalesced [s]": c["coalesced_time_s"], "speedup": c["speedup"],
+              "batches": int(c["coalesced_batches"]),
+              "max dev": c["max_deviation"]}
+             for c in coalescing],
+            title="Async front end: K coalesced same-matrix requests vs "
+                  "K sequential (one fused sweep vs K sweeps)"),
+    ])
+    if smoke:
+        # the smoke gate only checks thresholds; never overwrite the full
+        # benchmark artifacts (README/ROADMAP cite their numbers).
+        emit("serving_smoke", text)
+    else:
+        _JSON_PATH.write_text(json.dumps(summary, indent=2) + "\n",
+                              encoding="utf-8")
+        emit("serving", text + f"\n\nwritten: {_JSON_PATH}")
+    return summary
+
+
+def _check(summary: dict) -> list[str]:
+    """Acceptance criteria of the serving tentpole; empty list = pass."""
+    failures = []
+    if not summary["smoke"]:
+        # the hand-off advantage needs payloads big enough to dominate the
+        # (machine-dependent) fixed pool costs; the smoke config is too small
+        # to gate on it meaningfully.
+        if summary["sharedmem"]["best_speedup"] < _MIN_SHAREDMEM_SPEEDUP:
+            failures.append(
+                f"shared-memory hand-off speedup "
+                f"{summary['sharedmem']['best_speedup']:.2f}x is below the "
+                f"required {_MIN_SHAREDMEM_SPEEDUP:.1f}x")
+    if summary["sharedmem"]["max_deviation"] > _EQUALITY_TOL:
+        failures.append(
+            f"shared-memory results deviate from pickled results by "
+            f"{summary['sharedmem']['max_deviation']:.2e}")
+    if summary["store"]["min_speedup"] < _MIN_STORE_SPEEDUP:
+        failures.append(
+            f"warm store restore is only {summary['store']['min_speedup']:.2f}x "
+            f"faster than a cold compile (required {_MIN_STORE_SPEEDUP:.1f}x)")
+    if summary["store"]["max_deviation"] > _EQUALITY_TOL:
+        failures.append(
+            f"restored-from-store solutions deviate by "
+            f"{summary['store']['max_deviation']:.2e} (tolerance {_EQUALITY_TOL:.0e})")
+    if summary["async"]["max_coalesced_fraction"] > _MAX_COALESCED_FRACTION:
+        failures.append(
+            f"coalesced burst took {summary['async']['max_coalesced_fraction']:.2f} "
+            f"of the sequential time (required < {_MAX_COALESCED_FRACTION:.2f})")
+    if summary["async"]["max_deviation"] > _EQUALITY_TOL:
+        failures.append(
+            f"coalesced results deviate from sequential solves by "
+            f"{summary['async']['max_deviation']:.2e}")
+    return failures
+
+
+def test_serving(benchmark):
+    summary = benchmark.pedantic(run_benchmark, rounds=1, iterations=1,
+                                 kwargs={"smoke": True})
+    failures = _check(summary)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast configuration (the CI regression gate)")
+    args = parser.parse_args(argv)
+    summary = run_benchmark(smoke=args.smoke)
+    print(f"shared-memory hand-off {summary['sharedmem']['best_speedup']:.2f}x "
+          f"(N={summary['sharedmem']['best_speedup_dimension']}), "
+          f"store restore {summary['store']['min_speedup']:.0f}x, "
+          f"coalesced burst {summary['async']['min_speedup']:.2f}x, "
+          f"max deviation {max(summary[k]['max_deviation'] for k in ('sharedmem', 'store', 'async')):.2e}")
+    failures = _check(summary)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,11 +44,14 @@ from .core import (
     refine,
 )
 from .engine import (
+    AsyncSolveEngine,
     BatchedStatevector,
     CompiledSolverCache,
     JobResult,
+    RunReport,
     ScenarioRunner,
     SolveJob,
+    SynthesisStore,
     build_scenario,
     list_scenarios,
 )
@@ -63,11 +66,14 @@ __all__ = [
     "mixed_precision_lu_refinement",
     "RefinementResult",
     "SingleSolveRecord",
+    "AsyncSolveEngine",
     "BatchedStatevector",
     "CompiledSolverCache",
+    "SynthesisStore",
     "ScenarioRunner",
     "SolveJob",
     "JobResult",
+    "RunReport",
     "build_scenario",
     "list_scenarios",
 ]

@@ -42,8 +42,9 @@ from ..qsp.inverse_polynomial import (
     InversePolynomial,
     polynomial_error_from_solution_accuracy,
 )
-from ..qsp.qsvt_circuit import compile_qsvt_program
+from ..qsp.qsvt_circuit import QSVTProgram, compile_qsvt_program
 from ..qsp.chebyshev import evaluate_chebyshev
+from ..quantum.plan import ExecutionPlan, PlanOp
 from ..utils import as_generator, as_vector, check_square, matrix_fingerprint
 from .sampling import SamplingModel
 
@@ -164,6 +165,34 @@ class QSVTBackend(abc.ABC):
         return matrix_fingerprint(matrix) != self.synthesis_fingerprint
 
     # ------------------------------------------------------------------ #
+    # compiled-payload export / import (persistent synthesis store)
+    # ------------------------------------------------------------------ #
+    def export_payload(self) -> dict:
+        """Serialisable snapshot of the compiled synthesis.
+
+        Returns ``{"meta": <JSON-able dict>, "arrays": {name: ndarray}}`` —
+        everything a fresh backend instance needs to answer ``apply_inverse``
+        without re-running block-encoding / polynomial / phase synthesis.
+        :class:`repro.engine.store.SynthesisStore` spills this to disk keyed
+        by matrix fingerprint; backends whose synthesis is not worth
+        persisting (e.g. the exact-inverse surrogate) leave the default,
+        which raises :class:`NotImplementedError` so the store simply skips
+        them.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support compiled-payload export")
+
+    def import_payload(self, payload: dict) -> None:
+        """Restore the compiled synthesis from :meth:`export_payload` output.
+
+        Called on a *freshly constructed* backend; after it returns, the
+        backend behaves exactly as if ``prepare`` had run against the stored
+        matrix (including the synthesis fingerprint).
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support compiled-payload import")
+
+    # ------------------------------------------------------------------ #
     def describe(self) -> dict:
         """Backend metadata recorded in solver results."""
         return {"backend": self.name}
@@ -217,6 +246,124 @@ def _calibrated_polynomial(kappa_eff: float, epsilon_l: float, *, max_norm: floa
         if high / low < 1.05:
             break
     return best
+
+
+# ---------------------------------------------------------------------- #
+# payload (de)serialisation helpers
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _RestoredBlockEncoding:
+    """Summary of a block-encoding restored from a stored payload.
+
+    The compiled :class:`~repro.qsp.qsvt_circuit.QSVTProgram` already contains
+    the block-encoding unitary inside its fused plans, so a restored backend
+    only needs the *metadata* of the original construction (``alpha`` for
+    reports, register sizes for sanity checks) — rebuilding the circuit-level
+    object would repeat exactly the synthesis the store exists to skip.
+    """
+
+    alpha: float
+    num_ancillas: int
+    num_data_qubits: int
+    name: str
+
+    @property
+    def num_qubits(self) -> int:
+        return self.num_ancillas + self.num_data_qubits
+
+    @property
+    def dimension(self) -> int:
+        return 2**self.num_data_qubits
+
+
+def _polynomial_meta(poly: InversePolynomial) -> dict:
+    return {
+        "kappa": float(poly.kappa),
+        "target_error": float(poly.target_error),
+        "b_parameter": int(poly.b_parameter),
+        "inverse_scale": float(poly.inverse_scale),
+        "max_norm": None if poly.max_norm is None else float(poly.max_norm),
+        "max_abs": float(poly._max_abs),
+    }
+
+
+def _polynomial_from_meta(meta: dict, coefficients: np.ndarray) -> InversePolynomial:
+    return InversePolynomial(
+        coefficients=np.asarray(coefficients, dtype=float),
+        kappa=float(meta["kappa"]),
+        target_error=float(meta["target_error"]),
+        b_parameter=int(meta["b_parameter"]),
+        inverse_scale=float(meta["inverse_scale"]),
+        max_norm=None if meta["max_norm"] is None else float(meta["max_norm"]),
+        _max_abs=float(meta["max_abs"]),
+    )
+
+
+def _export_program(program: QSVTProgram, arrays: dict) -> dict:
+    """Flatten a compiled program into JSON-able metadata + named arrays."""
+    plans_meta = []
+    for p, plan in enumerate(program.plans):
+        ops_meta = []
+        for i, op in enumerate(plan.ops):
+            if op.matrix is not None:
+                arrays[f"plan{p}_op{i}_matrix"] = np.asarray(op.matrix)
+            if op.diagonal is not None:
+                arrays[f"plan{p}_op{i}_diagonal"] = np.asarray(op.diagonal)
+            ops_meta.append({
+                "kind": op.kind,
+                "qubits": list(op.qubits),
+                "controls": list(op.controls),
+                "control_states": list(op.control_states),
+                "source_gates": int(op.source_gates),
+            })
+        plans_meta.append({
+            "num_qubits": int(plan.num_qubits),
+            "source_gate_count": int(plan.source_gate_count),
+            "fusion": plan.fusion,
+            "max_fused_qubits": int(plan.max_fused_qubits),
+            "ops": ops_meta,
+        })
+    arrays["global_phases"] = np.asarray(program.global_phases, dtype=complex)
+    return {
+        "num_qubits": int(program.num_qubits),
+        "num_ancillas": int(program.num_ancillas),
+        "dimension": int(program.dimension),
+        "block_encoding_calls_per_run": int(program.block_encoding_calls_per_run),
+        "circuit_depth": int(program.circuit_depth),
+        "plans": plans_meta,
+    }
+
+
+def _import_program(meta: dict, arrays: dict) -> QSVTProgram:
+    plans = []
+    for p, plan_meta in enumerate(meta["plans"]):
+        ops = []
+        for i, op_meta in enumerate(plan_meta["ops"]):
+            matrix = arrays.get(f"plan{p}_op{i}_matrix")
+            diagonal = arrays.get(f"plan{p}_op{i}_diagonal")
+            ops.append(PlanOp(
+                kind=str(op_meta["kind"]),
+                qubits=tuple(int(q) for q in op_meta["qubits"]),
+                matrix=None if matrix is None else np.asarray(matrix, dtype=complex),
+                diagonal=(None if diagonal is None
+                          else np.asarray(diagonal, dtype=complex)),
+                controls=tuple(int(q) for q in op_meta["controls"]),
+                control_states=tuple(int(s) for s in op_meta["control_states"]),
+                source_gates=int(op_meta["source_gates"]),
+            ))
+        plans.append(ExecutionPlan(
+            int(plan_meta["num_qubits"]), ops,
+            source_gate_count=int(plan_meta["source_gate_count"]),
+            fusion=str(plan_meta["fusion"]),
+            max_fused_qubits=int(plan_meta["max_fused_qubits"])))
+    return QSVTProgram(
+        num_qubits=int(meta["num_qubits"]),
+        num_ancillas=int(meta["num_ancillas"]),
+        dimension=int(meta["dimension"]),
+        plans=plans,
+        global_phases=[complex(p) for p in np.asarray(arrays["global_phases"])],
+        block_encoding_calls_per_run=int(meta["block_encoding_calls_per_run"]),
+        circuit_depth=int(meta["circuit_depth"]))
 
 
 # ---------------------------------------------------------------------- #
@@ -364,6 +511,52 @@ class CircuitQSVTBackend(QSVTBackend):
             total += int(np.asarray(self.phases).nbytes)
         return total
 
+    def export_payload(self) -> dict:
+        if not self._prepared:
+            raise BackendError("call prepare() before export_payload()")
+        arrays = {
+            "matrix": self.matrix,
+            "phases": np.asarray(self.phases, dtype=float),
+            "poly_coefficients": np.asarray(self.polynomial.coefficients,
+                                            dtype=float),
+        }
+        meta = {
+            "backend": self.name,
+            "epsilon_l": float(self.epsilon_l),
+            "kappa_effective": float(self.kappa_effective),
+            "phase_residual": float(self.phase_residual),
+            "block_encoding_method": self.block_encoding_method,
+            "block": {
+                "alpha": float(self.block.alpha),
+                "num_ancillas": int(self.block.num_ancillas),
+                "num_data_qubits": int(self.block.num_data_qubits),
+                "name": str(self.block.name),
+            },
+            "polynomial": _polynomial_meta(self.polynomial),
+            "program": _export_program(self.program, arrays),
+        }
+        return {"meta": meta, "arrays": arrays}
+
+    def import_payload(self, payload: dict) -> None:
+        meta, arrays = payload["meta"], payload["arrays"]
+        if meta.get("backend") != self.name:
+            raise BackendError(
+                f"payload was exported by backend {meta.get('backend')!r}, "
+                f"not {self.name!r}")
+        mat = check_square(np.asarray(arrays["matrix"], dtype=float), name="A")
+        self.matrix = mat
+        self.block_encoding_method = str(meta["block_encoding_method"])
+        self.block = _RestoredBlockEncoding(**meta["block"])
+        self.kappa_effective = float(meta["kappa_effective"])
+        self.polynomial = _polynomial_from_meta(meta["polynomial"],
+                                                arrays["poly_coefficients"])
+        self.phases = np.asarray(arrays["phases"], dtype=float)
+        self.phase_residual = float(meta["phase_residual"])
+        self.epsilon_l = float(meta["epsilon_l"])
+        self.program = _import_program(meta["program"], arrays)
+        self._record_synthesis(mat)
+        self._prepared = True
+
     def describe(self) -> dict:
         info = {"backend": self.name,
                 "block_encoding": self.block_encoding_method,
@@ -480,6 +673,45 @@ class IdealPolynomialBackend(QSVTBackend):
         if self._prepared:
             total += int(self._v.nbytes + self._sigma.nbytes + self._wh.nbytes)
         return total
+
+    def export_payload(self) -> dict:
+        if not self._prepared:
+            raise BackendError("call prepare() before export_payload()")
+        arrays = {
+            "matrix": self.matrix,
+            "svd_v": self._v,
+            "svd_sigma": self._sigma,
+            "svd_wh": self._wh,
+            "poly_coefficients": np.asarray(self.polynomial.coefficients,
+                                            dtype=float),
+        }
+        meta = {
+            "backend": self.name,
+            "epsilon_l": float(self.epsilon_l),
+            "kappa_effective": float(self.kappa_effective),
+            "alpha": float(self.alpha),
+            "polynomial": _polynomial_meta(self.polynomial),
+        }
+        return {"meta": meta, "arrays": arrays}
+
+    def import_payload(self, payload: dict) -> None:
+        meta, arrays = payload["meta"], payload["arrays"]
+        if meta.get("backend") != self.name:
+            raise BackendError(
+                f"payload was exported by backend {meta.get('backend')!r}, "
+                f"not {self.name!r}")
+        mat = check_square(np.asarray(arrays["matrix"], dtype=float), name="A")
+        self.matrix = mat
+        self._v = np.asarray(arrays["svd_v"])
+        self._sigma = np.asarray(arrays["svd_sigma"])
+        self._wh = np.asarray(arrays["svd_wh"])
+        self.alpha = float(meta["alpha"])
+        self.kappa_effective = float(meta["kappa_effective"])
+        self.polynomial = _polynomial_from_meta(meta["polynomial"],
+                                                arrays["poly_coefficients"])
+        self.epsilon_l = float(meta["epsilon_l"])
+        self._record_synthesis(mat)
+        self._prepared = True
 
     def describe(self) -> dict:
         info = {"backend": self.name, "sampling": self.sampling.mode}

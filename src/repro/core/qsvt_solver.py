@@ -147,6 +147,60 @@ class QSVTLinearSolver:
         self._compile()
         return self
 
+    # ------------------------------------------------------------------ #
+    # compiled-payload export / import (persistent synthesis store)
+    # ------------------------------------------------------------------ #
+    def export_payload(self) -> dict:
+        """Serialisable snapshot of the compiled solver.
+
+        Bundles the backend's compiled payload (block-encoding metadata,
+        inverse polynomial, QSP phases, fused execution plans — see
+        :meth:`repro.core.backends.QSVTBackend.export_payload`) with the
+        solver-level parameters, so :meth:`from_payload` can rebuild an
+        equivalent solver without any synthesis.  Raises
+        :class:`NotImplementedError` when the backend does not support
+        export (e.g. the exact-inverse surrogate).
+        """
+        payload = self.backend.export_payload()
+        meta = dict(payload["meta"])
+        meta["solver"] = {
+            "epsilon_l": float(self.epsilon_l),
+            "kappa": float(self.kappa),
+            "user_kappa": self._user_kappa,
+            "scale_recovery": self.scale_recovery,
+        }
+        return {"meta": meta, "arrays": payload["arrays"]}
+
+    @classmethod
+    def from_payload(cls, payload: dict, **backend_options) -> "QSVTLinearSolver":
+        """Rebuild a solver from :meth:`export_payload` output — no synthesis.
+
+        The backend class is chosen from the payload metadata (the *resolved*
+        backend, so a payload exported by an ``"auto"`` solver restores the
+        concrete circuit or ideal backend it resolved to) and its compiled
+        state is imported verbatim; ``backend_options`` are forwarded to the
+        backend constructor so restore-time configuration (e.g. a sampling
+        model) still applies.  ``preparation_time`` records the restore cost,
+        which is what the persistent store's hit-vs-compile speedup measures.
+        """
+        meta = payload["meta"]
+        solver_meta = meta["solver"]
+        start = time.perf_counter()
+        backend = make_backend(meta["backend"], **backend_options)
+        backend.import_payload(payload)
+        solver = cls.__new__(cls)
+        solver.matrix = backend.matrix
+        solver.epsilon_l = float(solver_meta["epsilon_l"])
+        solver._user_kappa = (None if solver_meta["user_kappa"] is None
+                              else float(solver_meta["user_kappa"]))
+        solver.kappa = float(solver_meta["kappa"])
+        solver.scale_recovery = solver_meta["scale_recovery"]
+        solver.backend = backend
+        solver.fingerprint = matrix_fingerprint(solver.matrix)
+        solver.backend.synthesis_fingerprint = solver.fingerprint
+        solver.preparation_time = time.perf_counter() - start
+        return solver
+
     def _check_fresh(self) -> None:
         # one hash covers both staleness modes: the stored digests are
         # compared against a single fingerprint of the current bytes.

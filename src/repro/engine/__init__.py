@@ -18,12 +18,31 @@ Algorithm 2 along three independent axes:
   independent :class:`~repro.engine.runner.SolveJob` requests out across a
   thread or process pool, with per-worker caches and per-job fault isolation.
 
-:mod:`repro.engine.registry` binds the three together behind a discoverable
+On top of the three axes sits the **zero-copy serving layer**, which keeps
+the compile-once / solve-many advantage intact across process and run
+boundaries:
+
+* **shared-memory hand-off** — :mod:`repro.engine.sharedmem` publishes each
+  distinct matrix into a shared segment once; process-mode jobs carry a
+  fingerprint handle instead of the ``N x N`` payload and workers attach
+  zero-copy read-only views;
+* **persistent synthesis store** — :class:`~repro.engine.store.SynthesisStore`
+  spills compiled payloads (phases, polynomial, fused plan gate bytes) to
+  disk keyed by matrix fingerprint, so fresh processes and repeated runs
+  restore in milliseconds instead of re-synthesising;
+* **coalescing async front end** — :class:`~repro.engine.aio.AsyncSolveEngine`
+  groups concurrent same-fingerprint ``await engine.solve(A, b)`` requests
+  into one fused ``solve_batch`` sweep.
+
+:mod:`repro.engine.registry` binds everything together behind a discoverable
 scenario API (``build_scenario("kappa-sweep", ...)``).  See
 ``benchmarks/bench_engine_throughput.py`` for the measured batched-vs-looped
-speedup and cache behaviour.
+speedup and cache behaviour, and ``benchmarks/bench_serving.py`` for the
+serving-layer numbers (shared memory vs pickling, cold vs warm store,
+coalesced vs sequential async).
 """
 
+from .aio import AsyncSolveEngine
 from .batched import (
     BatchedStatevector,
     apply_circuit_batch,
@@ -38,16 +57,31 @@ from .registry import (
     register_scenario,
     scenario_names,
 )
-from .runner import JobResult, ScenarioRunner, SolveJob, execute_job
+from .runner import JobResult, RunReport, ScenarioRunner, SolveJob, execute_job
+from .sharedmem import (
+    SharedMatrixHandle,
+    SharedMatrixRegistry,
+    attach_matrix,
+    detach_all,
+)
+from .store import SynthesisStore, default_store_path
 
 __all__ = [
+    "AsyncSolveEngine",
     "BatchedStatevector",
     "zero_batch",
     "apply_gate_batch",
     "apply_circuit_batch",
     "CompiledSolverCache",
+    "SynthesisStore",
+    "default_store_path",
+    "SharedMatrixHandle",
+    "SharedMatrixRegistry",
+    "attach_matrix",
+    "detach_all",
     "SolveJob",
     "JobResult",
+    "RunReport",
     "execute_job",
     "ScenarioRunner",
     "Scenario",

@@ -1,0 +1,232 @@
+"""Coalescing asyncio front end: ``await engine.solve(A, b)``.
+
+A service exposing the solver over a network handles *concurrent* requests,
+and the paper's workload shape — many requests against few matrices — makes
+naive concurrency wasteful twice over: every request pays its own circuit
+sweep, and the sweeps serialise on the CPU anyway.  The batched kernels
+already collapse ``K`` same-matrix solves into one fused-plan sweep
+(:meth:`repro.core.qsvt_solver.QSVTLinearSolver.solve_batch`); what is
+missing is the piece that *finds* the batch inside an async request stream.
+
+:class:`AsyncSolveEngine` is that piece.  Each ``solve`` call computes the
+same canonical key the compiled-solver cache uses (matrix fingerprint +
+``ε_l`` + backend + options) and joins the **pending group** for that key;
+the first request of a group schedules a flush, and when it fires — after
+``coalesce_window`` seconds, immediately on the next event-loop turn by
+default, or as soon as ``max_batch_size`` requests piled up — the whole
+group is answered by a single ``solve_batch`` sweep on a worker thread.
+``K`` concurrent same-matrix requests therefore cost one circuit replay
+(plus ``K`` cheap de-normalisations) instead of ``K`` replays, and requests
+against *different* matrices flush as independent groups that overlap on the
+executor (numpy releases the GIL inside the contractions).
+
+The engine composes with the rest of the serving layer: its cache can carry
+a persistent :class:`~repro.engine.store.SynthesisStore`, so the first
+request for a known matrix restores the synthesis from disk instead of
+compiling, and every request after that joins in-memory cache hits.
+
+>>> engine = AsyncSolveEngine(store=SynthesisStore())
+>>> records = await asyncio.gather(*[engine.solve(A, b) for b in rhs_stack])
+>>> engine.stats()["batches"]          # one fused sweep, not len(rhs_stack)
+1
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.results import SingleSolveRecord
+from .cache import CompiledSolverCache
+
+__all__ = ["AsyncSolveEngine"]
+
+
+@dataclass
+class _PendingGroup:
+    """In-flight requests sharing one solver key, awaiting one fused sweep."""
+
+    matrix: np.ndarray
+    epsilon_l: float
+    backend: str
+    kappa: float | None
+    fingerprint: str | None
+    backend_options: dict
+    sealed: asyncio.Event
+    rhs: list = field(default_factory=list)
+    futures: list = field(default_factory=list)
+
+
+class AsyncSolveEngine:
+    """Asyncio solver front end with same-matrix request coalescing.
+
+    Parameters
+    ----------
+    cache:
+        Compiled-solver cache answering the grouped requests; created fresh
+        (wired to ``store``) when omitted.
+    store:
+        Optional :class:`~repro.engine.store.SynthesisStore` for the
+        internally created cache — ignored when an explicit ``cache`` is
+        passed (the cache already owns its persistence policy).
+    max_batch_size:
+        Cap on one coalesced sweep; when a group reaches it, the group is
+        sealed and later arrivals start the next one.
+    coalesce_window:
+        Seconds the flush waits for stragglers after a group opens.  The
+        default ``0.0`` flushes on the next event-loop turn, which already
+        coalesces everything submitted in the same scheduling burst (e.g.
+        one ``asyncio.gather``); a small positive window trades latency for
+        larger batches under streaming arrivals.
+    max_concurrency:
+        Worker threads executing the fused sweeps — groups with *different*
+        keys overlap up to this limit (numpy releases the GIL).
+
+    Use ``async with`` (or call :meth:`close`) to release the worker threads
+    deterministically.
+    """
+
+    def __init__(self, *, cache: CompiledSolverCache | None = None, store=None,
+                 max_batch_size: int = 64, coalesce_window: float = 0.0,
+                 max_concurrency: int = 4) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if coalesce_window < 0.0:
+            raise ValueError("coalesce_window must be >= 0")
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        self.cache = cache if cache is not None else CompiledSolverCache(store=store)
+        self.max_batch_size = int(max_batch_size)
+        self.coalesce_window = float(coalesce_window)
+        self.max_concurrency = int(max_concurrency)
+        self._pending: dict[tuple, _PendingGroup] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._largest_batch = 0
+
+    # ------------------------------------------------------------------ #
+    async def solve(self, matrix, rhs, *, epsilon_l: float = 1e-2,
+                    backend: str = "auto", kappa: float | None = None,
+                    fingerprint: str | None = None,
+                    **backend_options) -> SingleSolveRecord:
+        """Solve ``A x = rhs`` at accuracy ``ε_l``; awaits the coalesced sweep.
+
+        Concurrent calls whose ``(matrix bytes, ε_l, backend, κ, options)``
+        agree are answered by one batched application of the compiled
+        synthesis; the returned record is identical to
+        :meth:`repro.core.qsvt_solver.QSVTLinearSolver.solve` for the same
+        inputs.  Failures of the shared sweep (singular matrix, bad
+        dimensions) propagate to every member of the group.
+        """
+        key = CompiledSolverCache._key(matrix, epsilon_l, backend, kappa,
+                                       backend_options, fingerprint=fingerprint)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        group = self._pending.get(key)
+        if group is None:
+            group = _PendingGroup(
+                # private copy: the caller may mutate its array while the
+                # group waits for the flush.
+                matrix=np.array(matrix, dtype=float, copy=True),
+                epsilon_l=float(epsilon_l), backend=backend,
+                kappa=kappa, fingerprint=key[0],
+                backend_options=dict(backend_options),
+                sealed=asyncio.Event())
+            self._pending[key] = group
+            loop.create_task(self._flush(key, group))
+        group.rhs.append(np.array(rhs, dtype=float, copy=True))
+        group.futures.append(future)
+        self._requests += 1
+        if (len(group.rhs) >= self.max_batch_size
+                and self._pending.get(key) is group):
+            # seal the group: its flush task still owns it (and fires
+            # immediately instead of waiting out the window), but newcomers
+            # open a fresh group (and a fresh sweep) behind it.
+            del self._pending[key]
+            group.sealed.set()
+        return await future
+
+    # ------------------------------------------------------------------ #
+    async def _flush(self, key: tuple, group: _PendingGroup) -> None:
+        """Answer one sealed group with a single fused ``solve_batch`` sweep."""
+        try:
+            if self.coalesce_window > 0.0:
+                # wait for stragglers, but fire immediately once the group
+                # fills up (solve() seals it and sets the event).
+                try:
+                    await asyncio.wait_for(group.sealed.wait(),
+                                           timeout=self.coalesce_window)
+                except asyncio.TimeoutError:  # builtin TimeoutError on 3.11+
+                    pass
+            else:
+                await asyncio.sleep(0)  # one loop turn: drain the burst
+            if self._pending.get(key) is group:
+                del self._pending[key]
+            loop = asyncio.get_running_loop()
+            records = await loop.run_in_executor(
+                self._ensure_executor(),
+                lambda: self._solve_group(group))
+        except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            for future in group.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self._batches += 1
+        self._largest_batch = max(self._largest_batch, len(records))
+        for future, record in zip(group.futures, records):
+            if not future.done():
+                future.set_result(record)
+
+    def _solve_group(self, group: _PendingGroup) -> list[SingleSolveRecord]:
+        """Runs on the executor: one cache lookup, one batched sweep."""
+        solver = self.cache.solver(
+            group.matrix, epsilon_l=group.epsilon_l, backend=group.backend,
+            kappa=group.kappa, fingerprint=group.fingerprint,
+            **group.backend_options)
+        return solver.solve_batch(np.stack(group.rhs))
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_concurrency,
+                    thread_name_prefix="repro-aio")
+            return self._executor
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Coalescing counters plus the underlying cache's snapshot."""
+        total = self._requests
+        return {
+            "requests": total,
+            "batches": self._batches,
+            "coalesced_requests": total - self._batches,
+            "largest_batch": self._largest_batch,
+            "pending_groups": len(self._pending),
+            "mean_batch_size": (total / self._batches) if self._batches else 0.0,
+            "cache": self.cache.stats(),
+        }
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; pending sweeps finish first)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncSolveEngine":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AsyncSolveEngine(requests={self._requests}, "
+                f"batches={self._batches}, "
+                f"max_batch_size={self.max_batch_size})")

@@ -24,6 +24,18 @@ observable through :meth:`CompiledSolverCache.stats` (the throughput
 benchmark and the engine tests assert on them).  The cache is thread-safe
 and is what :class:`repro.engine.runner.ScenarioRunner` workers consult
 before paying for a synthesis.
+
+Two serving-layer extensions ride on the same keys:
+
+* a **persistent store** (:class:`repro.engine.store.SynthesisStore`, the
+  ``store`` parameter): an in-memory miss first tries to restore the
+  compiled payload from disk — still a *miss* in the counters, but a
+  ``store_hit`` instead of a ``compile`` — and every fresh compilation is
+  spilled back, so new worker processes and repeated runs skip synthesis;
+* a **precomputed fingerprint** (the ``fingerprint=`` argument): callers
+  that already know the exact content hash — the shared-memory hand-off of
+  :mod:`repro.engine.sharedmem` carries it in the segment handle — skip
+  re-hashing the matrix bytes on every lookup.
 """
 
 from __future__ import annotations
@@ -55,6 +67,11 @@ class CompiledSolverCache:
         kept so an oversized solver still caches.  ``None`` (default)
         disables byte accounting as an eviction trigger (sizes are still
         tracked and reported by :meth:`stats`).
+    store:
+        Optional :class:`repro.engine.store.SynthesisStore`.  When given,
+        an in-memory miss first attempts a disk restore (counted as a
+        ``store_hit``; no synthesis) and every fresh compilation is
+        persisted, making compiled solvers survive process restarts.
 
     Examples
     --------
@@ -66,13 +83,16 @@ class CompiledSolverCache:
     """
 
     def __init__(self, maxsize: int | None = 32,
-                 max_bytes: int | None = None) -> None:
+                 max_bytes: int | None = None, store=None) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be >= 1 (or None for unbounded)")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.maxsize = maxsize
         self.max_bytes = max_bytes
+        #: optional :class:`repro.engine.store.SynthesisStore` consulted on
+        #: in-memory misses and populated after fresh compilations.
+        self.store = store
         self._entries: OrderedDict[tuple, QSVTLinearSolver] = OrderedDict()
         self._entry_bytes: dict[tuple, int] = {}
         self._total_bytes = 0
@@ -84,6 +104,7 @@ class CompiledSolverCache:
         self._hits = 0
         self._misses = 0
         self._compiles = 0
+        self._store_hits = 0
         self._evictions = 0
 
     # ------------------------------------------------------------------ #
@@ -110,7 +131,8 @@ class CompiledSolverCache:
             "the cache")
 
     @classmethod
-    def _key(cls, matrix, epsilon_l: float, backend, kappa, backend_options) -> tuple:
+    def _key(cls, matrix, epsilon_l: float, backend, kappa, backend_options,
+             *, fingerprint: str | None = None) -> tuple:
         if isinstance(backend, QSVTBackend):
             raise TypeError(
                 "CompiledSolverCache requires the backend by *name* ('circuit', "
@@ -118,29 +140,42 @@ class CompiledSolverCache:
                 "cannot be shared safely across cache entries")
         options = tuple(sorted((str(k), cls._canonical_option(v))
                                for k, v in backend_options.items()))
-        return (matrix_fingerprint(matrix), float(epsilon_l), str(backend).lower(),
+        if fingerprint is None:
+            fingerprint = matrix_fingerprint(matrix)
+        return (fingerprint, float(epsilon_l), str(backend).lower(),
                 None if kappa is None else float(kappa), options)
 
     # ------------------------------------------------------------------ #
     def solver(self, matrix, *, epsilon_l: float = 1e-2, backend: str = "auto",
-               kappa: float | None = None, **backend_options) -> QSVTLinearSolver:
+               kappa: float | None = None, fingerprint: str | None = None,
+               **backend_options) -> QSVTLinearSolver:
         """Return a compiled solver for ``(matrix, ε_l, backend)``, reusing one if cached.
 
         On a miss, a :class:`~repro.core.qsvt_solver.QSVTLinearSolver` is
         built (paying block-encoding + polynomial + phase synthesis) and
         stored; on a hit, the cached instance is returned untouched — zero
-        re-synthesis.  The signature mirrors the solver constructor so the
-        cache is a drop-in replacement for direct construction.
+        re-synthesis.  When a persistent ``store`` is attached, a miss first
+        tries a disk restore (no synthesis either; counted as a store hit)
+        and a fresh compilation is written back.  The signature mirrors the
+        solver constructor so the cache is a drop-in replacement for direct
+        construction.
+
+        ``fingerprint`` lets trusted callers pass the precomputed content
+        hash of ``matrix`` (e.g. from a shared-memory segment handle, whose
+        fingerprint was taken at publish time from the very same bytes) so
+        the lookup skips re-hashing; passing a hash that does not match the
+        bytes poisons the entry, exactly like handing the wrong matrix.
 
         The cached solver owns a *private copy* of the matrix: mutating the
         caller's array afterwards can therefore never poison the entry —
         requests presenting the original bytes keep hitting a solver whose
         matrix still matches them.  Every lookup is counted as exactly one
-        hit or one miss, and a miss implies this call performed the synthesis
-        (concurrent misses for one key serialise on a per-key lock, so a
-        burst of identical requests compiles once).
+        hit or one miss, and a miss implies this call performed (or
+        restored) the synthesis (concurrent misses for one key serialise on
+        a per-key lock, so a burst of identical requests compiles once).
         """
-        key = self._key(matrix, epsilon_l, backend, kappa, backend_options)
+        key = self._key(matrix, epsilon_l, backend, kappa, backend_options,
+                        fingerprint=fingerprint)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
@@ -157,6 +192,13 @@ class CompiledSolverCache:
                     self._entries.move_to_end(key)
                     return cached
                 self._misses += 1
+            # restore from the persistent store if one is attached: a store
+            # hit installs a ready-made solver without any synthesis.
+            if self.store is not None:
+                restored = self.store.load(key, **backend_options)
+                if restored is not None:
+                    self._install(key, restored, store_hit=True)
+                    return restored
             # compile outside the global lock: synthesis can take seconds and
             # other keys must not serialise behind it.  The solver gets its
             # own copy of the matrix so later caller-side mutations cannot
@@ -171,16 +213,28 @@ class CompiledSolverCache:
                 with self._lock:
                     self._compile_locks.pop(key, None)
                 raise
-            entry_bytes = self._payload_bytes(solver)
-            with self._lock:
-                self._compiles += 1
-                self._entries[key] = solver
-                self._entries.move_to_end(key)
-                self._entry_bytes[key] = entry_bytes
-                self._total_bytes += entry_bytes
-                self._compile_locks.pop(key, None)
-                self._evict_locked()
+            self._install(key, solver, store_hit=False)
+            if self.store is not None:
+                # persistence is best-effort: save() swallows I/O failures and
+                # reports them in the store's own stats.
+                self.store.save(key, solver)
         return solver
+
+    def _install(self, key: tuple, solver: QSVTLinearSolver, *,
+                 store_hit: bool) -> None:
+        """Insert a freshly obtained solver and release its compile lock."""
+        entry_bytes = self._payload_bytes(solver)
+        with self._lock:
+            if store_hit:
+                self._store_hits += 1
+            else:
+                self._compiles += 1
+            self._entries[key] = solver
+            self._entries.move_to_end(key)
+            self._entry_bytes[key] = entry_bytes
+            self._total_bytes += entry_bytes
+            self._compile_locks.pop(key, None)
+            self._evict_locked()
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -264,28 +318,37 @@ class CompiledSolverCache:
         return self._compiles
 
     @property
+    def store_hits(self) -> int:
+        """In-memory misses answered by the persistent store (no synthesis)."""
+        return self._store_hits
+
+    @property
     def total_bytes(self) -> int:
         """Summed payload bytes of the live entries."""
         with self._lock:
             return self._total_bytes
 
     def stats(self) -> dict:
-        """Counter snapshot (hits, misses, compiles, evictions, size, bytes,
-        hit rate)."""
+        """Counter snapshot (hits, misses, compiles, store hits, evictions,
+        size, bytes, hit rate; plus the attached store's own counters)."""
         with self._lock:
             size = len(self._entries)
             total_bytes = self._total_bytes
         total = self._hits + self._misses
-        return {
+        stats = {
             "hits": self._hits,
             "misses": self._misses,
             "compiles": self._compiles,
+            "store_hits": self._store_hits,
             "evictions": self._evictions,
             "size": size,
             "total_bytes": total_bytes,
             "max_bytes": self.max_bytes,
             "hit_rate": (self._hits / total) if total else 0.0,
         }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         stats = self.stats()

@@ -17,24 +17,49 @@ embarrassingly parallel.  :class:`ScenarioRunner` models it as a queue of
   process keeps its own compiled-solver cache, so jobs hitting the same
   matrix still compile at most once *per worker*.
 
+The process mode is built not to throw away the compile-once / solve-many
+advantage at the process boundary:
+
+* **shared-memory hand-off** (default) — each distinct matrix is published
+  once into a :class:`~repro.engine.sharedmem.SharedMatrixRegistry` segment
+  and jobs carry a fingerprint handle instead of the array, so ``N x N``
+  payloads cross the boundary once per *matrix* instead of once per *job*
+  (and workers skip re-hashing the bytes: the handle carries the
+  fingerprint).  Segments are refcounted and unlinked deterministically —
+  use the runner as a context manager to share them across several ``run``
+  calls, or let each ``run`` clean up after itself;
+* **persistent synthesis store** (``store=``) — worker caches spill and
+  restore compiled payloads via :class:`~repro.engine.store.SynthesisStore`,
+  so fresh worker processes (and fresh *runs*) skip synthesis for matrices
+  any previous process already compiled;
+* **thread pinning** (``threads_per_worker``, default 1) — worker BLAS /
+  OpenMP pools are capped so ``max_workers`` processes times the BLAS thread
+  count cannot oversubscribe the machine.
+
 Jobs are plain data (numpy arrays + strings), hence picklable; results come
 back as :class:`JobResult` records in submission order, with per-job failures
-captured in ``error`` instead of aborting the whole run.
+captured in ``error`` instead of aborting the whole run.  :meth:`ScenarioRunner.run`
+returns a :class:`RunReport` — a plain ``list`` of results with an attached
+``summary`` aggregating throughput and the per-worker cache/store telemetry
+that previously died inside the worker processes.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..core.refinement import MixedPrecisionRefinement
+from ..quantum.plan import plan_cache
 from .cache import CompiledSolverCache
+from .sharedmem import SharedMatrixHandle, SharedMatrixRegistry, attach_matrix
 
-__all__ = ["SolveJob", "JobResult", "execute_job", "ScenarioRunner"]
+__all__ = ["SolveJob", "JobResult", "RunReport", "execute_job", "ScenarioRunner"]
 
 
 @dataclass
@@ -46,7 +71,12 @@ class SolveJob:
     name:
         Identifier echoed into the matching :class:`JobResult`.
     matrix / rhs:
-        The system ``A x = b``.
+        The system ``A x = b``.  ``matrix`` may be ``None`` when ``shared``
+        carries a shared-memory handle instead (the zero-copy process-mode
+        hand-off); :meth:`resolve_matrix` returns whichever is present.
+    shared:
+        Optional :class:`~repro.engine.sharedmem.SharedMatrixHandle`
+        replacing the in-line matrix for process workers.
     epsilon_l:
         Inner (single-solve) accuracy of the QSVT solver.
     target_accuracy:
@@ -65,7 +95,7 @@ class SolveJob:
     """
 
     name: str
-    matrix: np.ndarray
+    matrix: np.ndarray | None
     rhs: np.ndarray
     epsilon_l: float = 1e-2
     target_accuracy: float | None = None
@@ -73,6 +103,21 @@ class SolveJob:
     kappa: float | None = None
     backend_options: dict = field(default_factory=dict)
     metadata: dict = field(default_factory=dict)
+    shared: SharedMatrixHandle | None = None
+
+    def resolve_matrix(self) -> tuple[np.ndarray, str | None]:
+        """Return ``(matrix, fingerprint-or-None)`` for this job.
+
+        An in-line matrix wins (its fingerprint is unknown and will be
+        hashed by the cache); otherwise the shared segment is attached —
+        zero-copy, with the publish-time fingerprint riding along.
+        """
+        if self.matrix is not None:
+            return self.matrix, None
+        if self.shared is not None:
+            return attach_matrix(self.shared), self.shared.fingerprint
+        raise ValueError(
+            f"job {self.name!r} carries neither a matrix nor a shared handle")
 
 
 @dataclass
@@ -81,6 +126,9 @@ class JobResult:
 
     ``error`` is ``None`` on success; on failure it holds the exception
     rendered as ``"TypeName: message"`` and the numeric fields are zeroed.
+    ``worker`` is filled by process-mode execution with the executing
+    worker's pid and a cache-stats snapshot (the raw material of
+    :attr:`RunReport.summary`).
     """
 
     name: str
@@ -92,6 +140,7 @@ class JobResult:
     wall_time: float
     error: str | None = None
     metadata: dict = field(default_factory=dict)
+    worker: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -99,17 +148,118 @@ class JobResult:
         return self.error is None
 
 
+class RunReport(list):
+    """Results of one :meth:`ScenarioRunner.run` call.
+
+    A plain ``list`` of :class:`JobResult` (so existing indexing/iteration
+    code keeps working) with a :attr:`summary` dict aggregating the run:
+    throughput (``jobs_per_sec``), per-worker compiled-solver cache stats,
+    process-wide plan-cache stats, persistent-store hits and shared-memory
+    segment accounting.
+    """
+
+    #: aggregate telemetry of the run; populated by :meth:`ScenarioRunner.run`.
+    summary: dict
+
+    def __init__(self, results=(), summary: dict | None = None) -> None:
+        super().__init__(results)
+        self.summary = summary if summary is not None else {}
+
+
 #: per-process default cache used by :func:`execute_job` when the caller does
 #: not supply one; worker processes each materialise their own copy on first
 #: use, so repeated matrices compile at most once per worker.
 _WORKER_CACHE: CompiledSolverCache | None = None
 
+#: persistent-store directory the pool initializer propagates to workers
+#: (``None`` = no store); consumed when the per-process cache is built.
+_WORKER_STORE_PATH: str | None = None
+
 
 def _default_cache() -> CompiledSolverCache:
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
-        _WORKER_CACHE = CompiledSolverCache()
+        store = None
+        if _WORKER_STORE_PATH is not None:
+            from .store import SynthesisStore
+
+            store = SynthesisStore(_WORKER_STORE_PATH)
+        _WORKER_CACHE = CompiledSolverCache(store=store)
     return _WORKER_CACHE
+
+
+#: environment variables that cap the BLAS/OpenMP pools of a worker process.
+_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+#: keeps the optional threadpoolctl limiter alive for the worker's lifetime
+#: (dropping it would restore the pre-cap pool sizes).
+_THREADPOOL_LIMITER = None
+
+
+def _limit_worker_threads(threads: int | None) -> None:
+    """Pin this process's BLAS/OpenMP thread pools to ``threads``.
+
+    Sets the standard environment knobs (authoritative for libraries loaded
+    after this call — the spawn start method, lazily loaded backends) and,
+    when ``threadpoolctl`` is importable, additionally caps the pools of
+    already-loaded libraries, which is what matters under the fork start
+    method where numpy's BLAS is live before the worker exists.
+    """
+    if threads is None:
+        return
+    for var in _THREAD_ENV_VARS:
+        os.environ[var] = str(threads)
+    try:  # runtime cap for already-initialised pools (optional dependency)
+        import threadpoolctl
+
+        global _THREADPOOL_LIMITER
+        _THREADPOOL_LIMITER = threadpoolctl.threadpool_limits(limits=threads)
+    except ImportError:
+        pass
+
+
+@contextlib.contextmanager
+def _pinned_thread_env(threads: int | None):
+    """Temporarily export the thread-cap variables in the *parent*.
+
+    Worker processes inherit the parent environment at creation, so wrapping
+    pool start-up in this context pins BLAS pools even for start methods
+    that re-import numpy from scratch (spawn); the in-worker initializer
+    covers the rest.
+    """
+    if threads is None:
+        yield
+        return
+    saved = {var: os.environ.get(var) for var in _THREAD_ENV_VARS}
+    os.environ.update({var: str(threads) for var in _THREAD_ENV_VARS})
+    try:
+        yield
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+
+
+def _init_worker(threads_per_worker: int | None, store_path: str | None) -> None:
+    """Process-pool initializer: thread caps + store wiring + fresh cache.
+
+    The fork start method makes children inherit the parent's module globals,
+    including a possibly populated ``_WORKER_CACHE``; resetting it here keeps
+    worker telemetry honest (each worker reports only its own compiles) and
+    attaches the persistent store to the cache the worker will actually use.
+    """
+    global _WORKER_CACHE, _WORKER_STORE_PATH
+    _WORKER_CACHE = None
+    _WORKER_STORE_PATH = store_path
+    _limit_worker_threads(threads_per_worker)
 
 
 def execute_job(job: SolveJob, cache: CompiledSolverCache | None = None) -> JobResult:
@@ -117,13 +267,16 @@ def execute_job(job: SolveJob, cache: CompiledSolverCache | None = None) -> JobR
 
     The compiled solver is fetched through ``cache`` (default: the
     per-process cache), so a batch of jobs against one matrix pays for a
-    single synthesis.  Exceptions are captured into ``JobResult.error``.
+    single synthesis; jobs carrying a shared-memory handle resolve the
+    matrix zero-copy and hand the cache the precomputed fingerprint.
+    Exceptions are captured into ``JobResult.error``.
     """
     start = time.perf_counter()
     try:
+        matrix, fingerprint = job.resolve_matrix()
         solver = (cache if cache is not None else _default_cache()).solver(
-            job.matrix, epsilon_l=job.epsilon_l, backend=job.backend,
-            kappa=job.kappa, **job.backend_options)
+            matrix, epsilon_l=job.epsilon_l, backend=job.backend,
+            kappa=job.kappa, fingerprint=fingerprint, **job.backend_options)
         if job.target_accuracy is not None:
             result = MixedPrecisionRefinement(
                 solver, target_accuracy=job.target_accuracy).solve(job.rhs)
@@ -153,6 +306,19 @@ def execute_job(job: SolveJob, cache: CompiledSolverCache | None = None) -> JobR
             metadata=dict(job.metadata))
 
 
+def _execute_job_traced(job: SolveJob) -> JobResult:
+    """Process-worker entry point: run the job, attach worker telemetry.
+
+    The snapshot rides home on the result because the worker's cache object
+    itself never crosses the pickle boundary — aggregating the *last*
+    snapshot per pid reconstructs the end-of-run state of every worker.
+    """
+    cache = _default_cache()
+    result = execute_job(job, cache)
+    result.worker = {"pid": os.getpid(), "cache": cache.stats()}
+    return result
+
+
 class ScenarioRunner:
     """Execute a list of :class:`SolveJob` across a worker pool.
 
@@ -166,13 +332,33 @@ class ScenarioRunner:
     cache:
         Compiled-solver cache shared by the serial and thread modes (process
         workers keep per-process caches).  A fresh cache is created when
-        omitted.
+        omitted — wired to ``store`` if one is given.
+    store:
+        Optional :class:`~repro.engine.store.SynthesisStore`; process workers
+        attach it to their per-process caches (spill + restore compiled
+        payloads across processes and runs), and it backs the default cache
+        of the serial/thread modes.
+    use_shared_memory:
+        Process mode only: hand matrices to workers through shared-memory
+        segments (one copy per distinct matrix) instead of pickling them per
+        job.  Default on; turn off to fall back to the pure-pickle path
+        (platforms without ``/dev/shm``-style shared memory).
+    threads_per_worker:
+        BLAS/OpenMP thread cap applied to each worker process (default ``1`` —
+        ``max_workers`` ≈ core count with multi-threaded BLAS oversubscribes
+        badly).  ``None`` leaves the library defaults untouched.
+
+    Use the runner as a context manager in process mode to keep published
+    shared-memory segments alive across several :meth:`run` calls; otherwise
+    each run publishes and unlinks its own segments.
     """
 
     _MODES = ("serial", "thread", "process")
 
     def __init__(self, *, mode: str = "thread", max_workers: int | None = None,
-                 cache: CompiledSolverCache | None = None) -> None:
+                 cache: CompiledSolverCache | None = None,
+                 store=None, use_shared_memory: bool = True,
+                 threads_per_worker: int | None = 1) -> None:
         if mode not in self._MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {self._MODES}")
         self.mode = mode
@@ -180,40 +366,172 @@ class ScenarioRunner:
             max_workers = min(os.cpu_count() or 1, 8)
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if threads_per_worker is not None and threads_per_worker < 1:
+            raise ValueError("threads_per_worker must be >= 1 (or None)")
         self.max_workers = int(max_workers)
-        self.cache = cache if cache is not None else CompiledSolverCache()
+        self.store = store
+        self.use_shared_memory = bool(use_shared_memory)
+        self.threads_per_worker = (None if threads_per_worker is None
+                                   else int(threads_per_worker))
+        self.cache = cache if cache is not None else CompiledSolverCache(store=store)
+        self._registry: SharedMatrixRegistry | None = None
 
     # ------------------------------------------------------------------ #
-    def run(self, jobs) -> list[JobResult]:
+    # shared-memory segment lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ScenarioRunner":
+        if (self.mode == "process" and self.use_shared_memory
+                and self._registry is None):
+            self._registry = SharedMatrixRegistry()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Unlink any shared-memory segments this runner still owns."""
+        if self._registry is not None:
+            self._registry.close()
+            self._registry = None
+
+    # ------------------------------------------------------------------ #
+    def run(self, jobs) -> RunReport:
         """Execute every job and return results in submission order.
 
         Individual failures are recorded in ``JobResult.error``; the run
         itself only raises for infrastructure problems (e.g. a worker process
-        dying).
+        dying).  The returned :class:`RunReport` behaves as the familiar
+        ``list[JobResult]`` and carries the aggregate telemetry in
+        ``report.summary``.
         """
         jobs = list(jobs)
+        start = time.perf_counter()
+        registry_stats = None
         if not jobs:
-            return []
-        if self.mode == "serial":
-            return [execute_job(job, self.cache) for job in jobs]
-        if self.mode == "thread":
+            results = []
+        elif self.mode == "serial":
+            results = [execute_job(job, self.cache) for job in jobs]
+        elif self.mode == "thread":
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [pool.submit(execute_job, job, self.cache) for job in jobs]
-                return [future.result() for future in futures]
-        # process mode: jobs must cross a pickle boundary, so the shared cache
-        # stays behind and each worker uses its per-process default cache.
-        with ProcessPoolExecutor(max_workers=self.max_workers,
-                                 mp_context=_fork_context()) as pool:
-            return list(pool.map(execute_job, jobs))
+                futures = [pool.submit(execute_job, job, self.cache)
+                           for job in jobs]
+                results = [future.result() for future in futures]
+        else:
+            results, registry_stats = self._run_process(jobs)
+        wall_time = time.perf_counter() - start
+        return RunReport(results,
+                         summary=self._summarise(results, wall_time,
+                                                 registry_stats))
 
-    def run_scenario(self, name: str, **params) -> list[JobResult]:
+    def _run_process(self, jobs) -> tuple[list[JobResult], dict | None]:
+        """Process-pool execution with the zero-copy matrix hand-off."""
+        registry = self._registry
+        ephemeral = None
+        if self.use_shared_memory and registry is None:
+            registry = ephemeral = SharedMatrixRegistry()
+        try:
+            if registry is not None:
+                # one shared segment per distinct matrix; jobs now cross the
+                # pickle boundary as fingerprints instead of N x N payloads.
+                # The identity memo keeps the publish itself cheap: scenario
+                # builders reuse one array object across jobs, which must not
+                # cost one content hash per job (equal-bytes *copies* still
+                # deduplicate inside the registry, at hashing price).
+                handles: dict[int, SharedMatrixHandle] = {}
+
+                def to_shared(job: SolveJob) -> SolveJob:
+                    if job.matrix is None:
+                        return job
+                    handle = handles.get(id(job.matrix))
+                    if handle is None:
+                        handle = registry.publish(job.matrix)
+                        handles[id(job.matrix)] = handle
+                    return replace(job, matrix=None, shared=handle)
+
+                jobs = [to_shared(job) for job in jobs]
+            store_path = (None if self.store is None
+                          else str(getattr(self.store, "path", self.store)))
+            with _pinned_thread_env(self.threads_per_worker):
+                with ProcessPoolExecutor(
+                        max_workers=self.max_workers,
+                        mp_context=_fork_context(),
+                        initializer=_init_worker,
+                        initargs=(self.threads_per_worker, store_path)) as pool:
+                    results = list(pool.map(_execute_job_traced, jobs))
+            registry_stats = registry.stats() if registry is not None else None
+        finally:
+            if ephemeral is not None:
+                ephemeral.close()
+        return results, registry_stats
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    def _summarise(self, results, wall_time: float,
+                   registry_stats: dict | None) -> dict:
+        ok = sum(1 for result in results if result.ok)
+        summary = {
+            "mode": self.mode,
+            "max_workers": self.max_workers,
+            "threads_per_worker": self.threads_per_worker,
+            "jobs": len(results),
+            "ok": ok,
+            "failed": len(results) - ok,
+            "wall_time_s": wall_time,
+            "jobs_per_sec": (len(results) / wall_time) if wall_time > 0 else 0.0,
+            "plan_cache": plan_cache().stats(),
+            "shared_memory": registry_stats,
+        }
+        if self.mode == "process":
+            summary.update(self._aggregate_worker_stats(results))
+        else:
+            summary["cache"] = self.cache.stats()
+            summary["workers"] = 1 if self.mode == "serial" else self.max_workers
+        return summary
+
+    @staticmethod
+    def _aggregate_worker_stats(results) -> dict:
+        """Fold per-job worker snapshots into end-of-run per-worker stats.
+
+        Cache counters are monotonic within a worker and ``pool.map``
+        preserves submission order per worker, so the *last* snapshot seen
+        for a pid is that worker's final state; summing those yields the
+        run-wide totals that previously died with the worker processes.
+        """
+        last_by_pid: dict[int, dict] = {}
+        for result in results:
+            if result.worker:
+                last_by_pid[result.worker["pid"]] = result.worker["cache"]
+        aggregated = {"hits": 0, "misses": 0, "compiles": 0, "store_hits": 0}
+        store_totals: dict | None = None
+        for snapshot in last_by_pid.values():
+            for counter in aggregated:
+                aggregated[counter] += snapshot.get(counter, 0)
+            store_stats = snapshot.get("store")
+            if store_stats is not None:
+                if store_totals is None:
+                    store_totals = {"hits": 0, "misses": 0, "stores": 0,
+                                    "corrupt": 0, "errors": 0}
+                for counter in store_totals:
+                    store_totals[counter] += store_stats.get(counter, 0)
+        if store_totals is not None:
+            aggregated["store"] = store_totals
+        return {
+            "cache": aggregated,
+            "workers": len(last_by_pid),
+            "worker_cache_stats": last_by_pid,
+        }
+
+    def run_scenario(self, name: str, **params) -> RunReport:
         """Build a registered scenario (see :mod:`repro.engine.registry`) and run it."""
         from .registry import build_scenario
 
         return self.run(build_scenario(name, **params).jobs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ScenarioRunner(mode={self.mode!r}, max_workers={self.max_workers})"
+        return (f"ScenarioRunner(mode={self.mode!r}, "
+                f"max_workers={self.max_workers}, "
+                f"use_shared_memory={self.use_shared_memory})")
 
 
 def _fork_context():

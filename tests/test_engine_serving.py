@@ -1,0 +1,484 @@
+"""Serving-layer tests: shared-memory hand-off, synthesis store, async coalescing.
+
+The serving layer's contract is that none of its shortcuts can change
+answers, only costs:
+
+(a) shared-memory segments carry exact bytes, are read-only in workers, and
+    are unlinked deterministically (normal exit, error exit, explicit close);
+(b) a solver restored from the persistent store solves identically (1e-12)
+    to a freshly compiled one, and corrupt/mismatched entries silently fall
+    back to recompilation;
+(c) the async front end coalesces concurrent same-fingerprint requests into
+    one fused sweep without changing any result, and propagates shared-sweep
+    failures to every member of the group;
+(d) runner telemetry surfaces the per-worker cache/store counters that
+    previously died inside the worker processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import QSVTLinearSolver
+from repro.engine import (
+    AsyncSolveEngine,
+    CompiledSolverCache,
+    ScenarioRunner,
+    SharedMatrixRegistry,
+    SolveJob,
+    SynthesisStore,
+    attach_matrix,
+    build_scenario,
+    detach_all,
+    default_store_path,
+)
+from repro.engine import runner as runner_module
+from repro.engine import store as store_module
+from repro.linalg import random_matrix_with_condition_number, random_rhs
+
+
+def _segment_gone(name: str) -> bool:
+    """Whether the shared-memory segment ``name`` no longer exists."""
+    shm_dir = pathlib.Path("/dev/shm")
+    if shm_dir.is_dir():
+        return not (shm_dir / name).exists()
+    # non-tmpfs platforms: attaching is the only probe we have
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# (a) shared-memory segment lifecycle
+# ---------------------------------------------------------------------- #
+def test_publish_attach_roundtrip_and_dedup(rng):
+    matrix = rng.standard_normal((8, 8))
+    registry = SharedMatrixRegistry()
+    try:
+        handle = registry.publish(matrix)
+        assert handle.shape == (8, 8) and handle.nbytes == matrix.nbytes
+        # equal-bytes copy deduplicates onto the same segment
+        again = registry.publish(matrix.copy())
+        assert again == handle
+        assert registry.stats()["segments"] == 1
+        assert registry.stats()["copies_saved"] == 1
+
+        view = attach_matrix(handle)
+        np.testing.assert_array_equal(view, matrix)
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0          # workers get read-only views
+        # attaching twice reuses the per-process mapping
+        assert attach_matrix(handle) is view
+    finally:
+        detach_all()
+        registry.close()
+    assert _segment_gone(handle.segment)
+
+
+def test_refcounted_release_then_unlink(rng):
+    matrix = rng.standard_normal((4, 4))
+    registry = SharedMatrixRegistry()
+    handle = registry.publish(matrix)
+    registry.publish(matrix)                   # refcount 2
+    assert registry.release(handle) is False   # still referenced
+    assert not _segment_gone(handle.segment)
+    assert registry.release(handle) is True    # last reference -> unlink
+    assert _segment_gone(handle.segment)
+    assert registry.release(handle) is False   # unknown now: no-op
+    registry.close()
+
+
+def test_registry_context_manager_unlinks_on_error(rng):
+    matrix = rng.standard_normal((4, 4))
+    with pytest.raises(RuntimeError, match="boom"):
+        with SharedMatrixRegistry() as registry:
+            handle = registry.publish(matrix)
+            raise RuntimeError("boom")
+    assert _segment_gone(handle.segment)
+    # closed registries refuse new segments instead of leaking them
+    with pytest.raises(RuntimeError):
+        registry.publish(matrix)
+    registry.close()  # idempotent
+
+
+def test_runner_shared_memory_matches_pickle_and_serial():
+    jobs = build_scenario("kappa-sweep", dimension=8, kappas=(2.0, 5.0, 8.0),
+                          epsilon_l=5e-2, backend="ideal", rng=4).jobs
+    serial = ScenarioRunner(mode="serial").run(jobs)
+    with ScenarioRunner(mode="process", max_workers=2,
+                        use_shared_memory=True) as runner:
+        shared = runner.run(jobs)
+        names = runner._registry.segment_names()
+        assert len(names) == 3                     # one segment per matrix
+    pickled = ScenarioRunner(mode="process", max_workers=2,
+                             use_shared_memory=False).run(jobs)
+    for name in names:
+        assert _segment_gone(name)                 # context exit unlinked all
+    for share, pick, ser in zip(shared, pickled, serial):
+        assert share.ok and pick.ok and ser.ok
+        np.testing.assert_allclose(share.x, ser.x, atol=1e-12, rtol=0)
+        np.testing.assert_allclose(pick.x, ser.x, atol=1e-12, rtol=0)
+    assert shared.summary["shared_memory"]["segments"] == 3
+    assert pickled.summary["shared_memory"] is None
+
+
+def test_runner_without_context_cleans_up_per_run():
+    jobs = build_scenario("poisson-multi-rhs", num_points=8, num_rhs=3,
+                          epsilon_l=5e-2, backend="ideal", rng=5).jobs
+    runner = ScenarioRunner(mode="process", max_workers=2)
+    report = runner.run(jobs)
+    assert all(result.ok for result in report)
+    # one matrix object across three jobs -> one publish, one segment
+    # (the identity memo keeps even the content hash to one per matrix)
+    stats = report.summary["shared_memory"]
+    assert stats["segments"] == 1 and stats["copies"] == 1
+    assert stats["publishes"] == 1
+    assert runner._registry is None
+
+
+def test_solve_job_requires_matrix_or_handle():
+    job = SolveJob(name="empty", matrix=None, rhs=np.ones(4))
+    result = ScenarioRunner(mode="serial").run([job])[0]
+    assert not result.ok and "ValueError" in result.error
+
+
+# ---------------------------------------------------------------------- #
+# (b) persistent synthesis store
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ["circuit", "ideal"])
+def test_store_roundtrip_matches_fresh_compile(tmp_path, backend):
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=42)
+    rhs = random_rhs(8, rng=1)
+    store = SynthesisStore(tmp_path)
+
+    warmer = CompiledSolverCache(store=store)
+    compiled = warmer.solver(matrix, epsilon_l=5e-2, backend=backend)
+    assert warmer.stats()["compiles"] == 1 and len(store) == 1
+
+    fresh = CompiledSolverCache(store=store)
+    restored = fresh.solver(matrix, epsilon_l=5e-2, backend=backend)
+    stats = fresh.stats()
+    assert stats["compiles"] == 0 and stats["store_hits"] == 1
+    assert restored is not compiled
+    np.testing.assert_allclose(restored.solve(rhs).x, compiled.solve(rhs).x,
+                               atol=1e-12, rtol=0)
+    # the restored solver is a full citizen: fingerprinted, sized, described
+    assert not restored.is_stale()
+    assert restored.payload_bytes() == compiled.payload_bytes()
+    assert restored.describe()["backend"] == compiled.describe()["backend"]
+    # second lookup through the same cache is a plain in-memory hit
+    assert fresh.solver(matrix, epsilon_l=5e-2, backend=backend) is restored
+    assert fresh.stats()["hits"] == 1
+
+
+def test_solver_payload_roundtrip_without_store():
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=7)
+    rhs = random_rhs(8, rng=8)
+    solver = QSVTLinearSolver(matrix, epsilon_l=5e-2, backend="ideal")
+    restored = QSVTLinearSolver.from_payload(solver.export_payload())
+    np.testing.assert_allclose(restored.solve(rhs).x, solver.solve(rhs).x,
+                               atol=1e-12, rtol=0)
+    np.testing.assert_allclose(
+        [r.x for r in restored.solve_batch(np.stack([rhs, 2 * rhs]))],
+        [r.x for r in solver.solve_batch(np.stack([rhs, 2 * rhs]))],
+        atol=1e-12, rtol=0)
+
+
+def test_store_corruption_falls_back_to_recompilation(tmp_path):
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=9)
+    store = SynthesisStore(tmp_path)
+    CompiledSolverCache(store=store).solver(matrix, epsilon_l=5e-2, backend="ideal")
+    entry = next(pathlib.Path(tmp_path).glob("*.npz"))
+    entry.write_bytes(b"this is not an npz archive")
+
+    cache = CompiledSolverCache(store=store)
+    solver = cache.solver(matrix, epsilon_l=5e-2, backend="ideal")
+    assert cache.stats()["compiles"] == 1      # fell back to synthesis
+    assert store.stats()["corrupt"] == 1
+    assert not solver.is_stale()
+    # the corrupt entry was deleted and replaced by the recompilation
+    assert len(store) == 1
+    fresh = CompiledSolverCache(store=store)
+    fresh.solver(matrix, epsilon_l=5e-2, backend="ideal")
+    assert fresh.stats()["store_hits"] == 1
+
+
+def test_store_version_mismatch_is_a_miss(tmp_path, monkeypatch):
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=10)
+    store = SynthesisStore(tmp_path)
+    CompiledSolverCache(store=store).solver(matrix, epsilon_l=5e-2, backend="ideal")
+    monkeypatch.setattr(store_module, "FORMAT_VERSION", 999)
+    cache = CompiledSolverCache(store=store)
+    cache.solver(matrix, epsilon_l=5e-2, backend="ideal")
+    assert cache.stats()["compiles"] == 1 and cache.stats()["store_hits"] == 0
+    assert store.stats()["corrupt"] == 0       # a miss, not a corruption
+
+
+def test_store_key_separates_configurations(tmp_path):
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=11)
+    store = SynthesisStore(tmp_path)
+    cache = CompiledSolverCache(store=store)
+    cache.solver(matrix, epsilon_l=5e-2, backend="ideal")
+    cache.solver(matrix, epsilon_l=1e-2, backend="ideal")
+    cache.solver(matrix + 1.0, epsilon_l=5e-2, backend="ideal")
+    assert len(store) == 3
+    assert store.key_for(matrix, epsilon_l=5e-2, backend="ideal") != \
+        store.key_for(matrix, epsilon_l=1e-2, backend="ideal")
+    assert store.disk_bytes() > 0
+    assert store.clear() == 3 and len(store) == 0
+
+
+def test_store_hits_for_non_float64_matrices(tmp_path):
+    # the cache key fingerprints the caller's bytes (any dtype); the solver
+    # compiles a float64 copy.  The store must verify entries against the
+    # *key* fingerprint, or integer/float32 matrices would never hit and
+    # every load would flag phantom corruption.
+    matrix = np.diag([4, 3, 2, 1])                 # int64
+    store = SynthesisStore(tmp_path)
+    CompiledSolverCache(store=store).solver(matrix, epsilon_l=5e-2,
+                                            backend="ideal", kappa=4.0)
+    cache = CompiledSolverCache(store=store)
+    solver = cache.solver(matrix, epsilon_l=5e-2, backend="ideal", kappa=4.0)
+    stats = cache.stats()
+    assert stats["store_hits"] == 1 and stats["compiles"] == 0
+    assert store.stats()["corrupt"] == 0 and len(store) == 1
+    rhs = random_rhs(4, rng=14)
+    np.testing.assert_allclose(
+        solver.solve(rhs).x, np.linalg.solve(matrix, rhs), atol=0.5)
+
+
+def test_store_skips_unexportable_backends(tmp_path):
+    matrix = random_matrix_with_condition_number(4, 3.0, rng=12)
+    store = SynthesisStore(tmp_path)
+    cache = CompiledSolverCache(store=store)
+    solver = cache.solver(matrix, epsilon_l=5e-2, backend="exact")
+    assert solver is not None and len(store) == 0
+
+
+def test_store_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv(store_module.STORE_ENV_VAR, str(tmp_path / "override"))
+    assert default_store_path() == tmp_path / "override"
+    assert SynthesisStore().path == tmp_path / "override"
+    monkeypatch.delenv(store_module.STORE_ENV_VAR)
+    assert default_store_path().name == "synthesis"
+
+
+def test_runner_store_skips_synthesis_in_fresh_workers(tmp_path):
+    jobs = build_scenario("kappa-sweep", dimension=8, kappas=(2.0, 5.0),
+                          epsilon_l=5e-2, backend="ideal", rng=13).jobs
+    store = SynthesisStore(tmp_path)
+    first = ScenarioRunner(mode="process", max_workers=2, store=store).run(jobs)
+    assert all(result.ok for result in first)
+    assert len(store) == 2
+    # brand-new runner, brand-new worker processes: all restores, no compiles
+    second = ScenarioRunner(mode="process", max_workers=2, store=store).run(jobs)
+    assert all(result.ok for result in second)
+    aggregated = second.summary["cache"]
+    assert aggregated["compiles"] == 0
+    assert aggregated["store_hits"] == len(jobs)
+    for a, b in zip(first, second):
+        np.testing.assert_allclose(a.x, b.x, atol=1e-12, rtol=0)
+
+
+# ---------------------------------------------------------------------- #
+# (c) async coalescing front end
+# ---------------------------------------------------------------------- #
+def test_async_coalesces_same_fingerprint_requests():
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=20)
+    batch = [random_rhs(8, rng=seed) for seed in range(6)]
+
+    async def main():
+        async with AsyncSolveEngine() as engine:
+            records = await asyncio.gather(
+                *[engine.solve(matrix, rhs, epsilon_l=5e-2, backend="ideal")
+                  for rhs in batch])
+            return records, engine.stats(), engine.cache
+
+    records, stats, cache = asyncio.run(main())
+    assert stats["requests"] == 6
+    assert stats["batches"] == 1               # one fused sweep for the burst
+    assert stats["largest_batch"] == 6
+    assert cache.stats()["compiles"] == 1      # and one synthesis
+    reference = cache.solver(matrix, epsilon_l=5e-2, backend="ideal")
+    for record, rhs in zip(records, batch):
+        np.testing.assert_allclose(record.x, reference.solve(rhs).x,
+                                   atol=1e-12, rtol=0)
+
+
+def test_async_groups_by_fingerprint_and_configuration():
+    matrix_a = random_matrix_with_condition_number(8, 4.0, rng=21)
+    matrix_b = random_matrix_with_condition_number(8, 6.0, rng=22)
+    rhs = random_rhs(8, rng=23)
+
+    async def main():
+        async with AsyncSolveEngine() as engine:
+            await asyncio.gather(
+                engine.solve(matrix_a, rhs, epsilon_l=5e-2, backend="ideal"),
+                engine.solve(matrix_a, rhs, epsilon_l=5e-2, backend="ideal"),
+                engine.solve(matrix_b, rhs, epsilon_l=5e-2, backend="ideal"),
+                engine.solve(matrix_a, rhs, epsilon_l=1e-2, backend="ideal"))
+            return engine.stats()
+
+    stats = asyncio.run(main())
+    # (A, 5e-2) coalesces; (B, 5e-2) and (A, 1e-2) are their own groups
+    assert stats["requests"] == 4 and stats["batches"] == 3
+    assert stats["coalesced_requests"] == 1
+
+
+def test_async_max_batch_size_seals_groups():
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=24)
+    batch = [random_rhs(8, rng=seed) for seed in range(7)]
+
+    async def main():
+        async with AsyncSolveEngine(max_batch_size=3) as engine:
+            await asyncio.gather(
+                *[engine.solve(matrix, rhs, epsilon_l=5e-2, backend="ideal")
+                  for rhs in batch])
+            return engine.stats()
+
+    stats = asyncio.run(main())
+    assert stats["batches"] == 3               # 3 + 3 + 1
+    assert stats["largest_batch"] == 3
+
+
+def test_async_full_group_flushes_before_window_expires():
+    # a sealed (full) group must fire immediately, not wait out the window
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=27)
+    batch = [random_rhs(8, rng=seed) for seed in range(2)]
+
+    async def main():
+        async with AsyncSolveEngine(max_batch_size=2,
+                                    coalesce_window=30.0) as engine:
+            records = await asyncio.wait_for(
+                asyncio.gather(*[
+                    engine.solve(matrix, rhs, epsilon_l=5e-2, backend="ideal")
+                    for rhs in batch]),
+                timeout=5.0)                       # << the 30 s window
+            return records, engine.stats()
+
+    records, stats = asyncio.run(main())
+    assert len(records) == 2 and stats["batches"] == 1
+
+
+def test_async_sequential_requests_still_answer():
+    matrix = random_matrix_with_condition_number(8, 4.0, rng=25)
+    batch = [random_rhs(8, rng=seed) for seed in range(3)]
+
+    async def main():
+        async with AsyncSolveEngine() as engine:
+            records = []
+            for rhs in batch:                  # awaited one at a time
+                records.append(await engine.solve(matrix, rhs, epsilon_l=5e-2,
+                                                  backend="ideal"))
+            return records, engine.stats()
+
+    records, stats = asyncio.run(main())
+    assert stats["batches"] == 3 and stats["coalesced_requests"] == 0
+    assert all(record.scaled_residual <= 5e-2 for record in records)
+
+
+def test_async_failures_propagate_to_every_group_member():
+    singular = np.zeros((8, 8))
+    rhs = random_rhs(8, rng=26)
+
+    async def main():
+        async with AsyncSolveEngine() as engine:
+            return await asyncio.gather(
+                *[engine.solve(singular, rhs, epsilon_l=5e-2, backend="ideal")
+                  for _ in range(3)],
+                return_exceptions=True)
+
+    results = asyncio.run(main())
+    assert len(results) == 3
+    assert all(isinstance(result, Exception) for result in results)
+
+
+def test_async_engine_validates_parameters():
+    with pytest.raises(ValueError):
+        AsyncSolveEngine(max_batch_size=0)
+    with pytest.raises(ValueError):
+        AsyncSolveEngine(coalesce_window=-1.0)
+    with pytest.raises(ValueError):
+        AsyncSolveEngine(max_concurrency=0)
+
+
+# ---------------------------------------------------------------------- #
+# (d) runner telemetry and worker thread pinning
+# ---------------------------------------------------------------------- #
+def test_run_report_summary_serial_mode():
+    jobs = build_scenario("poisson-multi-rhs", num_points=8, num_rhs=4,
+                          epsilon_l=5e-2, backend="ideal", rng=30).jobs
+    report = ScenarioRunner(mode="serial").run(jobs)
+    assert isinstance(report, list) and len(report) == 4
+    summary = report.summary
+    assert summary["jobs"] == 4 and summary["ok"] == 4 and summary["failed"] == 0
+    assert summary["jobs_per_sec"] > 0
+    # one matrix, four jobs: the shared cache saw 1 compile + 3 hits
+    assert summary["cache"]["compiles"] == 1 and summary["cache"]["hits"] == 3
+    assert "plan_cache" in summary
+    empty = ScenarioRunner(mode="serial").run([])
+    assert empty == [] and empty.summary["jobs"] == 0
+
+
+def test_run_report_summary_process_mode_aggregates_workers():
+    jobs = build_scenario("poisson-multi-rhs", num_points=8, num_rhs=6,
+                          epsilon_l=5e-2, backend="ideal", rng=31).jobs
+    report = ScenarioRunner(mode="process", max_workers=2).run(jobs)
+    summary = report.summary
+    assert 1 <= summary["workers"] <= 2
+    aggregated = summary["cache"]
+    # every job is exactly one lookup in some worker's cache
+    assert aggregated["hits"] + aggregated["misses"] == 6
+    # one distinct matrix: at most one compile per worker
+    assert 1 <= aggregated["compiles"] <= summary["workers"]
+    assert set(summary["worker_cache_stats"]) == {
+        result.worker["pid"] for result in report}
+
+
+def test_thread_pinning_initializer_and_validation(monkeypatch):
+    for var in runner_module._THREAD_ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+    runner_module._limit_worker_threads(3)
+    for var in runner_module._THREAD_ENV_VARS:
+        assert os.environ[var] == "3"
+    for var in runner_module._THREAD_ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+    runner_module._limit_worker_threads(None)   # no-op
+    assert runner_module._THREAD_ENV_VARS[0] not in os.environ
+    with pytest.raises(ValueError):
+        ScenarioRunner(threads_per_worker=0)
+    assert ScenarioRunner(threads_per_worker=None).threads_per_worker is None
+
+
+def test_pinned_thread_env_restores_parent_environment(monkeypatch):
+    var = runner_module._THREAD_ENV_VARS[0]
+    monkeypatch.setenv(var, "7")
+    with runner_module._pinned_thread_env(2):
+        assert os.environ[var] == "2"
+    assert os.environ[var] == "7"
+    monkeypatch.delenv(var)
+    with runner_module._pinned_thread_env(2):
+        assert os.environ[var] == "2"
+    assert var not in os.environ
+
+
+def test_process_mode_with_pinned_threads_matches_serial():
+    jobs = build_scenario("kappa-sweep", dimension=8, kappas=(2.0, 5.0),
+                          epsilon_l=5e-2, backend="ideal", rng=32).jobs
+    serial = ScenarioRunner(mode="serial").run(jobs)
+    pinned = ScenarioRunner(mode="process", max_workers=2,
+                            threads_per_worker=2).run(jobs)
+    assert pinned.summary["threads_per_worker"] == 2
+    for par, ser in zip(pinned, serial):
+        assert par.ok and ser.ok
+        np.testing.assert_allclose(par.x, ser.x, atol=1e-12, rtol=0)
