@@ -1,5 +1,5 @@
-"""Engine tour: batched multi-RHS solves, the compiled-solver cache, and the
-parallel scenario runner.
+"""Engine tour: batched multi-RHS solves, the compiled-solver cache, the
+parallel scenario runner — and the problem suite discovered through it.
 
 The single-solve API (see ``quickstart.py``) answers one request at a time;
 the :mod:`repro.engine` subsystem turns the same pipeline into a service:
@@ -8,17 +8,23 @@ the :mod:`repro.engine` subsystem turns the same pipeline into a service:
    a single circuit sweep (a ``(B, 2**n)`` batched statevector);
 2. ``CompiledSolverCache`` — repeated requests against the same matrix skip
    block-encoding / polynomial / phase synthesis entirely;
-3. ``ScenarioRunner`` + the scenario registry — named, parameterised workload
-   families fanned out across a worker pool.
+3. ``list_scenarios()`` + ``ScenarioRunner`` — *every* registered workload
+   family (the PR-1 built-ins plus the :mod:`repro.problems` suite: 2-D/3-D
+   Poisson, heat-equation chains, convection-diffusion, Helmholtz, graph
+   Laplacians, prescribed-spectrum systems), discovered and run through one
+   API;
+4. ``Autotuner`` — cost-model-driven ε_l / backend selection per problem.
 
 Run with:  python examples/engine_scenarios.py
 """
 
+import tempfile
 import time
+from dataclasses import replace
 
 import numpy as np
 
-from repro import CompiledSolverCache, QSVTLinearSolver, ScenarioRunner
+from repro import Autotuner, CompiledSolverCache, QSVTLinearSolver, ScenarioRunner
 from repro.applications import random_workload
 from repro.engine import build_scenario, list_scenarios
 from repro.linalg import random_rhs
@@ -54,22 +60,41 @@ def main() -> None:
     print(f"cache: compile {compile_time:.3f}s, hit {hit_time * 1e6:.0f}us, "
           f"stats {cache.stats()}")
 
-    # ---- 3. scenario registry + parallel runner ---------------------- #
+    # ---- 3. discover and run every registered scenario family -------- #
+    # list_scenarios() sees the PR-1 built-ins *and* the problem suite
+    # (repro.problems registers its families on import); each family runs
+    # end-to-end through the same runner with its default parameters.
     print("\nregistered scenarios:")
     for name, description in list_scenarios().items():
-        print(f"  {name:18s} {description}")
+        print(f"  {name:22s} {description}")
 
-    scenario = build_scenario("kappa-sweep", dimension=16,
-                              kappas=(2.0, 10.0, 50.0), rng=1)
-    runner = ScenarioRunner(mode="process")
-    start = time.perf_counter()
-    results = runner.run(scenario.jobs)
-    elapsed = time.perf_counter() - start
-    print(f"\n{scenario.name}: {len(results)} refined solves in {elapsed:.2f}s "
-          f"({runner.mode} mode, {runner.max_workers} workers)")
-    for result in results:
-        print(f"  {result.name:18s} converged={result.converged} "
-              f"iterations={result.iterations} omega={result.scaled_residual:.1e}")
+    print("\nrunning every family (thread mode, ideal backend):")
+    for name in list_scenarios():
+        try:
+            scenario = build_scenario(name, backend="ideal")
+        except TypeError:
+            # third-party builders need not accept a backend parameter
+            scenario = build_scenario(name)
+        runner = ScenarioRunner(mode="thread")   # fresh cache: per-family stats
+        start = time.perf_counter()
+        report = runner.run(scenario.jobs)
+        elapsed = time.perf_counter() - start
+        ok = sum(1 for result in report if result.ok and result.converged)
+        cache = report.summary["cache"]
+        print(f"  {name:22s} {ok}/{len(report)} converged in {elapsed:5.2f}s  "
+              f"(cache hit rate {cache['hit_rate']:.2f})")
+
+    # ---- 4. autotuner: cost-model eps_l per problem ------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        tuner = Autotuner(path=tmp + "/autotune.json", target_accuracy=1e-8)
+        scenario = tuner.tune_scenario("heat-chain", num_steps=16)
+        jobs = [replace(job, backend="ideal") for job in scenario.jobs]
+        report = ScenarioRunner(mode="serial").run(jobs)
+        profile = tuner.observe("heat-chain", report, kappa=jobs[0].kappa)
+        print(f"\nautotuned heat-chain: eps_l={jobs[0].epsilon_l:.2e} "
+              f"(kappa={jobs[0].kappa:.2f}), one synthesis for "
+              f"{len(jobs)} steps (hit rate {profile.cache_hit_rate:.3f}), "
+              f"next eps_l={profile.epsilon_l:.2e} after telemetry")
 
 
 if __name__ == "__main__":

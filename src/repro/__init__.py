@@ -17,9 +17,14 @@ The package is organised bottom-up (see ``DESIGN.md`` for the full inventory):
   iterative refinement (Algorithms 1–2), cost and communication models;
 * :mod:`repro.baselines` — HHL, HHL+IR, VQLS and classical direct solvers;
 * :mod:`repro.applications` — Poisson and random workloads;
+* :mod:`repro.problems` — the workload suite: 2-D/3-D Poisson, heat-equation
+  time-stepping chains, convection-diffusion, Helmholtz, graph Laplacians
+  and prescribed-spectrum banded systems, each with classical exact
+  solutions and (where known) analytic condition numbers;
 * :mod:`repro.engine` — high-throughput service layer: batched statevector
   simulation (multi-RHS solves in one circuit sweep), a compiled-solver LRU
-  cache and a parallel scenario runner + registry;
+  cache, a parallel scenario runner + registry and the cost-model/telemetry
+  autotuner;
 * :mod:`repro.reporting` — text tables/series used by the benchmark harness.
 
 Quickstart
@@ -45,6 +50,7 @@ from .core import (
 )
 from .engine import (
     AsyncSolveEngine,
+    Autotuner,
     BatchedStatevector,
     CompiledSolverCache,
     JobResult,
@@ -67,6 +73,7 @@ __all__ = [
     "RefinementResult",
     "SingleSolveRecord",
     "AsyncSolveEngine",
+    "Autotuner",
     "BatchedStatevector",
     "CompiledSolverCache",
     "SynthesisStore",

@@ -5,6 +5,12 @@ numbers (Sec. IV) and motivates the complexity discussion with the 1-D Poisson
 equation (Sec. III-C4).  This sub-package wraps both as reusable "workloads"
 with analytic/classical reference solutions, used by the examples, the tests
 and the benchmark harness.
+
+The wider workload catalogue — 2-D/3-D Poisson, heat-equation time-stepping
+chains, convection-diffusion, Helmholtz, graph Laplacians and
+prescribed-spectrum banded systems — lives in :mod:`repro.problems`, whose
+families all yield the same :class:`LinearSystemWorkload` records defined
+here (``problem_suite()`` returns the registered instances).
 """
 
 from .poisson import PoissonProblem
@@ -15,4 +21,16 @@ __all__ = [
     "LinearSystemWorkload",
     "random_workload",
     "workload_suite",
+    "problem_suite",
 ]
+
+
+def problem_suite() -> dict:
+    """The registered :mod:`repro.problems` families, keyed by name.
+
+    Imported lazily: :mod:`repro.problems` depends on the engine layer,
+    which in turn imports this sub-package.
+    """
+    from ..problems import PROBLEM_FAMILIES
+
+    return dict(PROBLEM_FAMILIES)

@@ -40,10 +40,17 @@ from .convergence import (
 from .cost_model import (
     CostBreakdown,
     block_encoding_calls_per_solve,
+    epsilon_l_candidates,
+    kappa_model_names,
+    optimal_epsilon_l,
     poisson_complexity_table,
     poisson_tgate_estimate,
+    predicted_kappa,
     quantum_cost_table,
+    refinement_block_encoding_calls,
     refinement_quantum_cost,
+    register_kappa_model,
+    unregister_kappa_model,
     qsvt_only_quantum_cost,
     samples_for_accuracy,
 )
@@ -84,6 +91,13 @@ __all__ = [
     "block_encoding_calls_per_solve",
     "qsvt_only_quantum_cost",
     "refinement_quantum_cost",
+    "refinement_block_encoding_calls",
+    "epsilon_l_candidates",
+    "optimal_epsilon_l",
+    "register_kappa_model",
+    "unregister_kappa_model",
+    "predicted_kappa",
+    "kappa_model_names",
     "quantum_cost_table",
     "poisson_complexity_table",
     "poisson_tgate_estimate",

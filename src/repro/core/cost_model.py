@@ -22,6 +22,7 @@ model to the 1-D Poisson problem of Sec. III-C4.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -36,6 +37,13 @@ __all__ = [
     "block_encoding_calls_per_solve",
     "qsvt_only_quantum_cost",
     "refinement_quantum_cost",
+    "refinement_block_encoding_calls",
+    "epsilon_l_candidates",
+    "optimal_epsilon_l",
+    "register_kappa_model",
+    "unregister_kappa_model",
+    "predicted_kappa",
+    "kappa_model_names",
     "CostBreakdown",
     "quantum_cost_table",
     "poisson_complexity_table",
@@ -98,6 +106,163 @@ def refinement_quantum_cost(kappa: float, epsilon: float, epsilon_l: float, *,
     calls = block_encoding_calls_per_solve(kappa, epsilon_l, concrete=concrete)
     return float(num_solves * block_encoding_cost * calls
                  * samples_for_accuracy(epsilon_l))
+
+
+# ---------------------------------------------------------------------- #
+# ε_l selection (the axis the autotuner optimises)
+# ---------------------------------------------------------------------- #
+def refinement_block_encoding_calls(kappa: float, epsilon: float,
+                                    epsilon_l: float, *,
+                                    num_solves: int | None = None,
+                                    concrete: bool = True) -> float:
+    """Total block-encoding calls of a refined solve (the Fig. 5 quantity).
+
+    Unlike :func:`refinement_quantum_cost` this leaves out the measurement
+    sample count: it is the QPU-circuit-invocation metric that
+    ``RefinementResult.total_block_encoding_calls`` measures, so predictions
+    and telemetry are directly comparable.
+    """
+    if num_solves is None:
+        num_solves = iteration_bound(epsilon, epsilon_l, kappa) + 1
+    return float(num_solves * block_encoding_calls_per_solve(
+        kappa, epsilon_l, concrete=concrete))
+
+
+def epsilon_l_candidates(kappa: float, epsilon: float, *, num: int = 48,
+                         rho_max: float = 0.5) -> np.ndarray:
+    """Log-spaced grid of admissible inner accuracies, largest first.
+
+    Every candidate satisfies the Theorem III.1 convergence condition with
+    margin (``ε_l κ <= rho_max < 1``); the grid reaches down to the target
+    accuracy ``ε`` itself (below which extra inner accuracy buys nothing).
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not np.isfinite(kappa) or not 1 <= kappa < 1e15:
+        raise ValueError(
+            "kappa must be a finite value in [1, 1e15) — at or beyond the "
+            "inverse machine epsilon the matrix is numerically singular and "
+            "there is no epsilon_l to pick")
+    if not 0 < rho_max < 1:
+        raise ValueError("rho_max must be in (0, 1)")
+    upper = rho_max / kappa
+    lower = min(epsilon, upper)
+    return np.logspace(np.log10(upper), np.log10(lower), num)
+
+
+def optimal_epsilon_l(kappa: float, epsilon: float, *, candidates=None,
+                      objective: str = "block-encoding-calls",
+                      concrete: bool = True) -> float:
+    """Inner accuracy minimising the Table I cost of a refined solve.
+
+    Parameters
+    ----------
+    objective:
+        ``"block-encoding-calls"`` (default) minimises
+        :func:`refinement_block_encoding_calls` — the circuit-invocation
+        count that the engine telemetry measures; ``"total"`` minimises the
+        full :func:`refinement_quantum_cost` including the ``O(1/ε_l²)``
+        sample factor (which favours much larger ε_l).
+    candidates:
+        Explicit ε_l grid; defaults to :func:`epsilon_l_candidates`.  Ties
+        resolve towards the largest (cheapest-per-solve) candidate.
+    """
+    if objective == "block-encoding-calls":
+        cost = lambda eps_l: refinement_block_encoding_calls(  # noqa: E731
+            kappa, epsilon, eps_l, concrete=concrete)
+    elif objective == "total":
+        cost = lambda eps_l: refinement_quantum_cost(  # noqa: E731
+            kappa, epsilon, eps_l, concrete=concrete)
+    else:
+        raise ValueError(f"unknown objective {objective!r}; choose "
+                         "'block-encoding-calls' or 'total'")
+    if candidates is None:
+        candidates = epsilon_l_candidates(kappa, epsilon)
+    candidates = np.sort(np.asarray(candidates, dtype=float))[::-1]
+    if candidates.size == 0:
+        raise ValueError("candidate grid is empty")
+    best_eps, best_cost = None, np.inf
+    for eps_l in candidates:
+        if eps_l * kappa >= 1.0:
+            continue  # outside the Theorem III.1 convergence region
+        value = cost(float(eps_l))
+        if value < best_cost:
+            best_eps, best_cost = float(eps_l), value
+    if best_eps is None:
+        raise ValueError(
+            f"no candidate satisfies epsilon_l * kappa < 1 for kappa={kappa:g}")
+    return best_eps
+
+
+# ---------------------------------------------------------------------- #
+# κ growth models (how the condition number scales with problem parameters)
+# ---------------------------------------------------------------------- #
+#: registered models: family name -> callable(**params) -> κ.
+_KAPPA_MODELS: dict[str, Callable[..., float]] = {}
+
+
+def register_kappa_model(name: str, model: Callable[..., float] | None = None,
+                         *, overwrite: bool = False):
+    """Register an analytic condition-number model under ``name``.
+
+    The Table II specialisation only knows the 1-D Poisson ``κ = O(N²)``
+    growth; problem families (:mod:`repro.problems`) register their own
+    analytic formulas here so cost predictions (and the autotuner) stay
+    exact beyond the paper's single use case.  Usable as a decorator
+    (``@register_kappa_model("heat-chain")``) or called directly with the
+    model as second argument.
+    """
+
+    def _register(fn: Callable[..., float]):
+        if not overwrite and name in _KAPPA_MODELS:
+            raise ValueError(f"kappa model {name!r} is already registered")
+        _KAPPA_MODELS[name] = fn
+        return fn
+
+    if model is not None:
+        return _register(model)
+    return _register
+
+
+def predicted_kappa(name: str, **params) -> float:
+    """Evaluate the registered κ growth model ``name`` for ``params``."""
+    try:
+        model = _KAPPA_MODELS[name]
+    except KeyError:
+        import difflib
+
+        close = difflib.get_close_matches(name, kappa_model_names(), n=3,
+                                          cutoff=0.5)
+        hint = (f"; did you mean {' or '.join(repr(m) for m in close)}?"
+                if close else "")
+        raise KeyError(f"unknown kappa model {name!r}{hint} "
+                       f"(registered: {kappa_model_names()})") from None
+    value = model(**params)
+    if value is None:
+        raise ValueError(
+            f"kappa model {name!r} has no closed form for {params!r} "
+            "(measure it from the matrix instead)")
+    return float(value)
+
+
+def kappa_model_names() -> list[str]:
+    """Sorted names of every registered κ growth model."""
+    return sorted(_KAPPA_MODELS)
+
+
+def unregister_kappa_model(name: str) -> bool:
+    """Remove a registered κ growth model; returns whether it existed."""
+    return _KAPPA_MODELS.pop(name, None) is not None
+
+
+@register_kappa_model("poisson-1d")
+def _poisson_1d_kappa(num_points: int = 16) -> float:
+    """Analytic ``(2(N+1)/π)²`` growth of the 1-D Poisson matrix (Sec. III-C4).
+
+    The signature is strict (no ``**kwargs``): a misspelled parameter name
+    raises instead of silently evaluating κ at the ``N = 16`` default.
+    """
+    return float((2.0 * (int(num_points) + 1) / np.pi) ** 2)
 
 
 # ---------------------------------------------------------------------- #

@@ -42,12 +42,12 @@ from ..qsp.inverse_polynomial import (
     inverse_polynomial_degree,
     polynomial_error_from_solution_accuracy,
 )
-from ..utils import as_vector, check_square, matrix_fingerprint
+from ..utils import as_vector, check_square, is_power_of_two, matrix_fingerprint
 from .backends import CircuitQSVTBackend, IdealPolynomialBackend, QSVTBackend, make_backend
 from .normalization import recover_scale
 from .results import SingleSolveRecord
 
-__all__ = ["QSVTLinearSolver"]
+__all__ = ["QSVTLinearSolver", "auto_backend_name"]
 
 #: polynomial degree above which the ``"auto"`` backend falls back to the
 #: ideal-polynomial backend (phase solving beyond this degree is slow and the
@@ -56,6 +56,25 @@ _AUTO_DEGREE_LIMIT = 350
 #: data-register size above which the ``"auto"`` backend avoids the dense
 #: circuit simulation.
 _AUTO_DIMENSION_LIMIT = 64
+
+
+def auto_backend_name(kappa: float, epsilon_l: float, dimension: int) -> str:
+    """The backend name the ``"auto"`` mode picks for ``(κ, ε_l, N)``.
+
+    Single source of the decision rule: :class:`QSVTLinearSolver` applies it
+    when constructed with ``backend="auto"``, and the engine autotuner uses
+    it to pin an explicit backend name on jobs *before* synthesis — the two
+    must never drift apart, or tuned jobs would land on different cache keys
+    than auto-resolved ones.  Non-power-of-two sizes cannot enter the
+    circuit encodings at all, so they always resolve to the ideal backend.
+    """
+    if not is_power_of_two(int(dimension)):
+        return "ideal"
+    expected_error = polynomial_error_from_solution_accuracy(epsilon_l, kappa)
+    expected_degree = inverse_polynomial_degree(kappa, expected_error)
+    if expected_degree <= _AUTO_DEGREE_LIMIT and dimension <= _AUTO_DIMENSION_LIMIT:
+        return "circuit"
+    return "ideal"
 
 
 class QSVTLinearSolver:
@@ -102,10 +121,9 @@ class QSVTLinearSolver:
             return backend
         if backend != "auto":
             return make_backend(backend, **backend_options)
-        expected_error = polynomial_error_from_solution_accuracy(self.epsilon_l, self.kappa)
-        expected_degree = inverse_polynomial_degree(self.kappa, expected_error)
-        if (expected_degree <= _AUTO_DEGREE_LIMIT
-                and self.matrix.shape[0] <= _AUTO_DIMENSION_LIMIT):
+        name = auto_backend_name(self.kappa, self.epsilon_l,
+                                 self.matrix.shape[0])
+        if name == "circuit":
             return CircuitQSVTBackend(**backend_options)
         return IdealPolynomialBackend(**backend_options)
 

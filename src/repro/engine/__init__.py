@@ -43,6 +43,7 @@ coalesced vs sequential async).
 """
 
 from .aio import AsyncSolveEngine
+from .autotune import Autotuner, FamilyProfile, ProfileStore, TunedConfig
 from .batched import (
     BatchedStatevector,
     apply_circuit_batch,
@@ -56,6 +57,7 @@ from .registry import (
     list_scenarios,
     register_scenario,
     scenario_names,
+    unregister_scenario,
 )
 from .runner import JobResult, RunReport, ScenarioRunner, SolveJob, execute_job
 from .sharedmem import (
@@ -68,6 +70,10 @@ from .store import SynthesisStore, default_store_path
 
 __all__ = [
     "AsyncSolveEngine",
+    "Autotuner",
+    "TunedConfig",
+    "FamilyProfile",
+    "ProfileStore",
     "BatchedStatevector",
     "zero_batch",
     "apply_gate_batch",
@@ -86,7 +92,14 @@ __all__ = [
     "ScenarioRunner",
     "Scenario",
     "register_scenario",
+    "unregister_scenario",
     "build_scenario",
     "list_scenarios",
     "scenario_names",
 ]
+
+# Importing the problem suite last registers its families (2-D/3-D Poisson,
+# heat-equation chains, convection-diffusion, Helmholtz, graph Laplacians,
+# prescribed-spectrum systems) in the scenario registry above, so
+# ``list_scenarios()`` discovers them without an extra import.
+from .. import problems as _problems  # noqa: E402,F401  (registration side effect)

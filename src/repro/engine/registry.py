@@ -20,6 +20,7 @@ batched multi-RHS and sweep families this engine PR introduces.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -34,6 +35,7 @@ from .runner import SolveJob
 __all__ = [
     "Scenario",
     "register_scenario",
+    "unregister_scenario",
     "build_scenario",
     "list_scenarios",
     "scenario_names",
@@ -70,14 +72,23 @@ class Scenario:
 _REGISTRY: dict[str, tuple[str, Callable[..., list[SolveJob]]]] = {}
 
 
-def register_scenario(name: str, *, description: str = ""):
+def register_scenario(name: str, *, description: str = "",
+                      overwrite: bool = False):
     """Decorator registering ``builder(**params) -> list[SolveJob]`` under ``name``.
 
-    Re-registering a name overwrites the previous factory (latest wins), so
-    applications can shadow a built-in family with a tuned variant.
+    Registering an already-taken name raises :class:`ValueError` — two
+    families silently shadowing each other is how benchmark results stop
+    meaning what their labels say.  Pass ``overwrite=True`` to deliberately
+    replace a family (e.g. an application shadowing a built-in with a tuned
+    variant), or :func:`unregister_scenario` first.
     """
 
     def decorator(builder: Callable[..., list[SolveJob]]):
+        if not overwrite and name in _REGISTRY:
+            raise ValueError(
+                f"scenario {name!r} is already registered; pass "
+                f"overwrite=True to replace it (or unregister_scenario({name!r}) "
+                "first)")
         summary = description
         if not summary and builder.__doc__:
             summary = builder.__doc__.strip().splitlines()[0]
@@ -85,6 +96,11 @@ def register_scenario(name: str, *, description: str = ""):
         return builder
 
     return decorator
+
+
+def unregister_scenario(name: str) -> bool:
+    """Remove a registered family; returns whether it existed."""
+    return _REGISTRY.pop(name, None) is not None
 
 
 def scenario_names() -> list[str]:
@@ -102,8 +118,12 @@ def build_scenario(name: str, **params) -> Scenario:
     try:
         description, builder = _REGISTRY[name]
     except KeyError:
+        close = difflib.get_close_matches(name, scenario_names(), n=3, cutoff=0.5)
+        hint = (f"; did you mean {' or '.join(repr(match) for match in close)}?"
+                if close else "")
         raise KeyError(
-            f"unknown scenario {name!r}; registered: {scenario_names()}") from None
+            f"unknown scenario {name!r}{hint} "
+            f"(registered: {scenario_names()})") from None
     jobs = builder(**params)
     return Scenario(name=name, description=description, jobs=list(jobs), params=params)
 

@@ -39,12 +39,12 @@ import io
 import json
 import os
 import pathlib
-import tempfile
 import threading
 
 import numpy as np
 
 from ..core.qsvt_solver import QSVTLinearSolver
+from ..utils import atomic_write
 
 __all__ = ["SynthesisStore", "default_store_path", "FORMAT_VERSION"]
 
@@ -207,18 +207,7 @@ class SynthesisStore:
                                           "key_fingerprint": cache_key[0],
                                           "payload": payload["meta"]}),
                      **payload["arrays"])
-            self.path.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(dir=self.path, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(buffer.getvalue())
-                os.replace(tmp_name, self._entry_path(entry_key))
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            atomic_write(self._entry_path(entry_key), buffer.getvalue())
         except Exception:
             with self._lock:
                 self._errors += 1

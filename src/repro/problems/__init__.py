@@ -1,0 +1,145 @@
+"""Problem suite: diverse, checkable workload families for the solve engine.
+
+The paper's experiments cover ``N = 16`` random matrices (Sec. IV) and the
+1-D Poisson equation (Sec. III-C4).  This sub-package opens the workload
+axis: every :class:`~repro.problems.base.ProblemFamily` below generates
+linear systems with classically computed exact solutions and — where the
+spectrum is known — an analytic condition number, then registers itself as
+an engine scenario (:func:`repro.engine.build_scenario`) and as a κ growth
+model (:func:`repro.core.cost_model.predicted_kappa`):
+
+* ``poisson-2d`` / ``poisson-3d`` — Kronecker-assembled Laplacians;
+* ``heat-chain`` — implicit-Euler time stepping: ordered solve *chains*
+  against one fixed operator (the ideal cache/store workload);
+* ``convection-diffusion`` — non-symmetric, tunable grid Péclet number;
+* ``helmholtz`` — shifted, indefinite but invertible;
+* ``graph-laplacian`` — path/cycle/grid/random-regular, ridge-regularised;
+* ``prescribed-spectrum`` — banded systems with a fully chosen spectrum.
+
+>>> from repro.engine import ScenarioRunner, build_scenario
+>>> scenario = build_scenario("heat-chain", num_steps=16)
+>>> report = ScenarioRunner(mode="serial").run(scenario.jobs)
+>>> report.summary["cache"]["compiles"]        # one synthesis, 15 hits
+1
+"""
+
+from __future__ import annotations
+
+from ..core.cost_model import (
+    kappa_model_names,
+    register_kappa_model,
+    unregister_kappa_model,
+)
+from ..engine.registry import register_scenario, unregister_scenario
+from .base import (
+    ProblemFamily,
+    SolveChain,
+    default_epsilon_l,
+    random_rhs_list,
+    solved_workloads,
+    workload_jobs,
+)
+from .graphs import GraphLaplacianFamily, graph_laplacian
+from .pde import (
+    ConvectionDiffusionFamily,
+    HeatEquationChainFamily,
+    HelmholtzFamily,
+    Poisson2DFamily,
+    Poisson3DFamily,
+    stencil_eigenvalues,
+)
+from .spectral import (
+    PrescribedSpectrumFamily,
+    lanczos_tridiagonal,
+    spectrum_profile,
+)
+
+__all__ = [
+    "ProblemFamily",
+    "SolveChain",
+    "default_epsilon_l",
+    "workload_jobs",
+    "random_rhs_list",
+    "solved_workloads",
+    "stencil_eigenvalues",
+    "graph_laplacian",
+    "lanczos_tridiagonal",
+    "spectrum_profile",
+    "Poisson2DFamily",
+    "Poisson3DFamily",
+    "HeatEquationChainFamily",
+    "ConvectionDiffusionFamily",
+    "HelmholtzFamily",
+    "GraphLaplacianFamily",
+    "PrescribedSpectrumFamily",
+    "PROBLEM_FAMILIES",
+    "register_problem_family",
+    "unregister_problem_family",
+]
+
+#: registered family instances, keyed by family (= scenario) name.
+PROBLEM_FAMILIES: dict[str, ProblemFamily] = {}
+
+
+def register_problem_family(family: ProblemFamily, *,
+                            overwrite: bool = False) -> ProblemFamily:
+    """Hook a family into the scenario registry and the κ-model registry.
+
+    After this call ``build_scenario(family.name, **params)`` produces the
+    family's jobs and — when the family knows its spectrum —
+    ``predicted_kappa(family.name, **params)`` evaluates its analytic
+    condition number.  The scenario registry is the duplicate gatekeeper;
+    once it accepts the name, the κ-model and family registries follow
+    unconditionally so the three can never disagree about who owns a name.
+    """
+    has_analytic = (type(family).analytic_condition_number
+                    is not ProblemFamily.analytic_condition_number)
+    replacing = family.name in PROBLEM_FAMILIES
+    if (has_analytic and not (overwrite or replacing)
+            and family.name in kappa_model_names()):
+        # a κ model owned by non-family code (e.g. the built-in
+        # "poisson-1d") must not be clobbered implicitly — and the check
+        # runs *before* the scenario registration so a refusal leaves no
+        # half-registered state behind.
+        raise ValueError(
+            f"kappa model {family.name!r} is already registered outside the "
+            "problem suite; pass overwrite=True to replace it")
+    register_scenario(family.name, description=family.description,
+                      overwrite=overwrite)(family.jobs)
+    if has_analytic:
+        register_kappa_model(family.name, family.analytic_condition_number,
+                             overwrite=True)
+    elif replacing:
+        unregister_kappa_model(family.name)
+    PROBLEM_FAMILIES[family.name] = family
+    return family
+
+
+def unregister_problem_family(name: str) -> bool:
+    """Remove a family from all three registries; returns whether it existed.
+
+    Only names owned by the problem suite are touched — κ models registered
+    directly with :func:`repro.core.cost_model.register_kappa_model` (e.g.
+    the built-in ``"poisson-1d"``) are left alone.
+    """
+    family = PROBLEM_FAMILIES.pop(name, None)
+    if family is None:
+        return False
+    unregister_scenario(name)
+    if (type(family).analytic_condition_number
+            is not ProblemFamily.analytic_condition_number):
+        # only the model this family registered — never one someone added
+        # directly under a coincidentally equal name
+        unregister_kappa_model(name)
+    return True
+
+
+# overwrite=True keeps this loop idempotent under module re-execution
+# (importlib.reload, notebook autoreload); the duplicate guard is for
+# third-party name collisions, not our own re-registration.
+for _family in (Poisson2DFamily(), Poisson3DFamily(),
+                HeatEquationChainFamily(), ConvectionDiffusionFamily(),
+                HelmholtzFamily(), GraphLaplacianFamily(),
+                PrescribedSpectrumFamily()):
+    register_problem_family(_family, overwrite=True)
+del _family

@@ -1,0 +1,150 @@
+"""Graph-Laplacian problem families.
+
+Laplacian systems ``(L + γI) x = b`` are the workhorse of spectral graph
+methods (effective resistances, semi-supervised labelling, Laplacian
+smoothing).  ``L`` itself is singular (the all-ones kernel), so the family
+regularises with ``γ > 0`` — the standard ridge term — which makes the
+condition number ``(γ + λ_max)/γ`` an explicit knob.  Path, cycle and grid
+topologies have closed-form spectra (analytic κ); random-regular graphs are
+sampled from the configuration model and measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils import as_generator
+from .base import ProblemFamily, random_rhs_list, solved_workloads
+
+__all__ = ["GraphLaplacianFamily", "graph_laplacian"]
+
+_TOPOLOGIES = ("path", "cycle", "grid", "random-regular")
+
+
+def _path_laplacian_eigenvalues(n: int) -> np.ndarray:
+    """Spectrum ``4 sin²(kπ/(2n))``, ``k = 0..n-1`` of the path Laplacian."""
+    k = np.arange(n)
+    return 4.0 * np.sin(k * np.pi / (2.0 * n)) ** 2
+
+
+def _path_laplacian(n: int) -> np.ndarray:
+    lap = np.zeros((n, n))
+    idx = np.arange(n - 1)
+    lap[idx, idx + 1] = lap[idx + 1, idx] = -1.0
+    np.fill_diagonal(lap, -lap.sum(axis=1))
+    return lap
+
+
+def _random_regular_adjacency(n: int, degree: int, gen,
+                              max_tries: int = 500) -> np.ndarray:
+    """Simple ``degree``-regular graph via configuration-model rejection.
+
+    Shuffle ``n * degree`` stubs, pair them up, reject pairings with self
+    loops or parallel edges.  For the small, sparse settings used here
+    (``n <= a few hundred``, ``degree`` small) the acceptance probability is
+    ``≈ exp((1 - d²)/4)`` — a handful of tries.
+    """
+    if (n * degree) % 2:
+        raise ValueError("n * degree must be even for a regular graph")
+    if not 0 < degree < n:
+        raise ValueError("degree must be in (0, n)")
+    for _ in range(max_tries):
+        stubs = np.repeat(np.arange(n), degree)
+        gen.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        adjacency = np.zeros((n, n))
+        for u, v in pairs:
+            if u == v or adjacency[u, v]:
+                break
+            adjacency[u, v] = adjacency[v, u] = 1.0
+        else:
+            return adjacency
+    raise RuntimeError(
+        f"failed to sample a simple {degree}-regular graph on {n} nodes "
+        f"in {max_tries} tries")
+
+
+def graph_laplacian(topology: str, num_nodes: int, *, degree: int = 3,
+                    rng=None) -> np.ndarray:
+    """Combinatorial Laplacian ``D − A`` of the requested topology."""
+    n = int(num_nodes)
+    if n < 2:
+        raise ValueError("num_nodes must be >= 2")
+    if topology == "path":
+        return _path_laplacian(n)
+    if topology == "cycle":
+        if n < 3:
+            raise ValueError("cycle topology needs >= 3 nodes (a 2-cycle is "
+                             "a multigraph)")
+        lap = _path_laplacian(n)
+        lap[0, -1] = lap[-1, 0] = -1.0
+        lap[0, 0] = lap[-1, -1] = 2.0
+        return lap
+    if topology == "grid":
+        side = round(np.sqrt(n))
+        if side * side != n:
+            raise ValueError(f"grid topology needs a square node count, got {n}")
+        path = _path_laplacian(side)
+        eye = np.eye(side)
+        return np.kron(eye, path) + np.kron(path, eye)
+    if topology == "random-regular":
+        adjacency = _random_regular_adjacency(n, int(degree), as_generator(rng))
+        return np.diag(adjacency.sum(axis=1)) - adjacency
+    raise ValueError(f"unknown topology {topology!r}; choose from {_TOPOLOGIES}")
+
+
+class GraphLaplacianFamily(ProblemFamily):
+    """Regularised graph-Laplacian systems ``(L + γI) x = b``."""
+
+    name = "graph-laplacian"
+    description = ("regularised graph Laplacians (path/cycle/grid/"
+                   "random-regular; kappa set by the ridge term)")
+
+    def analytic_condition_number(self, *, topology: str = "path",
+                                  num_nodes: int = 16,
+                                  regularization: float = 0.1,
+                                  degree: int = 3, num_rhs: int = 1,
+                                  rng=0) -> float | None:
+        """Closed-form ``(γ + λ_max)/γ`` for the spectra known analytically."""
+        del degree, num_rhs, rng  # sampling knobs; no closed form uses them
+        n, gamma = int(num_nodes), float(regularization)
+        if topology == "path":
+            lam_max = _path_laplacian_eigenvalues(n)[-1]
+        elif topology == "cycle":
+            if n < 3:
+                raise ValueError("cycle topology needs >= 3 nodes")
+            k = np.arange(n)
+            lam_max = float(np.max(2.0 - 2.0 * np.cos(2.0 * np.pi * k / n)))
+        elif topology == "grid":
+            side = round(np.sqrt(n))
+            if side * side != n:
+                return None
+            lam_max = 2.0 * _path_laplacian_eigenvalues(side)[-1]
+        else:
+            return None  # random-regular: no closed form, measure instead
+        return float((gamma + lam_max) / gamma)
+
+    def workloads(self, *, topology: str = "path", num_nodes: int = 16,
+                  regularization: float = 0.1, degree: int = 3,
+                  num_rhs: int = 1, rng=0):
+        if regularization <= 0:
+            raise ValueError(
+                "regularization must be positive (the raw Laplacian is "
+                "singular: constant vectors are in its kernel)")
+        if num_rhs < 1:
+            raise ValueError("num_rhs must be >= 1")
+        n, gamma = int(num_nodes), float(regularization)
+        gen = as_generator(rng)
+        laplacian = graph_laplacian(topology, n, degree=degree, rng=gen)
+        matrix = laplacian + gamma * np.eye(n)
+        kappa = self.analytic_condition_number(
+            topology=topology, num_nodes=n, regularization=gamma)
+        if kappa is None:
+            kappa = float(np.linalg.cond(matrix, 2))
+        rhs_list = random_rhs_list(n, num_rhs, gen)
+        metadata = {"topology": topology, "num_nodes": n,
+                    "regularization": gamma}
+        if topology == "random-regular":
+            metadata["degree"] = int(degree)
+        return solved_workloads(
+            f"graph-{topology}-n{n}", matrix, rhs_list, kappa, metadata)

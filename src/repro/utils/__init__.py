@@ -17,11 +17,13 @@ from .validation import (
     num_qubits_for_dimension,
 )
 from .fingerprint import matrix_fingerprint
+from .io import atomic_write
 from .rng import as_generator, spawn_generators
 from .timing import Timer
 
 __all__ = [
     "matrix_fingerprint",
+    "atomic_write",
     "as_matrix",
     "as_vector",
     "check_power_of_two",

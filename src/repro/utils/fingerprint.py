@@ -9,6 +9,21 @@ matrix bytes are unchanged.  A SHA-1 over dtype, shape and raw bytes is exact
 systems, and doubles as the staleness guard of
 :meth:`repro.core.qsvt_solver.QSVTLinearSolver.solve` — mutating a matrix in
 place after synthesis is detected instead of silently producing wrong answers.
+
+The hash is taken over a *canonical* form of the array, so that numerically
+equal matrices always share one fingerprint regardless of how they are laid
+out in memory:
+
+* non-contiguous views and Fortran-ordered arrays are rewritten to C order
+  (``A.T.copy().T`` and ``A`` must hit the same cache entry);
+* non-native byte orders are swapped to the native one (an ``>f8`` array
+  loaded from a file equals its ``<f8`` twin element-wise);
+* negative zeros are normalised to ``+0.0`` for float and complex dtypes —
+  ``-0.0 == 0.0`` but their bytes differ, and time-stepping chains routinely
+  produce signed zeros in otherwise identical operators.
+
+Dtype and shape still distinguish: ``float32`` vs ``float64`` data, or a
+``(2, 8)`` vs ``(4, 4)`` view of the same buffer, are different problems.
 """
 
 from __future__ import annotations
@@ -20,13 +35,56 @@ import numpy as np
 __all__ = ["matrix_fingerprint"]
 
 
+#: elements scanned per block while looking for signed zeros (bounds the
+#: boolean temporaries to ~1 MB and short-circuits on the first hit).
+_SCAN_BLOCK = 1 << 20
+
+
+def _block_has_negative_zero(block: np.ndarray) -> bool:
+    if np.issubdtype(block.dtype, np.complexfloating):
+        return bool(np.any(((block.real == 0) & np.signbit(block.real))
+                           | ((block.imag == 0) & np.signbit(block.imag))))
+    return bool(np.any((block == 0) & np.signbit(block)))
+
+
+def _has_negative_zero(arr: np.ndarray) -> bool:
+    """Chunked short-circuiting scan (``arr`` must be contiguous)."""
+    flat = arr.reshape(-1)
+    return any(_block_has_negative_zero(flat[start:start + _SCAN_BLOCK])
+               for start in range(0, flat.size, _SCAN_BLOCK))
+
+
+def _canonicalize(array) -> np.ndarray:
+    """Layout-independent form of ``array`` (see module docstring)."""
+    arr = np.asarray(array)
+    if arr.dtype.hasobject:
+        raise TypeError(
+            "matrix_fingerprint requires a numeric array; object dtypes have "
+            "no stable byte representation")
+    if not arr.dtype.isnative:
+        arr = arr.astype(arr.dtype.newbyteorder("="))
+    arr = np.ascontiguousarray(arr)
+    if np.issubdtype(arr.dtype, np.floating) or np.issubdtype(
+            arr.dtype, np.complexfloating):
+        # adding zero maps -0.0 to +0.0 (for complex: in both components)
+        # while leaving every other value, including NaNs, bit-compatible.
+        # This sits on hot paths (staleness checks, cache lookups), so the
+        # full-copy pass only runs when a signed zero is actually present —
+        # the common canonical array costs a blockwise read-only scan.
+        if _has_negative_zero(arr):
+            arr = arr + arr.dtype.type(0)
+    return arr
+
+
 def matrix_fingerprint(array) -> str:
     """Hex digest identifying the exact contents of ``array``.
 
-    Two arrays share a fingerprint iff they have the same dtype, shape and
-    bytes — the right equivalence for reusing compiled solver artefacts.
+    Two arrays share a fingerprint iff they have the same dtype kind/size,
+    the same shape and element-wise identical canonical bytes — the right
+    equivalence for reusing compiled solver artefacts.  Memory layout
+    (C/Fortran order, strides), byte order and zero signs do not matter.
     """
-    arr = np.ascontiguousarray(np.asarray(array))
+    arr = _canonicalize(array)
     digest = hashlib.sha1()
     digest.update(str(arr.dtype).encode())
     digest.update(str(arr.shape).encode())

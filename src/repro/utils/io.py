@@ -1,0 +1,43 @@
+"""Atomic file writes shared by the persistent stores.
+
+Both on-disk caches (the synthesis store and the autotune profile store)
+must never let a concurrent reader — or a crash mid-write — observe a
+partial file: entries are serialised to a temporary file in the target
+directory and renamed into place, which is atomic on POSIX filesystems.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+
+__all__ = ["atomic_write"]
+
+
+def atomic_write(path: str | os.PathLike, data: bytes | str, *,
+                 encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``data`` (bytes or text).
+
+    The parent directory is created if needed; the temporary file lives in
+    that same directory so the final ``os.replace`` never crosses a
+    filesystem boundary.  On any failure the temporary file is removed and
+    the original ``path`` is left untouched.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        if isinstance(data, str):
+            with os.fdopen(fd, "w", encoding=encoding) as handle:
+                handle.write(data)
+        else:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,93 @@
+"""Canonical matrix fingerprints: layout, byte order and signed zeros.
+
+The compiled-solver cache, the synthesis store and the shared-memory
+registry all key on :func:`repro.utils.matrix_fingerprint`; time-stepping
+chains depend on *numerically equal* matrices always mapping to one
+fingerprint, however they were assembled (Fortran-ordered Kronecker
+products, strided views, ``-0.0`` from cancellation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import CompiledSolverCache
+from repro.utils import matrix_fingerprint
+
+
+@pytest.fixture()
+def matrix():
+    return np.random.default_rng(7).standard_normal((8, 8))
+
+
+def test_equal_content_shares_fingerprint(matrix):
+    fp = matrix_fingerprint(matrix)
+    assert matrix_fingerprint(matrix.copy()) == fp
+    assert matrix_fingerprint(matrix.tolist()) == fp
+
+
+def test_fortran_order_and_views_are_canonical(matrix):
+    fp = matrix_fingerprint(matrix)
+    assert matrix_fingerprint(np.asfortranarray(matrix)) == fp
+    assert matrix_fingerprint(matrix.T.copy().T) == fp
+    strided = np.zeros((16, 16))
+    strided[::2, ::2] = matrix
+    view = strided[::2, ::2]
+    assert not view.flags["C_CONTIGUOUS"]
+    assert matrix_fingerprint(view) == fp
+
+
+def test_negative_zero_is_normalised():
+    plus = np.array([[0.0, 1.0], [2.0, 3.0]])
+    minus = plus.copy()
+    minus[0, 0] = -0.0
+    assert np.array_equal(plus, minus)          # numerically equal...
+    assert plus.tobytes() != minus.tobytes()    # ...but byte-different
+    assert matrix_fingerprint(plus) == matrix_fingerprint(minus)
+    complex_plus = plus.astype(complex)
+    complex_minus = complex_plus.copy()
+    complex_minus[0, 0] = complex(-0.0, -0.0)
+    assert matrix_fingerprint(complex_plus) == matrix_fingerprint(complex_minus)
+
+
+def test_byte_order_is_normalised(matrix):
+    swapped = matrix.astype(matrix.dtype.newbyteorder())
+    assert np.array_equal(matrix, swapped)
+    assert matrix_fingerprint(swapped) == matrix_fingerprint(matrix)
+
+
+def test_distinct_content_distinct_fingerprint(matrix):
+    fp = matrix_fingerprint(matrix)
+    perturbed = matrix.copy()
+    perturbed[0, 0] = np.nextafter(perturbed[0, 0], np.inf)
+    assert matrix_fingerprint(perturbed) != fp
+    assert matrix_fingerprint(matrix.reshape(4, 16)) != fp
+    assert matrix_fingerprint(matrix.astype(np.float32)) != fp
+    ints = np.arange(4)
+    assert matrix_fingerprint(ints) != matrix_fingerprint(ints.astype(float))
+    assert matrix_fingerprint(ints) == matrix_fingerprint(ints.copy())
+
+
+def test_object_dtype_is_rejected():
+    with pytest.raises(TypeError, match="numeric"):
+        matrix_fingerprint(np.array([object()], dtype=object))
+
+
+def test_nan_payloads_still_fingerprint():
+    a = np.array([np.nan, 1.0])
+    assert matrix_fingerprint(a) == matrix_fingerprint(a.copy())
+
+
+def test_cache_reuses_synthesis_across_layouts():
+    """A Fortran-ordered or signed-zero twin must hit the same cache entry."""
+    matrix = np.array([[2.0, -1.0, 0.0, 0.0], [-1.0, 2.0, -1.0, 0.0],
+                       [0.0, -1.0, 2.0, -1.0], [0.0, 0.0, -1.0, 2.0]])
+    twin = np.asfortranarray(matrix.copy())
+    twin[0, 2] = -0.0
+    cache = CompiledSolverCache()
+    first = cache.solver(matrix, epsilon_l=1e-2, backend="exact")
+    second = cache.solver(twin, epsilon_l=1e-2, backend="exact")
+    assert first is second
+    assert cache.stats()["compiles"] == 1
+    assert cache.stats()["hits"] == 1
