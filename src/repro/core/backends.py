@@ -43,9 +43,16 @@ from ..qsp.inverse_polynomial import (
     polynomial_error_from_solution_accuracy,
 )
 from ..qsp.qsvt_circuit import QSVTProgram, compile_qsvt_program
-from ..qsp.chebyshev import evaluate_chebyshev
+from ..qsp.chebyshev import evaluate_chebyshev, evaluate_chebyshev_operator
 from ..quantum.plan import ExecutionPlan, PlanOp
-from ..utils import as_generator, as_vector, check_square, matrix_fingerprint
+from ..utils import (
+    as_generator,
+    as_vector,
+    check_square,
+    is_power_of_two,
+    matrix_fingerprint,
+    payload_nbytes,
+)
 from .sampling import SamplingModel
 
 __all__ = [
@@ -147,11 +154,13 @@ class QSVTBackend(abc.ABC):
 
         Used by :class:`repro.engine.cache.CompiledSolverCache` for
         byte-accounted eviction.  The base implementation counts the stored
-        matrix; backends with heavier compiled state (execution plans, SVD
-        factors, phase vectors) extend it.
+        matrix — ``nnz_bytes()`` for structured operators, ``nbytes`` for
+        dense arrays, so banded entries are no longer charged the dense
+        ``N²·8`` — and backends with heavier compiled state (execution
+        plans, SVD factors, phase vectors) extend it.
         """
         matrix = getattr(self, "matrix", None)
-        return int(matrix.nbytes) if matrix is not None else 0
+        return payload_nbytes(matrix) if matrix is not None else 0
 
     def is_stale(self, matrix) -> bool:
         """True when ``matrix`` no longer matches the compiled synthesis.
@@ -207,6 +216,44 @@ def _effective_kappa(sigma: np.ndarray, alpha: float, kappa: float | None,
     if kappa is not None:
         sigma_min = min(sigma_min, float(sigma.max()) / float(kappa))
     return margin * alpha / sigma_min
+
+
+def _matrix_free_spectrum(operator, kappa: float | None, *, margin: float,
+                          subnormalization_margin: float) -> tuple[float, float]:
+    """``(alpha, kappa_eff)`` for the matrix-free route, from exact bounds.
+
+    The dense path reads ``σ_max`` / ``σ_min`` off the SVD; the matrix-free
+    path reads them off the operator's **exact** extreme-eigenvalue bounds
+    (symmetric operators: ``σ = |λ|``).  For definite spectra ``min |λ|`` is
+    attained at an endpoint; indefinite spectra (e.g. the shifted Helmholtz
+    operator) need the caller to pin ``kappa``, exactly as the problem
+    families do with their analytic condition numbers.
+    """
+    from ..linalg.operators import is_structured_operator
+
+    if not is_structured_operator(operator) or not operator.is_symmetric:
+        raise BackendError(
+            "the matrix-free route requires a symmetric structured operator "
+            "(non-symmetric systems must go through the dense backends)")
+    bounds = operator.eigenvalue_bounds()
+    if bounds is None:
+        raise BackendError(
+            "the matrix-free route needs exact extreme-eigenvalue bounds; "
+            "construct the operator with spectrum_bounds=... or densify")
+    lo, hi = bounds
+    sigma_max = max(abs(lo), abs(hi))
+    if sigma_max <= 0.0:
+        raise BackendError("matrix is numerically singular")
+    alpha = subnormalization_margin * sigma_max
+    sigma_min = min(abs(lo), abs(hi)) if lo * hi > 0 else None
+    if kappa is not None:
+        cap = sigma_max / float(kappa)
+        sigma_min = cap if sigma_min is None else min(sigma_min, cap)
+    if sigma_min is None or sigma_min <= 0.0:
+        raise BackendError(
+            "indefinite spectrum: pass kappa= so the polynomial domain "
+            "(min |λ|) is known — the bounds only pin the endpoints")
+    return alpha, margin * alpha / sigma_min
 
 
 def _calibrated_polynomial(kappa_eff: float, epsilon_l: float, *, max_norm: float | None,
@@ -376,7 +423,11 @@ class CircuitQSVTBackend(QSVTBackend):
     ----------
     block_encoding:
         Block-encoding construction name (``"dilation"``, ``"lcu"``,
-        ``"fable"``, ``"tridiagonal"``).
+        ``"fable"``, ``"tridiagonal"``).  ``None`` (default) resolves at
+        ``prepare`` time: dense matrices use ``"dilation"``; structured
+        tridiagonal-Toeplitz operators (the Eq.-(7) Poisson shape) use the
+        ``"tridiagonal"`` construction of :mod:`repro.blockencoding.banded`
+        — the structured-operator layer's natural circuit partner.
     dense_block_encoding:
         Insert the block-encoding as one dense gate (fast simulation, default)
         or inline its gate-level circuit.
@@ -404,7 +455,12 @@ class CircuitQSVTBackend(QSVTBackend):
 
     name = "circuit-qsvt"
 
-    def __init__(self, *, block_encoding: str = "dilation",
+    #: dimension above which a structured operator refuses to densify into
+    #: the circuit simulation (the dense statevector is the cost, not the
+    #: matrix — use the ideal backend's matrix-free route instead).
+    _DENSIFY_LIMIT = 4096
+
+    def __init__(self, *, block_encoding: str | None = None,
                  dense_block_encoding: bool = True,
                  max_polynomial_norm: float = 0.9,
                  calibrate_polynomial: bool = True,
@@ -428,11 +484,34 @@ class CircuitQSVTBackend(QSVTBackend):
 
     # ------------------------------------------------------------------ #
     def prepare(self, matrix, *, epsilon_l: float, kappa: float | None = None) -> None:
+        from ..linalg.operators import is_structured_operator
+
+        method = self.block_encoding_method
+        if is_structured_operator(matrix):
+            # the circuit simulation is dense in the *statevector* anyway, so
+            # structured operators densify here (small N only) — but banded
+            # tridiagonal Toeplitz operators pick up their native
+            # block-encoding construction instead of the generic dilation.
+            if matrix.dimension > self._DENSIFY_LIMIT:
+                raise BackendError(
+                    f"circuit backend cannot simulate N={matrix.dimension}; "
+                    "use the ideal backend's matrix-free route")
+            if method is None and is_power_of_two(matrix.dimension):
+                stencil = getattr(matrix, "toeplitz_stencil", lambda: None)()
+                if (stencil is not None and set(stencil) == {-1, 0, 1}
+                        and stencil[1] == stencil[-1]):
+                    method = "tridiagonal"
+            matrix = matrix.to_dense()
+        if method is None:
+            method = "dilation"
+        # record the resolution without clobbering the constructor's None
+        # sentinel: a reused backend instance must re-resolve per matrix.
+        self.resolved_block_encoding = method
         mat = check_square(np.asarray(matrix, dtype=float), name="A")
         self.matrix = mat
         sigma = np.linalg.svd(mat, compute_uv=False)
         # the QSVT inverts A through a block-encoding of A† (Sec. II-A4)
-        self.block = build_block_encoding(mat.conj().T, self.block_encoding_method)
+        self.block = build_block_encoding(mat.conj().T, method)
         self.kappa_effective = _effective_kappa(sigma, self.block.alpha, kappa,
                                                 self.kappa_margin)
         self.polynomial = _calibrated_polynomial(
@@ -525,7 +604,7 @@ class CircuitQSVTBackend(QSVTBackend):
             "epsilon_l": float(self.epsilon_l),
             "kappa_effective": float(self.kappa_effective),
             "phase_residual": float(self.phase_residual),
-            "block_encoding_method": self.block_encoding_method,
+            "block_encoding_method": self.resolved_block_encoding,
             "block": {
                 "alpha": float(self.block.alpha),
                 "num_ancillas": int(self.block.num_ancillas),
@@ -545,7 +624,7 @@ class CircuitQSVTBackend(QSVTBackend):
                 f"not {self.name!r}")
         mat = check_square(np.asarray(arrays["matrix"], dtype=float), name="A")
         self.matrix = mat
-        self.block_encoding_method = str(meta["block_encoding_method"])
+        self.resolved_block_encoding = str(meta["block_encoding_method"])
         self.block = _RestoredBlockEncoding(**meta["block"])
         self.kappa_effective = float(meta["kappa_effective"])
         self.polynomial = _polynomial_from_meta(meta["polynomial"],
@@ -559,7 +638,8 @@ class CircuitQSVTBackend(QSVTBackend):
 
     def describe(self) -> dict:
         info = {"backend": self.name,
-                "block_encoding": self.block_encoding_method,
+                "block_encoding": getattr(self, "resolved_block_encoding",
+                                          self.block_encoding_method or "auto"),
                 "sampling": self.sampling.mode}
         if self._prepared:
             info.update({
@@ -585,6 +665,17 @@ class IdealPolynomialBackend(QSVTBackend):
     read-out, but evaluated directly on the SVD of the sub-normalised matrix,
     so arbitrarily large polynomial degrees (``κ`` of a few hundred, Fig. 4)
     remain tractable.
+
+    **Matrix-free route.**  Handed a symmetric
+    :class:`~repro.linalg.operators.StructuredOperator`, ``prepare`` skips
+    the ``O(N³)`` SVD entirely: the subnormalisation ``α`` and the effective
+    ``κ`` come from the operator's *exact* extreme-eigenvalue bounds, and
+    ``apply_inverse`` evaluates the very same Eq.-(4) Chebyshev polynomial
+    through a Clenshaw recurrence over ``matvec`` calls — ``degree × O(nnz)``
+    work and ``O(nnz)`` memory.  For a symmetric matrix the two routes
+    compute the same transformation (``V P(Σ/α) W† = P(A/α)`` because the
+    polynomial is odd), and the dense fallback is preserved bit-for-bit:
+    ndarray inputs take the exact pre-existing SVD code path.
     """
 
     name = "ideal-polynomial"
@@ -599,9 +690,16 @@ class IdealPolynomialBackend(QSVTBackend):
         self.kappa_margin = float(kappa_margin)
         self.subnormalization_margin = float(subnormalization_margin)
         self.error_convention = error_convention
+        self._matrix_free = False
         self._prepared = False
 
     def prepare(self, matrix, *, epsilon_l: float, kappa: float | None = None) -> None:
+        from ..linalg.operators import is_structured_operator
+
+        if is_structured_operator(matrix):
+            self._prepare_matrix_free(matrix, epsilon_l, kappa)
+            return
+        self._matrix_free = False
         mat = check_square(np.asarray(matrix, dtype=float), name="A")
         self.matrix = mat
         # SVD of A† = V Σ W†; the QSVT of A† produces V P(Σ/α) W†
@@ -618,6 +716,35 @@ class IdealPolynomialBackend(QSVTBackend):
         self._record_synthesis(mat)
         self._prepared = True
 
+    def _prepare_matrix_free(self, operator, epsilon_l: float,
+                             kappa: float | None) -> None:
+        """Synthesis without the SVD: exact bounds size the polynomial."""
+        self.alpha, self.kappa_effective = _matrix_free_spectrum(
+            operator, kappa, margin=self.kappa_margin,
+            subnormalization_margin=self.subnormalization_margin)
+        self.polynomial = _calibrated_polynomial(
+            self.kappa_effective, epsilon_l, max_norm=None,
+            calibrate=self.calibrate_polynomial,
+            error_convention=self.error_convention)
+        self.matrix = operator
+        self._v = self._sigma = self._wh = None
+        self._matrix_free = True
+        self.epsilon_l = float(epsilon_l)
+        self._record_synthesis(operator)
+        self._prepared = True
+
+    # ------------------------------------------------------------------ #
+    def _transform_matrix_free(self, normalized: np.ndarray) -> np.ndarray:
+        """``P(A/α)`` applied by Clenshaw over ``matvec``/``matmat`` calls."""
+        operator = self.matrix
+        inv_alpha = 1.0 / self.alpha
+        if normalized.ndim == 1:
+            apply = lambda w: inv_alpha * operator.matvec(w)  # noqa: E731
+        else:
+            apply = lambda w: inv_alpha * operator.matmat(w)  # noqa: E731
+        return evaluate_chebyshev_operator(self.polynomial.coefficients,
+                                           apply, normalized)
+
     def apply_inverse(self, rhs) -> BackendApplication:
         if not self._prepared:
             raise BackendError("call prepare() before apply_inverse()")
@@ -625,8 +752,11 @@ class IdealPolynomialBackend(QSVTBackend):
         norm = np.linalg.norm(vector)
         if norm == 0.0:
             raise BackendError("cannot apply the inverse to a zero right-hand side")
-        transformed = evaluate_chebyshev(self.polynomial.coefficients, self._sigma / self.alpha)
-        raw = self._v @ (transformed * (self._wh @ (vector / norm)))
+        if self._matrix_free:
+            raw = self._transform_matrix_free(vector / norm)
+        else:
+            transformed = evaluate_chebyshev(self.polynomial.coefficients, self._sigma / self.alpha)
+            raw = self._v @ (transformed * (self._wh @ (vector / norm)))
         raw_norm = np.linalg.norm(raw)
         if raw_norm == 0.0:
             raise BackendError("polynomial transformation produced a zero vector")
@@ -640,11 +770,13 @@ class IdealPolynomialBackend(QSVTBackend):
         )
 
     def apply_inverse_batch(self, rhs_batch) -> list[BackendApplication]:
-        """Batched inverse: one dense contraction for all ``B`` right-hand sides.
+        """Batched inverse: one contraction sweep for all ``B`` right-hand sides.
 
-        The Chebyshev transform of the singular values is evaluated once and
-        the whole batch is pushed through ``V diag(P(Σ/α)) W†`` as a single
-        matrix-matrix product.
+        Dense route: the Chebyshev transform of the singular values is
+        evaluated once and the whole batch is pushed through
+        ``V diag(P(Σ/α)) W†`` as a single matrix-matrix product.  Matrix-free
+        route: one Clenshaw recurrence over ``matmat`` calls updates all
+        ``B`` columns per Chebyshev term.
         """
         if not self._prepared:
             raise BackendError("call prepare() before apply_inverse_batch()")
@@ -652,8 +784,11 @@ class IdealPolynomialBackend(QSVTBackend):
         norms = np.linalg.norm(batch, axis=1)
         if np.any(norms == 0.0):
             raise BackendError("cannot apply the inverse to a zero right-hand side")
-        transformed = evaluate_chebyshev(self.polynomial.coefficients, self._sigma / self.alpha)
-        raw = (self._v @ (transformed[:, None] * (self._wh @ (batch / norms[:, None]).T))).T
+        if self._matrix_free:
+            raw = self._transform_matrix_free((batch / norms[:, None]).T).T
+        else:
+            transformed = evaluate_chebyshev(self.polynomial.coefficients, self._sigma / self.alpha)
+            raw = (self._v @ (transformed[:, None] * (self._wh @ (batch / norms[:, None]).T))).T
         raw_norms = np.linalg.norm(raw, axis=1)
         if np.any(raw_norms == 0.0):
             raise BackendError("polynomial transformation produced a zero vector")
@@ -671,12 +806,20 @@ class IdealPolynomialBackend(QSVTBackend):
     def payload_bytes(self) -> int:
         total = super().payload_bytes()
         if self._prepared:
-            total += int(self._v.nbytes + self._sigma.nbytes + self._wh.nbytes)
+            if self._matrix_free:
+                total += int(np.asarray(self.polynomial.coefficients).nbytes)
+            else:
+                total += int(self._v.nbytes + self._sigma.nbytes + self._wh.nbytes)
         return total
 
     def export_payload(self) -> dict:
         if not self._prepared:
             raise BackendError("call prepare() before export_payload()")
+        if self._matrix_free:
+            raise NotImplementedError(
+                "matrix-free syntheses are not persisted: re-deriving one "
+                "costs an exact bound lookup plus the polynomial build, and "
+                "the operator storage lives outside the payload format")
         arrays = {
             "matrix": self.matrix,
             "svd_v": self._v,
@@ -702,6 +845,7 @@ class IdealPolynomialBackend(QSVTBackend):
                 f"not {self.name!r}")
         mat = check_square(np.asarray(arrays["matrix"], dtype=float), name="A")
         self.matrix = mat
+        self._matrix_free = False
         self._v = np.asarray(arrays["svd_v"])
         self._sigma = np.asarray(arrays["svd_sigma"])
         self._wh = np.asarray(arrays["svd_wh"])
@@ -720,7 +864,10 @@ class IdealPolynomialBackend(QSVTBackend):
                 "polynomial_degree": self.polynomial.degree,
                 "kappa_effective": self.kappa_effective,
                 "achieved_epsilon_l": self.polynomial.relative_inverse_error(),
+                "matrix_free": self._matrix_free,
             })
+            if self._matrix_free:
+                info["structure"] = self.matrix.structure
         return info
 
 
@@ -747,17 +894,30 @@ class ExactInverseBackend(QSVTBackend):
         self._prepared = False
 
     def prepare(self, matrix, *, epsilon_l: float, kappa: float | None = None) -> None:
-        self.matrix = check_square(np.asarray(matrix, dtype=float), name="A")
+        from ..linalg.operators import is_structured_operator
+
+        if is_structured_operator(matrix):
+            # structured operators bring their own exact classical solve
+            # (Thomas / banded LU, Kronecker fast diagonalisation, CG), so
+            # the surrogate stays O(nnz)-ish instead of densifying.
+            self.matrix = check_square(matrix, name="A")
+        else:
+            self.matrix = check_square(np.asarray(matrix, dtype=float), name="A")
         self.epsilon_l = float(epsilon_l)
         self._lu = None
         self._record_synthesis(self.matrix)
         self._prepared = True
 
     def apply_inverse(self, rhs) -> BackendApplication:
+        from ..linalg.operators import is_structured_operator
+
         if not self._prepared:
             raise BackendError("call prepare() before apply_inverse()")
         vector = as_vector(rhs, name="rhs").astype(float)
-        exact = np.linalg.solve(self.matrix, vector)
+        if is_structured_operator(self.matrix):
+            exact = self.matrix.solve(vector)
+        else:
+            exact = np.linalg.solve(self.matrix, vector)
         with self._rng_lock:
             perturbation = self.rng.standard_normal(exact.shape[0])
         perturbation *= self.epsilon_l * np.linalg.norm(exact) / np.linalg.norm(perturbation)

@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..utils import Registry
 from ..qsp.inverse_polynomial import (
     inverse_polynomial_degree,
     polynomial_error_from_solution_accuracy,
@@ -197,8 +198,11 @@ def optimal_epsilon_l(kappa: float, epsilon: float, *, candidates=None,
 # ---------------------------------------------------------------------- #
 # κ growth models (how the condition number scales with problem parameters)
 # ---------------------------------------------------------------------- #
-#: registered models: family name -> callable(**params) -> κ.
-_KAPPA_MODELS: dict[str, Callable[..., float]] = {}
+#: registered models: family name -> callable(**params) -> κ.  One instance
+#: of the shared :class:`repro.utils.Registry` (duplicate guard, overwrite,
+#: unregister, difflib suggestions), like the scenario registry and
+#: ``PROBLEM_FAMILIES``.
+_KAPPA_MODELS: Registry = Registry("kappa model")
 
 
 def register_kappa_model(name: str, model: Callable[..., float] | None = None,
@@ -212,31 +216,12 @@ def register_kappa_model(name: str, model: Callable[..., float] | None = None,
     (``@register_kappa_model("heat-chain")``) or called directly with the
     model as second argument.
     """
-
-    def _register(fn: Callable[..., float]):
-        if not overwrite and name in _KAPPA_MODELS:
-            raise ValueError(f"kappa model {name!r} is already registered")
-        _KAPPA_MODELS[name] = fn
-        return fn
-
-    if model is not None:
-        return _register(model)
-    return _register
+    return _KAPPA_MODELS.register(name, model, overwrite=overwrite)
 
 
 def predicted_kappa(name: str, **params) -> float:
     """Evaluate the registered κ growth model ``name`` for ``params``."""
-    try:
-        model = _KAPPA_MODELS[name]
-    except KeyError:
-        import difflib
-
-        close = difflib.get_close_matches(name, kappa_model_names(), n=3,
-                                          cutoff=0.5)
-        hint = (f"; did you mean {' or '.join(repr(m) for m in close)}?"
-                if close else "")
-        raise KeyError(f"unknown kappa model {name!r}{hint} "
-                       f"(registered: {kappa_model_names()})") from None
+    model = _KAPPA_MODELS[name]
     value = model(**params)
     if value is None:
         raise ValueError(
@@ -247,12 +232,12 @@ def predicted_kappa(name: str, **params) -> float:
 
 def kappa_model_names() -> list[str]:
     """Sorted names of every registered κ growth model."""
-    return sorted(_KAPPA_MODELS)
+    return _KAPPA_MODELS.names()
 
 
 def unregister_kappa_model(name: str) -> bool:
     """Remove a registered κ growth model; returns whether it existed."""
-    return _KAPPA_MODELS.pop(name, None) is not None
+    return _KAPPA_MODELS.unregister(name)
 
 
 @register_kappa_model("poisson-1d")

@@ -42,7 +42,14 @@ from ..qsp.inverse_polynomial import (
     inverse_polynomial_degree,
     polynomial_error_from_solution_accuracy,
 )
-from ..utils import as_vector, check_square, is_power_of_two, matrix_fingerprint
+from ..utils import (
+    as_vector,
+    check_square,
+    is_linear_operator,
+    is_power_of_two,
+    matrix_fingerprint,
+    payload_nbytes,
+)
 from .backends import CircuitQSVTBackend, IdealPolynomialBackend, QSVTBackend, make_backend
 from .normalization import recover_scale
 from .results import SingleSolveRecord
@@ -105,7 +112,13 @@ class QSVTLinearSolver:
     def __init__(self, matrix, *, epsilon_l: float = 1e-2,
                  backend: QSVTBackend | str = "auto", kappa: float | None = None,
                  scale_recovery: str = "analytic", **backend_options) -> None:
-        self.matrix = check_square(np.asarray(matrix, dtype=float), name="A")
+        if is_linear_operator(matrix):
+            # structured operators stay structured end-to-end: no dense copy,
+            # no O(N³) SVD for κ (exact bounds or pinned value instead), and
+            # "auto" resolves to the ideal backend's matrix-free route.
+            self.matrix = check_square(matrix, name="A")
+        else:
+            self.matrix = check_square(np.asarray(matrix, dtype=float), name="A")
         if not 0.0 < epsilon_l < 1.0:
             raise ValueError("epsilon_l must be in (0, 1)")
         self.epsilon_l = float(epsilon_l)
@@ -121,6 +134,10 @@ class QSVTLinearSolver:
             return backend
         if backend != "auto":
             return make_backend(backend, **backend_options)
+        if is_linear_operator(self.matrix):
+            # matrix-free solves route through the ideal backend; the dense
+            # circuit simulation is opt-in for operators (backend="circuit").
+            return IdealPolynomialBackend(**backend_options)
         name = auto_backend_name(self.kappa, self.epsilon_l,
                                  self.matrix.shape[0])
         if name == "circuit":
@@ -255,9 +272,10 @@ class QSVTLinearSolver:
         payload = getattr(self.backend, "payload_bytes", None)
         total = int(payload()) if callable(payload) else 0
         # the backend usually holds the same matrix object and already
-        # counted it; only add ours when it is a distinct buffer.
+        # counted it; only add ours when it is a distinct buffer (structured
+        # operators are charged their nnz bytes, not the dense N²·8).
         if getattr(self.backend, "matrix", None) is not self.matrix:
-            total += int(self.matrix.nbytes)
+            total += payload_nbytes(self.matrix)
         return total
 
     def describe(self) -> dict:

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..linalg import condition_number, relative_forward_error, scaled_residual
 from ..precision import PrecisionContext
-from ..utils import as_vector
+from ..utils import as_vector, is_linear_operator
 from .communication import CommunicationTrace
 from .convergence import contraction_factor, iteration_bound, limiting_accuracy
 from .results import RefinementIteration, RefinementResult
@@ -83,7 +83,11 @@ class MixedPrecisionRefinement:
         self.track_communication = bool(track_communication)
         self.stagnation_iterations = int(stagnation_iterations)
         self.divergence_factor = float(divergence_factor)
-        self.matrix = np.asarray(inner_solver.matrix, dtype=float)
+        # structured operators pass through matrix-free: the residual updates
+        # and scaled residuals only ever apply ``A @ x``.
+        inner_matrix = inner_solver.matrix
+        self.matrix = (inner_matrix if is_linear_operator(inner_matrix)
+                       else np.asarray(inner_matrix, dtype=float))
         self.kappa = float(kappa) if kappa is not None else self._infer_kappa()
         self.epsilon_l = float(epsilon_l) if epsilon_l is not None else self._infer_epsilon_l()
         self.iteration_bound = self._compute_bound()

@@ -130,10 +130,14 @@ class AsyncSolveEngine:
         future = loop.create_future()
         group = self._pending.get(key)
         if group is None:
+            from ..linalg.operators import is_structured_operator
+
             group = _PendingGroup(
                 # private copy: the caller may mutate its array while the
-                # group waits for the flush.
-                matrix=np.array(matrix, dtype=float, copy=True),
+                # group waits for the flush (StructuredOperator storage is
+                # read-only by construction, so those are shared as-is).
+                matrix=(matrix if is_structured_operator(matrix)
+                        else np.array(matrix, dtype=float, copy=True)),
                 epsilon_l=float(epsilon_l), backend=backend,
                 kappa=kappa, fingerprint=key[0],
                 backend_options=dict(backend_options),

@@ -329,7 +329,14 @@ class Autotuner:
                 kappa = measured.get(memo_key)
                 if kappa is None:
                     matrix, _ = job.resolve_matrix()
-                    kappa = float(np.linalg.cond(matrix, 2))
+                    from ..linalg import condition_number
+                    from ..utils import is_linear_operator
+
+                    # structured operators report exact bound-derived κ (or
+                    # densify behind the operator's own size wall)
+                    kappa = (float(condition_number(matrix))
+                             if is_linear_operator(matrix)
+                             else float(np.linalg.cond(matrix, 2)))
                     measured[memo_key] = kappa
             dimension = int(job.rhs.shape[-1])
             if job.target_accuracy is None:

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..core.backends import QSVTBackend
 from ..core.qsvt_solver import QSVTLinearSolver
+from ..linalg.operators import is_structured_operator
 from ..utils import matrix_fingerprint
 
 __all__ = ["CompiledSolverCache"]
@@ -202,9 +203,13 @@ class CompiledSolverCache:
             # compile outside the global lock: synthesis can take seconds and
             # other keys must not serialise behind it.  The solver gets its
             # own copy of the matrix so later caller-side mutations cannot
-            # reach the cached synthesis.
+            # reach the cached synthesis.  Only StructuredOperator instances
+            # skip the copy: their read-only storage is a class guarantee,
+            # which arbitrary matvec-shaped objects do not give.
             try:
-                solver = QSVTLinearSolver(np.array(matrix, dtype=float, copy=True),
+                owned = (matrix if is_structured_operator(matrix)
+                         else np.array(matrix, dtype=float, copy=True))
+                solver = QSVTLinearSolver(owned,
                                           epsilon_l=epsilon_l, backend=backend,
                                           kappa=kappa, **backend_options)
             except BaseException:

@@ -20,7 +20,6 @@ batched multi-RHS and sweep families this engine PR introduces.
 
 from __future__ import annotations
 
-import difflib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -29,7 +28,7 @@ import numpy as np
 from ..applications.poisson import PoissonProblem
 from ..applications.workloads import random_workload
 from ..linalg import random_rhs
-from ..utils import as_generator
+from ..utils import Registry, as_generator
 from .runner import SolveJob
 
 __all__ = [
@@ -69,7 +68,10 @@ class Scenario:
 
 
 #: registered factories: name -> (description, builder(**params) -> list[SolveJob]).
-_REGISTRY: dict[str, tuple[str, Callable[..., list[SolveJob]]]] = {}
+#: One instance of the shared :class:`repro.utils.Registry` — the same
+#: machinery (duplicate guard, overwrite, unregister, difflib suggestions)
+#: that backs the κ-model registry and ``PROBLEM_FAMILIES``.
+_REGISTRY: Registry = Registry("scenario")
 
 
 def register_scenario(name: str, *, description: str = "",
@@ -84,15 +86,11 @@ def register_scenario(name: str, *, description: str = "",
     """
 
     def decorator(builder: Callable[..., list[SolveJob]]):
-        if not overwrite and name in _REGISTRY:
-            raise ValueError(
-                f"scenario {name!r} is already registered; pass "
-                f"overwrite=True to replace it (or unregister_scenario({name!r}) "
-                "first)")
         summary = description
         if not summary and builder.__doc__:
             summary = builder.__doc__.strip().splitlines()[0]
-        _REGISTRY[name] = (summary or name, builder)
+        _REGISTRY.register(name, (summary or name, builder),
+                           overwrite=overwrite)
         return builder
 
     return decorator
@@ -100,12 +98,12 @@ def register_scenario(name: str, *, description: str = "",
 
 def unregister_scenario(name: str) -> bool:
     """Remove a registered family; returns whether it existed."""
-    return _REGISTRY.pop(name, None) is not None
+    return _REGISTRY.unregister(name)
 
 
 def scenario_names() -> list[str]:
     """Sorted names of every registered scenario family."""
-    return sorted(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def list_scenarios() -> dict[str, str]:
@@ -115,15 +113,7 @@ def list_scenarios() -> dict[str, str]:
 
 def build_scenario(name: str, **params) -> Scenario:
     """Instantiate a registered scenario family with the given parameters."""
-    try:
-        description, builder = _REGISTRY[name]
-    except KeyError:
-        close = difflib.get_close_matches(name, scenario_names(), n=3, cutoff=0.5)
-        hint = (f"; did you mean {' or '.join(repr(match) for match in close)}?"
-                if close else "")
-        raise KeyError(
-            f"unknown scenario {name!r}{hint} "
-            f"(registered: {scenario_names()})") from None
+    description, builder = _REGISTRY[name]
     jobs = builder(**params)
     return Scenario(name=name, description=description, jobs=list(jobs), params=params)
 

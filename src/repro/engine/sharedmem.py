@@ -35,12 +35,12 @@ from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from ..utils import matrix_fingerprint
+from ..utils import is_linear_operator, matrix_fingerprint
 
 __all__ = [
     "SharedMatrixHandle",
@@ -48,6 +48,10 @@ __all__ = [
     "attach_matrix",
     "detach_all",
 ]
+
+#: byte alignment of packed component arrays inside a structured segment
+#: (generous for any numeric dtype).
+_PACK_ALIGN = 16
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,12 @@ class SharedMatrixHandle:
     shared-memory segment name plus everything needed to rebuild the ndarray
     view (dtype, shape) and to key caches (the content ``fingerprint``,
     computed from the published bytes, so workers never re-hash).
+
+    **Structured operators** publish their component arrays packed into one
+    segment; ``structure`` then carries the operator metadata plus per-array
+    specs (dtype, shape, byte offset), ``nbytes`` is the structured payload
+    size (``nnz_bytes``-ish, not ``N²·8``), and the worker-side attach
+    rebuilds the operator over zero-copy read-only views.
     """
 
     segment: str
@@ -66,6 +76,7 @@ class SharedMatrixHandle:
     shape: tuple[int, ...]
     nbytes: int
     creator_pid: int
+    structure: dict | None = None
 
 
 class SharedMatrixRegistry:
@@ -96,10 +107,18 @@ class SharedMatrixRegistry:
 
         Re-publishing a matrix whose bytes are already live returns the
         existing handle and bumps its refcount — the copy happens exactly
-        once per fingerprint, which is the whole point.
+        once per fingerprint, which is the whole point.  Structured
+        operators publish their ``O(nnz)`` component arrays instead of a
+        dense ``N²`` buffer.
         """
+        if is_linear_operator(matrix):
+            return self._publish_entry(matrix_fingerprint(matrix),
+                                       lambda: self._pack_structured(matrix))
         array = np.ascontiguousarray(np.asarray(matrix))
-        fingerprint = matrix_fingerprint(array)
+        return self._publish_entry(matrix_fingerprint(array),
+                                   lambda: self._pack_dense(array))
+
+    def _publish_entry(self, fingerprint: str, pack) -> SharedMatrixHandle:
         with self._lock:
             if self._closed:
                 raise RuntimeError("cannot publish through a closed registry")
@@ -109,17 +128,48 @@ class SharedMatrixRegistry:
                 segment, handle, refcount = entry
                 self._segments[fingerprint] = (segment, handle, refcount + 1)
                 return handle
-            segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-            view[...] = array
-            del view
-            handle = SharedMatrixHandle(
-                segment=segment.name, fingerprint=fingerprint,
-                dtype=str(array.dtype), shape=tuple(array.shape),
-                nbytes=int(array.nbytes), creator_pid=os.getpid())
+            segment, handle = pack()
+            handle = replace(handle, fingerprint=fingerprint)
             self._segments[fingerprint] = (segment, handle, 1)
             self._copies += 1
             return handle
+
+    @staticmethod
+    def _pack_dense(array: np.ndarray):
+        segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        del view
+        handle = SharedMatrixHandle(
+            segment=segment.name, fingerprint="",
+            dtype=str(array.dtype), shape=tuple(array.shape),
+            nbytes=int(array.nbytes), creator_pid=os.getpid())
+        return segment, handle
+
+    @staticmethod
+    def _pack_structured(operator):
+        """One segment holding every component array, aligned and indexed."""
+        meta, arrays = operator.to_state()
+        specs = []
+        offset = 0
+        for arr in arrays:
+            arr = np.ascontiguousarray(arr)
+            specs.append({"dtype": str(arr.dtype), "shape": list(arr.shape),
+                          "offset": offset})
+            offset += -(-arr.nbytes // _PACK_ALIGN) * _PACK_ALIGN
+        total = max(offset, 1)
+        segment = shared_memory.SharedMemory(create=True, size=total)
+        for spec, arr in zip(specs, arrays):
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf,
+                              offset=spec["offset"])
+            view[...] = arr
+            del view
+        handle = SharedMatrixHandle(
+            segment=segment.name, fingerprint="",
+            dtype="structured", shape=tuple(operator.shape),
+            nbytes=int(total), creator_pid=os.getpid(),
+            structure={"meta": meta, "arrays": specs})
+        return segment, handle
 
     def release(self, handle_or_fingerprint) -> bool:
         """Drop one reference; unlink the segment when the count reaches zero.
@@ -212,12 +262,16 @@ _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 _ATTACH_LOCK = threading.Lock()
 
 
-def attach_matrix(handle: SharedMatrixHandle) -> np.ndarray:
-    """Return a read-only ndarray view of a published matrix.
+def attach_matrix(handle: SharedMatrixHandle):
+    """Return a read-only zero-copy view of a published matrix.
 
     The segment is mapped once per process and memoised, so a worker
     executing many jobs against the same matrix attaches a single time; the
     view is zero-copy (backed by the shared pages) and write-protected.
+    Dense handles return an ndarray; structured handles rebuild the
+    :class:`~repro.linalg.operators.StructuredOperator` over read-only views
+    of the packed component arrays (the operator constructors adopt frozen
+    arrays without copying).
     """
     with _ATTACH_LOCK:
         entry = _ATTACHED.get(handle.segment)
@@ -233,9 +287,22 @@ def attach_matrix(handle: SharedMatrixHandle) -> np.ndarray:
                 # set-deduplicated, so the parent's unlink stays the single
                 # cleanup point.
                 segment = shared_memory.SharedMemory(name=handle.segment)
-            view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
-                              buffer=segment.buf)
-            view.flags.writeable = False
+            if handle.structure is not None:
+                from ..linalg.operators import operator_from_state
+
+                arrays = []
+                for spec in handle.structure["arrays"]:
+                    view = np.ndarray(tuple(spec["shape"]),
+                                      dtype=np.dtype(spec["dtype"]),
+                                      buffer=segment.buf,
+                                      offset=int(spec["offset"]))
+                    view.flags.writeable = False
+                    arrays.append(view)
+                view = operator_from_state(handle.structure["meta"], arrays)
+            else:
+                view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                                  buffer=segment.buf)
+                view.flags.writeable = False
             entry = (segment, view)
             _ATTACHED[handle.segment] = entry
     return entry[1]

@@ -31,8 +31,24 @@ from .cholesky import cholesky_factor, cholesky_solve
 from .cond import condition_number, estimate_condition_number, estimate_spectral_norm
 from .iterative import conjugate_gradient, jacobi, power_iteration
 from .tridiagonal import thomas_solve
+from .operators import (
+    BandedOperator,
+    CSROperator,
+    DiagonalShiftOperator,
+    KroneckerSumOperator,
+    StructuredOperator,
+    is_structured_operator,
+    operator_from_state,
+)
 
 __all__ = [
+    "StructuredOperator",
+    "BandedOperator",
+    "CSROperator",
+    "KroneckerSumOperator",
+    "DiagonalShiftOperator",
+    "is_structured_operator",
+    "operator_from_state",
     "spectral_norm",
     "scaled_residual",
     "forward_error",

@@ -24,7 +24,22 @@ __all__ = ["condition_number", "estimate_spectral_norm", "estimate_condition_num
 
 
 def condition_number(a) -> float:
-    """Exact 2-norm condition number ``σ_max / σ_min`` from the SVD."""
+    """Exact 2-norm condition number ``σ_max / σ_min``.
+
+    Dense matrices go through the SVD.  Structured operators
+    (:mod:`repro.linalg.operators`) use their **exact** eigenvalue-bound
+    condition number when available (symmetric definite spectra), and
+    otherwise densify — which is wall-guarded by ``to_dense``, so an
+    operator too large for an SVD raises instead of thrashing (pin
+    ``kappa`` or supply ``spectrum_bounds`` in that case).
+    """
+    from ..utils import is_linear_operator
+
+    if is_linear_operator(a):
+        bound = getattr(a, "condition_bound", lambda: None)()
+        if bound is not None:
+            return float(bound)
+        return condition_number(a.to_dense())
     mat = check_square(a, name="A")
     sigma = np.linalg.svd(mat, compute_uv=False)
     smin = float(sigma.min())

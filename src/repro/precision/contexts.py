@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..utils import is_linear_operator
 from .floating import DOUBLE, SINGLE, Precision, get_precision
 
 __all__ = ["PrecisionContext"]
@@ -85,8 +86,12 @@ class PrecisionContext:
         rounded through the residual precision, matching the standard software
         emulation of extended-precision residuals.
         """
-        r = np.asarray(b, dtype=np.float64) - np.asarray(a, dtype=np.float64) @ np.asarray(
-            x, dtype=np.float64)
+        if is_linear_operator(a):
+            # matrix-free operators apply in float64 natively
+            r = np.asarray(b, dtype=np.float64) - (a @ np.asarray(x, dtype=np.float64))
+        else:
+            r = np.asarray(b, dtype=np.float64) - np.asarray(a, dtype=np.float64) @ np.asarray(
+                x, dtype=np.float64)
         return _round(self.residual_precision, r)
 
     def describe(self) -> str:

@@ -77,8 +77,12 @@ __all__ = [
     "unregister_problem_family",
 ]
 
-#: registered family instances, keyed by family (= scenario) name.
-PROBLEM_FAMILIES: dict[str, ProblemFamily] = {}
+from ..utils import Registry
+
+#: registered family instances, keyed by family (= scenario) name — one
+#: instance of the shared :class:`repro.utils.Registry`, like the scenario
+#: and κ-model registries it mirrors.
+PROBLEM_FAMILIES: Registry = Registry("problem family")
 
 
 def register_problem_family(family: ProblemFamily, *,
@@ -111,7 +115,7 @@ def register_problem_family(family: ProblemFamily, *,
                              overwrite=True)
     elif replacing:
         unregister_kappa_model(family.name)
-    PROBLEM_FAMILIES[family.name] = family
+    PROBLEM_FAMILIES.register(family.name, family, overwrite=True)
     return family
 
 
@@ -122,9 +126,10 @@ def unregister_problem_family(name: str) -> bool:
     directly with :func:`repro.core.cost_model.register_kappa_model` (e.g.
     the built-in ``"poisson-1d"``) are left alone.
     """
-    family = PROBLEM_FAMILIES.pop(name, None)
+    family = PROBLEM_FAMILIES.get(name)
     if family is None:
         return False
+    PROBLEM_FAMILIES.unregister(name)
     unregister_scenario(name)
     if (type(family).analytic_condition_number
             is not ProblemFamily.analytic_condition_number):

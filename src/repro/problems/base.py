@@ -25,6 +25,7 @@ hits).
 from __future__ import annotations
 
 import abc
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,16 +33,34 @@ import numpy as np
 from ..applications.workloads import LinearSystemWorkload
 from ..engine.runner import SolveJob
 from ..linalg import random_rhs
-from ..utils import matrix_fingerprint
+from ..utils import is_linear_operator, matrix_fingerprint
 
 __all__ = [
     "ProblemFamily",
     "SolveChain",
+    "DENSE_ASSEMBLY_WALL",
+    "check_dense_assembly",
     "default_epsilon_l",
     "workload_jobs",
     "random_rhs_list",
     "solved_workloads",
 ]
+
+#: dimension above which ``assembly="dense"`` refuses.  An ``N x N`` float64
+#: array above this wall is ≥ 0.5 GiB *per copy* (assembly, SVD workspace,
+#: cache entry, per-worker pickle), which is exactly the regime the
+#: structured path exists for.  Override with ``REPRO_DENSE_WALL``.
+DENSE_ASSEMBLY_WALL = 8192
+
+
+def check_dense_assembly(dimension: int, family: str) -> None:
+    """Refuse dense assembly beyond the wall (see :data:`DENSE_ASSEMBLY_WALL`)."""
+    wall = int(os.environ.get("REPRO_DENSE_WALL", DENSE_ASSEMBLY_WALL))
+    if int(dimension) > wall:
+        raise ValueError(
+            f"{family}: dense assembly of an N={dimension} system exceeds the "
+            f"dense wall ({wall}); use assembly='structured' (the default) or "
+            "raise REPRO_DENSE_WALL if you accept the memory cost")
 
 
 def random_rhs_list(dimension: int, count: int, rng=None) -> list:
@@ -56,9 +75,15 @@ def solved_workloads(name: str, matrix, rhs_list, kappa: float,
     All workloads share the *same matrix object* (so downstream consumers —
     the runner's publish memo, the compiled-solver cache — treat them as one
     problem, which they are) and the exact solutions come from a single
-    factorisation of the stacked right-hand-side block.
+    factorisation of the stacked right-hand-side block.  Structured
+    operators solve through their own structure-exploiting route (Thomas /
+    banded LU, Kronecker fast diagonalisation, CG) instead of a dense
+    ``O(N³)`` factorisation.
     """
-    solutions = np.linalg.solve(matrix, np.column_stack(rhs_list))
+    if is_linear_operator(matrix):
+        solutions = matrix.solve(np.column_stack(rhs_list))
+    else:
+        solutions = np.linalg.solve(matrix, np.column_stack(rhs_list))
     workloads = []
     for index, rhs in enumerate(rhs_list):
         label = name if len(rhs_list) == 1 else f"{name}-rhs{index}"

@@ -13,10 +13,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..linalg import CSROperator, DiagonalShiftOperator
 from ..utils import as_generator
-from .base import ProblemFamily, random_rhs_list, solved_workloads
+from .base import (
+    ProblemFamily,
+    check_dense_assembly,
+    random_rhs_list,
+    solved_workloads,
+)
 
-__all__ = ["GraphLaplacianFamily", "graph_laplacian"]
+__all__ = ["GraphLaplacianFamily", "graph_laplacian", "graph_laplacian_operator"]
 
 _TOPOLOGIES = ("path", "cycle", "grid", "random-regular")
 
@@ -64,9 +70,70 @@ def _random_regular_adjacency(n: int, degree: int, gen,
         f"in {max_tries} tries")
 
 
+def _topology_edges(topology: str, n: int) -> np.ndarray:
+    """Edge list ``(E, 2)`` of the deterministic topologies."""
+    if topology == "path":
+        k = np.arange(n - 1)
+        return np.column_stack([k, k + 1])
+    if topology == "cycle":
+        if n < 3:
+            raise ValueError("cycle topology needs >= 3 nodes (a 2-cycle is "
+                             "a multigraph)")
+        k = np.arange(n)
+        return np.column_stack([k, (k + 1) % n])
+    if topology == "grid":
+        side = round(np.sqrt(n))
+        if side * side != n:
+            raise ValueError(f"grid topology needs a square node count, got {n}")
+        nodes = np.arange(n).reshape(side, side)
+        horizontal = np.column_stack([nodes[:, :-1].ravel(),
+                                      nodes[:, 1:].ravel()])
+        vertical = np.column_stack([nodes[:-1, :].ravel(),
+                                    nodes[1:, :].ravel()])
+        return np.concatenate([horizontal, vertical])
+    raise ValueError(f"unknown topology {topology!r}; choose from {_TOPOLOGIES}")
+
+
+def _laplacian_max_eigenvalue(topology: str, n: int) -> float | None:
+    """Closed-form ``λ_max`` of the combinatorial Laplacian, where known."""
+    if topology == "path":
+        return float(_path_laplacian_eigenvalues(n)[-1])
+    if topology == "cycle":
+        k = np.arange(n)
+        return float(np.max(2.0 - 2.0 * np.cos(2.0 * np.pi * k / n)))
+    if topology == "grid":
+        side = round(np.sqrt(n))
+        if side * side != n:
+            return None
+        return float(2.0 * _path_laplacian_eigenvalues(side)[-1])
+    return None
+
+
+def graph_laplacian_operator(topology: str, num_nodes: int) -> CSROperator:
+    """Combinatorial Laplacian of a deterministic topology in CSR form.
+
+    ``O(E)`` assembly and storage; the closed-form Laplacian spectrum
+    (``λ_min = 0`` and the analytic ``λ_max``) rides along as exact bounds,
+    so the downstream ridge shift knows its condition number without any
+    dense work.
+    """
+    n = int(num_nodes)
+    if n < 2:
+        raise ValueError("num_nodes must be >= 2")
+    edges = _topology_edges(topology, n)
+    u, v = edges[:, 0], edges[:, 1]
+    rows = np.concatenate([u, v, u, v])
+    cols = np.concatenate([v, u, u, v])
+    vals = np.concatenate([-np.ones(2 * len(edges)), np.ones(2 * len(edges))])
+    lam_max = _laplacian_max_eigenvalue(topology, n)
+    bounds = None if lam_max is None else (0.0, lam_max)
+    return CSROperator.from_coo(rows, cols, vals, n, spectrum_bounds=bounds,
+                                symmetric=True)
+
+
 def graph_laplacian(topology: str, num_nodes: int, *, degree: int = 3,
                     rng=None) -> np.ndarray:
-    """Combinatorial Laplacian ``D − A`` of the requested topology."""
+    """Combinatorial Laplacian ``D − A`` of the requested topology (dense)."""
     n = int(num_nodes)
     if n < 2:
         raise ValueError("num_nodes must be >= 2")
@@ -104,46 +171,50 @@ class GraphLaplacianFamily(ProblemFamily):
                                   num_nodes: int = 16,
                                   regularization: float = 0.1,
                                   degree: int = 3, num_rhs: int = 1,
+                                  assembly: str = "structured",
                                   rng=0) -> float | None:
         """Closed-form ``(γ + λ_max)/γ`` for the spectra known analytically."""
-        del degree, num_rhs, rng  # sampling knobs; no closed form uses them
+        del degree, num_rhs, assembly, rng  # sampling knobs; no closed form uses them
         n, gamma = int(num_nodes), float(regularization)
-        if topology == "path":
-            lam_max = _path_laplacian_eigenvalues(n)[-1]
-        elif topology == "cycle":
-            if n < 3:
-                raise ValueError("cycle topology needs >= 3 nodes")
-            k = np.arange(n)
-            lam_max = float(np.max(2.0 - 2.0 * np.cos(2.0 * np.pi * k / n)))
-        elif topology == "grid":
-            side = round(np.sqrt(n))
-            if side * side != n:
-                return None
-            lam_max = 2.0 * _path_laplacian_eigenvalues(side)[-1]
-        else:
-            return None  # random-regular: no closed form, measure instead
+        if topology == "cycle" and n < 3:
+            raise ValueError("cycle topology needs >= 3 nodes")
+        lam_max = _laplacian_max_eigenvalue(topology, n)
+        if lam_max is None:
+            return None  # random-regular / non-square grid: measure instead
         return float((gamma + lam_max) / gamma)
 
     def workloads(self, *, topology: str = "path", num_nodes: int = 16,
                   regularization: float = 0.1, degree: int = 3,
-                  num_rhs: int = 1, rng=0):
+                  num_rhs: int = 1, assembly: str = "structured", rng=0):
         if regularization <= 0:
             raise ValueError(
                 "regularization must be positive (the raw Laplacian is "
                 "singular: constant vectors are in its kernel)")
         if num_rhs < 1:
             raise ValueError("num_rhs must be >= 1")
+        if assembly not in ("structured", "dense"):
+            raise ValueError(
+                f"assembly must be 'structured' or 'dense', got {assembly!r}")
         n, gamma = int(num_nodes), float(regularization)
         gen = as_generator(rng)
-        laplacian = graph_laplacian(topology, n, degree=degree, rng=gen)
-        matrix = laplacian + gamma * np.eye(n)
+        # random-regular graphs are sampled dense (the configuration model is
+        # O(n²) anyway and their κ has no closed form); the deterministic
+        # topologies assemble O(E) CSR Laplacians with exact spectrum bounds
+        # and apply the ridge as a diagonal shift.
+        if assembly == "structured" and topology != "random-regular":
+            laplacian = graph_laplacian_operator(topology, n)
+            matrix = DiagonalShiftOperator(laplacian, shift=gamma)
+        else:
+            check_dense_assembly(n, self.name)
+            laplacian = graph_laplacian(topology, n, degree=degree, rng=gen)
+            matrix = laplacian + gamma * np.eye(n)
         kappa = self.analytic_condition_number(
             topology=topology, num_nodes=n, regularization=gamma)
         if kappa is None:
             kappa = float(np.linalg.cond(matrix, 2))
         rhs_list = random_rhs_list(n, num_rhs, gen)
         metadata = {"topology": topology, "num_nodes": n,
-                    "regularization": gamma}
+                    "regularization": gamma, "assembly": assembly}
         if topology == "random-regular":
             metadata["degree"] = int(degree)
         return solved_workloads(

@@ -2,12 +2,23 @@
 stepping, convection–diffusion and Helmholtz.
 
 All discretisations are central finite differences on uniform grids with
-homogeneous Dirichlet boundary conditions, assembled densely (the simulator
-is dense anyway).  The d-dimensional Laplacians are Kronecker sums of the
-1-D stencil ``T = tridiag(-1, 2, -1)``, whose eigenvalues
-``λ_j = 4 sin²(jπ / (2(n+1)))`` are known in closed form — so every
-symmetric family here reports an *analytic* condition number, generalising
-the paper's 1-D ``κ = O(N²)`` formula (Sec. III-C4) to new workloads.
+homogeneous Dirichlet boundary conditions.  The d-dimensional Laplacians are
+Kronecker sums of the 1-D stencil ``T = tridiag(-1, 2, -1)``, whose
+eigenvalues ``λ_j = 4 sin²(jπ / (2(n+1)))`` are known in closed form — so
+every symmetric family here reports an *analytic* condition number,
+generalising the paper's 1-D ``κ = O(N²)`` formula (Sec. III-C4) to new
+workloads.
+
+**Assembly.**  The symmetric families assemble
+:class:`~repro.linalg.operators.StructuredOperator` instances by default
+(``assembly="structured"``): Kronecker-sum operators for the 2-D/3-D
+Laplacians, banded Toeplitz operators for the 1-D heat and Helmholtz
+stencils — ``O(nnz)`` storage and assembly instead of ``O(N²)``, which is
+what unlocks ``N ≥ 32768`` grids.  ``assembly="dense"`` reproduces the
+original dense arrays bit-for-bit up to the dense wall
+(:func:`repro.problems.base.check_dense_assembly`) and refuses beyond it.
+The convection–diffusion family is non-symmetric and stays dense (the
+matrix-free QSVT route needs symmetry).
 """
 
 from __future__ import annotations
@@ -15,9 +26,21 @@ from __future__ import annotations
 import numpy as np
 
 from ..applications.workloads import LinearSystemWorkload
-from ..linalg import lu_factor, tridiagonal_toeplitz
+from ..linalg import (
+    BandedOperator,
+    KroneckerSumOperator,
+    is_structured_operator,
+    lu_factor,
+    tridiagonal_toeplitz,
+)
 from ..utils import as_generator
-from .base import ProblemFamily, SolveChain, random_rhs_list, solved_workloads
+from .base import (
+    ProblemFamily,
+    SolveChain,
+    check_dense_assembly,
+    random_rhs_list,
+    solved_workloads,
+)
 
 __all__ = [
     "stencil_eigenvalues",
@@ -36,7 +59,7 @@ def stencil_eigenvalues(n: int) -> np.ndarray:
 
 
 def _kronecker_laplacian(n: int, dims: int) -> np.ndarray:
-    """d-dimensional Dirichlet Laplacian ``Σ_i I⊗…⊗T⊗…⊗I`` (unscaled)."""
+    """d-dimensional Dirichlet Laplacian ``Σ_i I⊗…⊗T⊗…⊗I`` (unscaled, dense)."""
     t = tridiagonal_toeplitz(n, 2.0, -1.0)
     total = np.zeros((n**dims, n**dims))
     for axis in range(dims):
@@ -45,6 +68,24 @@ def _kronecker_laplacian(n: int, dims: int) -> np.ndarray:
             term = np.kron(term, t if position == axis else np.eye(n))
         total += term
     return total
+
+
+def _assemble_laplacian(n: int, dims: int, *, scale: float, assembly: str,
+                        family: str):
+    """Kronecker Laplacian as a structured operator or a dense array.
+
+    The structured form stores one ``n x n`` stencil block (``O(n²)``)
+    instead of the ``n^{2d} = N²`` dense array; its exact Kronecker-sum
+    eigenvalue bounds replace the dense SVD downstream.
+    """
+    if assembly == "structured":
+        return KroneckerSumOperator([tridiagonal_toeplitz(n, 2.0, -1.0)] * dims,
+                                    scale=scale)
+    if assembly == "dense":
+        check_dense_assembly(n**dims, family)
+        return _kronecker_laplacian(n, dims) * scale
+    raise ValueError(
+        f"assembly must be 'structured' or 'dense', got {assembly!r}")
 
 
 def _interior_grid(n: int) -> np.ndarray:
@@ -62,23 +103,25 @@ class Poisson2DFamily(ProblemFamily):
 
     def analytic_condition_number(self, *, grid_points: int = 4,
                                   scaled: bool = True, num_rhs: int = 1,
+                                  assembly: str = "structured",
                                   rng=0) -> float:
         """Mirrors the :meth:`workloads` signature so misspelled parameter
         names raise instead of silently evaluating κ at the defaults."""
-        del scaled, num_rhs, rng  # no influence on the spectrum ratio
+        del scaled, num_rhs, assembly, rng  # no influence on the spectrum ratio
         lam = stencil_eigenvalues(grid_points)
         # Kronecker-sum spectrum is λ_j + λ_k, so the d-dimensional κ equals
         # the 1-D ratio λ_max/λ_min for every d.
         return float(lam[-1] / lam[0])
 
     def workloads(self, *, grid_points: int = 4, scaled: bool = True,
-                  num_rhs: int = 1, rng=0) -> list[LinearSystemWorkload]:
+                  num_rhs: int = 1, assembly: str = "structured",
+                  rng=0) -> list[LinearSystemWorkload]:
         if grid_points < 1 or num_rhs < 1:
             raise ValueError("grid_points and num_rhs must be >= 1")
         n = int(grid_points)
-        matrix = _kronecker_laplacian(n, 2)
-        if scaled:
-            matrix = matrix * (n + 1) ** 2
+        matrix = _assemble_laplacian(
+            n, 2, scale=float((n + 1) ** 2) if scaled else 1.0,
+            assembly=assembly, family=self.name)
         x = _interior_grid(n)
         # f(x, y) = 2π² sin(πx) sin(πy), the separable forcing whose
         # continuous solution is sin(πx) sin(πy).
@@ -90,7 +133,8 @@ class Poisson2DFamily(ProblemFamily):
         kappa = self.analytic_condition_number(grid_points=n)
         return solved_workloads(
             f"poisson2d-n{n}", matrix, rhs_list, kappa,
-            {"grid_points": n, "dimension": n * n, "scaled": bool(scaled)})
+            {"grid_points": n, "dimension": n * n, "scaled": bool(scaled),
+             "assembly": assembly})
 
 
 class Poisson3DFamily(ProblemFamily):
@@ -102,19 +146,21 @@ class Poisson3DFamily(ProblemFamily):
 
     def analytic_condition_number(self, *, grid_points: int = 2,
                                   scaled: bool = True, num_rhs: int = 1,
+                                  assembly: str = "structured",
                                   rng=0) -> float:
-        del scaled, num_rhs, rng  # no influence on the spectrum ratio
+        del scaled, num_rhs, assembly, rng  # no influence on the spectrum ratio
         lam = stencil_eigenvalues(grid_points)
         return float(lam[-1] / lam[0])
 
     def workloads(self, *, grid_points: int = 2, scaled: bool = True,
-                  num_rhs: int = 1, rng=0) -> list[LinearSystemWorkload]:
+                  num_rhs: int = 1, assembly: str = "structured",
+                  rng=0) -> list[LinearSystemWorkload]:
         if grid_points < 1 or num_rhs < 1:
             raise ValueError("grid_points and num_rhs must be >= 1")
         n = int(grid_points)
-        matrix = _kronecker_laplacian(n, 3)
-        if scaled:
-            matrix = matrix * (n + 1) ** 2
+        matrix = _assemble_laplacian(
+            n, 3, scale=float((n + 1) ** 2) if scaled else 1.0,
+            assembly=assembly, family=self.name)
         s = np.sin(np.pi * _interior_grid(n))
         forcing = 3.0 * np.pi**2 * np.einsum("i,j,k->ijk", s, s, s).ravel()
         if not scaled:
@@ -123,7 +169,8 @@ class Poisson3DFamily(ProblemFamily):
         kappa = self.analytic_condition_number(grid_points=n)
         return solved_workloads(
             f"poisson3d-n{n}", matrix, rhs_list, kappa,
-            {"grid_points": n, "dimension": n**3, "scaled": bool(scaled)})
+            {"grid_points": n, "dimension": n**3, "scaled": bool(scaled),
+             "assembly": assembly})
 
 
 # ---------------------------------------------------------------------- #
@@ -143,30 +190,46 @@ class HeatEquationChainFamily(ProblemFamily):
 
     def analytic_condition_number(self, *, num_points: int = 16,
                                   num_steps: int = 16, dt: float = 1e-3,
-                                  diffusivity: float = 1.0) -> float:
-        del num_steps  # every step shares the one operator
+                                  diffusivity: float = 1.0,
+                                  assembly: str = "structured") -> float:
+        del num_steps, assembly  # every step shares the one operator
         lam = stencil_eigenvalues(num_points) * (num_points + 1) ** 2
         scale = float(dt) * float(diffusivity)
         return float((1.0 + scale * lam[-1]) / (1.0 + scale * lam[0]))
 
     def chain(self, *, num_points: int = 16, num_steps: int = 16,
-              dt: float = 1e-3, diffusivity: float = 1.0) -> SolveChain:
+              dt: float = 1e-3, diffusivity: float = 1.0,
+              assembly: str = "structured") -> SolveChain:
         """Build the chain: operator, classical trajectory, per-step workloads."""
         if num_points < 1 or num_steps < 1:
             raise ValueError("num_points and num_steps must be >= 1")
         if dt <= 0 or diffusivity <= 0:
             raise ValueError("dt and diffusivity must be positive")
         n, steps = int(num_points), int(num_steps)
-        laplacian = tridiagonal_toeplitz(n, 2.0, -1.0) * (n + 1) ** 2
-        matrix = np.eye(n) + float(dt) * float(diffusivity) * laplacian
+        scale = float(dt) * float(diffusivity) * (n + 1) ** 2
+        if assembly == "structured":
+            # I + Δt α L is itself tridiagonal Toeplitz: banded storage with
+            # exact closed-form eigenvalue bounds.
+            matrix = BandedOperator.toeplitz(
+                n, {0: 1.0 + 2.0 * scale, 1: -scale, -1: -scale})
+        elif assembly == "dense":
+            check_dense_assembly(n, self.name)
+            laplacian = tridiagonal_toeplitz(n, 2.0, -1.0) * (n + 1) ** 2
+            matrix = np.eye(n) + float(dt) * float(diffusivity) * laplacian
+        else:
+            raise ValueError(
+                f"assembly must be 'structured' or 'dense', got {assembly!r}")
         kappa = self.analytic_condition_number(num_points=n, dt=dt,
                                                diffusivity=diffusivity)
         state = np.sin(np.pi * _interior_grid(n))
         chain_name = f"heat-n{n}-T{steps}"
-        factorisation = lu_factor(matrix)    # one O(N³) factor for T steps
+        if is_structured_operator(matrix):
+            step_solve = matrix.solve           # banded LU, O(N) per step
+        else:
+            step_solve = lu_factor(matrix).solve  # one O(N³) factor for T steps
         workloads = []
         for step in range(steps):
-            nxt = factorisation.solve(state)
+            nxt = step_solve(state)
             workloads.append(LinearSystemWorkload(
                 name=f"{chain_name}-step{step}", matrix=matrix, rhs=state,
                 solution=nxt, condition_number=kappa,
@@ -180,10 +243,10 @@ class HeatEquationChainFamily(ProblemFamily):
                                     "num_steps": steps})
 
     def workloads(self, *, num_points: int = 16, num_steps: int = 16,
-                  dt: float = 1e-3, diffusivity: float = 1.0
-                  ) -> list[LinearSystemWorkload]:
+                  dt: float = 1e-3, diffusivity: float = 1.0,
+                  assembly: str = "structured") -> list[LinearSystemWorkload]:
         return self.chain(num_points=num_points, num_steps=num_steps, dt=dt,
-                          diffusivity=diffusivity).workloads
+                          diffusivity=diffusivity, assembly=assembly).workloads
 
 
 # ---------------------------------------------------------------------- #
@@ -256,20 +319,35 @@ class HelmholtzFamily(ProblemFamily):
 
     def analytic_condition_number(self, *, num_points: int = 16, shift=None,
                                   shift_fraction: float = 0.5,
-                                  num_rhs: int = 1, rng=0) -> float:
-        del num_rhs, rng  # no influence on the spectrum
+                                  num_rhs: int = 1,
+                                  assembly: str = "structured",
+                                  rng=0) -> float:
+        del num_rhs, assembly, rng  # no influence on the spectrum
         lam = stencil_eigenvalues(num_points)
         gaps = np.abs(lam - self._shift(int(num_points), shift, shift_fraction))
         return float(gaps.max() / gaps.min())
 
     def workloads(self, *, num_points: int = 16, shift=None,
-                  shift_fraction: float = 0.5, num_rhs: int = 1, rng=0
+                  shift_fraction: float = 0.5, num_rhs: int = 1,
+                  assembly: str = "structured", rng=0
                   ) -> list[LinearSystemWorkload]:
         if num_points < 2 or num_rhs < 1:
             raise ValueError("num_points must be >= 2 and num_rhs >= 1")
         n = int(num_points)
         sigma = self._shift(n, shift, shift_fraction)
-        matrix = tridiagonal_toeplitz(n, 2.0, -1.0) - sigma * np.eye(n)
+        if assembly == "structured":
+            # T − σI stays tridiagonal Toeplitz (banded LU solves, exact
+            # closed-form extreme eigenvalues; the *indefinite* min |λ| has
+            # no endpoint formula, which is why the analytic κ is pinned on
+            # every workload).
+            matrix = BandedOperator.toeplitz(
+                n, {0: 2.0 - sigma, 1: -1.0, -1: -1.0})
+        elif assembly == "dense":
+            check_dense_assembly(n, self.name)
+            matrix = tridiagonal_toeplitz(n, 2.0, -1.0) - sigma * np.eye(n)
+        else:
+            raise ValueError(
+                f"assembly must be 'structured' or 'dense', got {assembly!r}")
         kappa = self.analytic_condition_number(num_points=n, shift=sigma)
         gaps = stencil_eigenvalues(n) - sigma
         wave = np.sin(np.pi * _interior_grid(n))
@@ -277,5 +355,5 @@ class HelmholtzFamily(ProblemFamily):
                     + random_rhs_list(n, num_rhs - 1, as_generator(rng)))
         return solved_workloads(
             f"helmholtz-n{n}-s{sigma:.3g}", matrix, rhs_list, kappa,
-            {"num_points": n, "shift": sigma,
+            {"num_points": n, "shift": sigma, "assembly": assembly,
              "indefinite": bool((gaps < 0).any() and (gaps > 0).any())})

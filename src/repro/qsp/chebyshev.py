@@ -16,6 +16,7 @@ from numpy.polynomial import chebyshev as _cheb
 
 __all__ = [
     "evaluate_chebyshev",
+    "evaluate_chebyshev_operator",
     "chebyshev_coefficients_of_function",
     "chebyshev_nodes",
     "truncate_series",
@@ -29,6 +30,28 @@ __all__ = [
 def evaluate_chebyshev(coefficients, x) -> np.ndarray:
     """Evaluate ``Σ_k c_k T_k(x)`` (Clenshaw recurrence via numpy)."""
     return _cheb.chebval(np.asarray(x, dtype=float), np.asarray(coefficients, dtype=float))
+
+
+def evaluate_chebyshev_operator(coefficients, apply, vector) -> np.ndarray:
+    """Matrix-free Clenshaw evaluation of ``P(M) v`` with ``P = Σ_k c_k T_k``.
+
+    ``apply`` is the only access to ``M`` — one matrix-vector (or, when
+    ``vector`` is a column stack, matrix-matrix) product per Chebyshev term,
+    so the cost is ``degree × O(nnz)`` instead of the dense ``O(N³)`` SVD
+    route.  For a symmetric ``M`` with spectrum in ``[-1, 1]`` this equals
+    applying ``P`` to the eigenvalues, which is exactly the singular-value
+    transformation the ideal backend performs — see
+    :meth:`repro.core.backends.IdealPolynomialBackend`.
+    """
+    coeffs = np.asarray(coefficients, dtype=float)
+    v = np.asarray(vector, dtype=float)
+    if coeffs.shape[0] == 1:
+        return coeffs[0] * v
+    b1 = np.zeros_like(v)
+    b2 = np.zeros_like(v)
+    for k in range(coeffs.shape[0] - 1, 0, -1):
+        b1, b2 = coeffs[k] * v + 2.0 * apply(b1) - b2, b1
+    return coeffs[0] * v + apply(b1) - b2
 
 
 def chebyshev_nodes(count: int) -> np.ndarray:

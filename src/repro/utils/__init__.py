@@ -12,12 +12,15 @@ from .validation import (
     check_square,
     check_system,
     is_hermitian,
+    is_linear_operator,
     is_power_of_two,
     is_unitary,
     num_qubits_for_dimension,
+    payload_nbytes,
 )
 from .fingerprint import matrix_fingerprint
 from .io import atomic_write
+from .registry import Registry
 from .rng import as_generator, spawn_generators
 from .timing import Timer
 
@@ -30,9 +33,12 @@ __all__ = [
     "check_square",
     "check_system",
     "is_hermitian",
+    "is_linear_operator",
     "is_power_of_two",
     "is_unitary",
     "num_qubits_for_dimension",
+    "payload_nbytes",
+    "Registry",
     "as_generator",
     "spawn_generators",
     "Timer",

@@ -1,0 +1,101 @@
+"""Generic name → value registry with guard rails.
+
+Three subsystems grew the same pattern independently — the engine's scenario
+registry, the cost model's κ growth models and the problem suite's
+``PROBLEM_FAMILIES`` — each re-implementing the duplicate guard, the
+``overwrite=True`` escape hatch, unregistration and the difflib "did you
+mean" suggestions.  :class:`Registry` is that pattern once: a small,
+read-mostly mapping whose error messages keep benchmark labels honest (two
+families silently shadowing each other is how results stop meaning what
+their labels say).
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections.abc import Mapping
+
+__all__ = ["Registry"]
+
+
+class Registry(Mapping):
+    """A guarded ``name -> value`` mapping.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun used in error messages (``"scenario"``,
+        ``"kappa model"``, ``"problem family"``).
+
+    Behaviour
+    ---------
+    * :meth:`register` refuses duplicates unless ``overwrite=True``;
+    * :meth:`unregister` removes an entry and reports whether it existed;
+    * lookups (``registry[name]``) raise :class:`KeyError` with close-match
+      suggestions and the full sorted name list;
+    * the full :class:`~collections.abc.Mapping` protocol works (``in``,
+      ``len``, iteration, ``.items()``), iterating in sorted-name order.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = str(kind)
+        self._items: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, value=None, *, overwrite: bool = False):
+        """Store ``value`` under ``name``; usable directly or as a decorator.
+
+        Raises :class:`ValueError` when ``name`` is taken and ``overwrite``
+        is false.  Returns the value (decorator-friendly).
+        """
+        if value is None:
+            def decorator(fn):
+                return self.register(name, fn, overwrite=overwrite)
+
+            return decorator
+        if not overwrite and name in self._items:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; pass "
+                f"overwrite=True to replace it (or unregister {name!r} first)")
+        self._items[name] = value
+        return value
+
+    def unregister(self, name: str) -> bool:
+        """Remove ``name``; returns whether it existed."""
+        return self._items.pop(name, None) is not None
+
+    # ------------------------------------------------------------------ #
+    def names(self) -> list[str]:
+        """Sorted names of every registered entry."""
+        return sorted(self._items)
+
+    def __getitem__(self, name: str):
+        try:
+            return self._items[name]
+        except KeyError:
+            close = difflib.get_close_matches(name, self.names(), n=3,
+                                              cutoff=0.5)
+            hint = (f"; did you mean {' or '.join(repr(m) for m in close)}?"
+                    if close else "")
+            raise KeyError(
+                f"unknown {self.kind} {name!r}{hint} "
+                f"(registered: {self.names()})") from None
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, name) -> bool:
+        return name in self._items
+
+    def __eq__(self, other):
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable mapping semantics
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry(kind={self.kind!r}, names={self.names()})"

@@ -17,12 +17,36 @@ __all__ = [
     "as_vector",
     "check_square",
     "check_system",
+    "is_linear_operator",
+    "payload_nbytes",
     "is_power_of_two",
     "check_power_of_two",
     "num_qubits_for_dimension",
     "is_hermitian",
     "is_unitary",
 ]
+
+
+def is_linear_operator(obj) -> bool:
+    """True when ``obj`` is a matrix-free linear operator, not an ndarray.
+
+    Duck-typed on the :class:`repro.linalg.operators.StructuredOperator`
+    protocol (``matvec`` + ``shape``) so that :mod:`repro.utils` — which must
+    not import the rest of the package — can branch without the class.
+    """
+    return (not isinstance(obj, np.ndarray)
+            and callable(getattr(obj, "matvec", None))
+            and hasattr(obj, "shape"))
+
+
+def payload_nbytes(matrix) -> int:
+    """Resident bytes of a matrix: ``nnz_bytes()`` for structured operators,
+    ``nbytes`` for dense arrays.  The single byte-accounting rule used by the
+    compiled-solver cache, the backends and the shared-memory registry."""
+    nnz_bytes = getattr(matrix, "nnz_bytes", None)
+    if callable(nnz_bytes):
+        return int(nnz_bytes())
+    return int(np.asarray(matrix).nbytes)
 
 
 def as_matrix(a, *, dtype=None, name: str = "matrix") -> np.ndarray:
@@ -57,19 +81,28 @@ def as_vector(v, *, dtype=None, name: str = "vector") -> np.ndarray:
     return arr
 
 
-def check_square(a, *, name: str = "matrix") -> np.ndarray:
-    """Validate that ``a`` is a square 2-D array and return it as ndarray."""
+def check_square(a, *, name: str = "matrix"):
+    """Validate that ``a`` is square and return it (as ndarray when dense).
+
+    Matrix-free linear operators (see :func:`is_linear_operator`) are passed
+    through untouched after a shape check — densifying them here would defeat
+    their purpose.
+    """
+    if is_linear_operator(a):
+        if len(a.shape) != 2 or a.shape[0] != a.shape[1]:
+            raise DimensionError(f"{name} must be square, got shape {a.shape}")
+        return a
     arr = as_matrix(a, name=name)
     if arr.shape[0] != arr.shape[1]:
         raise DimensionError(f"{name} must be square, got shape {arr.shape}")
     return arr
 
 
-def check_system(a, b) -> tuple[np.ndarray, np.ndarray]:
-    """Validate a linear system ``A x = b`` and return ``(A, b)`` as arrays.
+def check_system(a, b):
+    """Validate a linear system ``A x = b`` and return ``(A, b)``.
 
-    ``A`` must be square and ``b`` must be a vector whose length matches the
-    number of rows of ``A``.
+    ``A`` must be square (dense ndarray or matrix-free operator) and ``b``
+    must be a vector whose length matches the number of rows of ``A``.
     """
     mat = check_square(a, name="A")
     rhs = as_vector(b, name="b")

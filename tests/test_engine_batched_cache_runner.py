@@ -438,6 +438,6 @@ def test_registry_custom_registration():
         results = ScenarioRunner(mode="serial").run(scenario.jobs)
         assert results[0].ok
     finally:
-        from repro.engine import registry
+        from repro.engine import unregister_scenario
 
-        registry._REGISTRY.pop("identity-test", None)
+        unregister_scenario("identity-test")
