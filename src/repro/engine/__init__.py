@@ -66,7 +66,7 @@ from .sharedmem import (
     attach_matrix,
     detach_all,
 )
-from .store import SynthesisStore, default_store_path
+from .store import SynthesisStore, TieredSynthesisStore, default_store_path
 
 __all__ = [
     "AsyncSolveEngine",
@@ -80,6 +80,7 @@ __all__ = [
     "apply_circuit_batch",
     "CompiledSolverCache",
     "SynthesisStore",
+    "TieredSynthesisStore",
     "default_store_path",
     "SharedMatrixHandle",
     "SharedMatrixRegistry",

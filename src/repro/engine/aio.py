@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.results import SingleSolveRecord
+from ..exceptions import SolveTimeoutError
+from ..utils import LatencyHistogram
 from .cache import CompiledSolverCache
 
 __all__ = ["AsyncSolveEngine"]
@@ -59,6 +61,8 @@ class _PendingGroup:
     sealed: asyncio.Event
     rhs: list = field(default_factory=list)
     futures: list = field(default_factory=list)
+    #: absolute ``loop.time()`` deadlines per request (``None`` = no deadline).
+    deadlines: list = field(default_factory=list)
 
 
 class AsyncSolveEngine:
@@ -109,11 +113,14 @@ class AsyncSolveEngine:
         self._requests = 0
         self._batches = 0
         self._largest_batch = 0
+        self._timeouts = 0
+        self._latency = LatencyHistogram()
 
     # ------------------------------------------------------------------ #
     async def solve(self, matrix, rhs, *, epsilon_l: float = 1e-2,
                     backend: str = "auto", kappa: float | None = None,
                     fingerprint: str | None = None,
+                    deadline: float | None = None,
                     **backend_options) -> SingleSolveRecord:
         """Solve ``A x = rhs`` at accuracy ``ε_l``; awaits the coalesced sweep.
 
@@ -123,10 +130,21 @@ class AsyncSolveEngine:
         :meth:`repro.core.qsvt_solver.QSVTLinearSolver.solve` for the same
         inputs.  Failures of the shared sweep (singular matrix, bad
         dimensions) propagate to every member of the group.
+
+        ``deadline`` (seconds from now) bounds how long the request may wait
+        for its sweep: if the coalesced sweep would *start* past the
+        deadline, the request fails with
+        :class:`~repro.exceptions.SolveTimeoutError` instead of joining it —
+        without delaying or poisoning the rest of its group.  A sweep that
+        has already started always runs to completion (the work is shared,
+        and abandoning it would penalise the on-time members).
         """
+        if deadline is not None and deadline < 0.0:
+            raise ValueError("deadline must be >= 0 seconds (or None)")
         key = CompiledSolverCache._key(matrix, epsilon_l, backend, kappa,
                                        backend_options, fingerprint=fingerprint)
         loop = asyncio.get_running_loop()
+        start = loop.time()
         future = loop.create_future()
         group = self._pending.get(key)
         if group is None:
@@ -146,6 +164,8 @@ class AsyncSolveEngine:
             loop.create_task(self._flush(key, group))
         group.rhs.append(np.array(rhs, dtype=float, copy=True))
         group.futures.append(future)
+        group.deadlines.append(None if deadline is None
+                               else start + float(deadline))
         self._requests += 1
         if (len(group.rhs) >= self.max_batch_size
                 and self._pending.get(key) is group):
@@ -154,7 +174,9 @@ class AsyncSolveEngine:
             # open a fresh group (and a fresh sweep) behind it.
             del self._pending[key]
             group.sealed.set()
-        return await future
+        record = await future
+        self._latency.record(loop.time() - start)
+        return record
 
     # ------------------------------------------------------------------ #
     async def _flush(self, key: tuple, group: _PendingGroup) -> None:
@@ -173,9 +195,28 @@ class AsyncSolveEngine:
             if self._pending.get(key) is group:
                 del self._pending[key]
             loop = asyncio.get_running_loop()
+            # the sweep is about to start: requests whose deadline already
+            # passed are failed now, before any solve work is spent on them,
+            # and the survivors run as a (smaller) batch.
+            now = loop.time()
+            live_rhs, live_futures = [], []
+            for rhs, future, expires in zip(group.rhs, group.futures,
+                                            group.deadlines):
+                if expires is not None and now > expires:
+                    self._timeouts += 1
+                    if not future.done():
+                        future.set_exception(SolveTimeoutError(
+                            f"deadline expired {now - expires:.4f}s before "
+                            "the coalesced sweep started",
+                            late_by=now - expires))
+                else:
+                    live_rhs.append(rhs)
+                    live_futures.append(future)
+            if not live_rhs:
+                return
             records = await loop.run_in_executor(
                 self._ensure_executor(),
-                lambda: self._solve_group(group))
+                lambda: self._solve_group(group, live_rhs))
         except BaseException as exc:  # noqa: BLE001 - fan the failure out
             for future in group.futures:
                 if not future.done():
@@ -183,17 +224,18 @@ class AsyncSolveEngine:
             return
         self._batches += 1
         self._largest_batch = max(self._largest_batch, len(records))
-        for future, record in zip(group.futures, records):
+        for future, record in zip(live_futures, records):
             if not future.done():
                 future.set_result(record)
 
-    def _solve_group(self, group: _PendingGroup) -> list[SingleSolveRecord]:
+    def _solve_group(self, group: _PendingGroup,
+                     rhs_list: list) -> list[SingleSolveRecord]:
         """Runs on the executor: one cache lookup, one batched sweep."""
         solver = self.cache.solver(
             group.matrix, epsilon_l=group.epsilon_l, backend=group.backend,
             kappa=group.kappa, fingerprint=group.fingerprint,
             **group.backend_options)
-        return solver.solve_batch(np.stack(group.rhs))
+        return solver.solve_batch(np.stack(rhs_list))
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         with self._executor_lock:
@@ -205,7 +247,9 @@ class AsyncSolveEngine:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """Coalescing counters plus the underlying cache's snapshot."""
+        """Coalescing counters, the completed-solve latency histogram
+        (p50/p90/p99 — the single source worker telemetry and the cluster
+        benchmark read percentiles from) and the cache's snapshot."""
         total = self._requests
         return {
             "requests": total,
@@ -214,6 +258,8 @@ class AsyncSolveEngine:
             "largest_batch": self._largest_batch,
             "pending_groups": len(self._pending),
             "mean_batch_size": (total / self._batches) if self._batches else 0.0,
+            "timeouts": self._timeouts,
+            "latency": self._latency.summary(),
             "cache": self.cache.stats(),
         }
 

@@ -46,7 +46,8 @@ import numpy as np
 from ..core.qsvt_solver import QSVTLinearSolver
 from ..utils import atomic_write
 
-__all__ = ["SynthesisStore", "default_store_path", "FORMAT_VERSION"]
+__all__ = ["SynthesisStore", "TieredSynthesisStore", "default_store_path",
+           "FORMAT_VERSION"]
 
 #: bump when the payload layout changes; mismatched entries are plain misses.
 FORMAT_VERSION = 1
@@ -94,6 +95,7 @@ class SynthesisStore:
         self._stores = 0
         self._corrupt = 0
         self._errors = 0
+        self._readonly = False
 
     # ------------------------------------------------------------------ #
     # keys
@@ -193,8 +195,14 @@ class SynthesisStore:
 
         Backends without payload export (the exact-inverse surrogate) and I/O
         failures both return ``False`` — persistence is an optimisation and
-        must never fail a solve.
+        must never fail a solve.  A ``PermissionError`` latches the store
+        **read-only** (reported by :meth:`stats`): a store pointed at a
+        read-only shared directory — the tiered-cache deployment where one
+        warm directory is exported to a fleet — keeps serving reads while
+        writes are skipped without paying a doomed serialisation each time.
         """
+        if self._readonly:
+            return False
         try:
             payload = solver.export_payload()
         except NotImplementedError:
@@ -208,6 +216,11 @@ class SynthesisStore:
                                           "payload": payload["meta"]}),
                      **payload["arrays"])
             atomic_write(self._entry_path(entry_key), buffer.getvalue())
+        except PermissionError:
+            with self._lock:
+                self._errors += 1
+                self._readonly = True
+            return False
         except Exception:
             with self._lock:
                 self._errors += 1
@@ -263,8 +276,115 @@ class SynthesisStore:
                 "stores": self._stores,
                 "corrupt": self._corrupt,
                 "errors": self._errors,
+                "readonly": self._readonly,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SynthesisStore(path={str(self.path)!r}, hits={self._hits}, "
                 f"misses={self._misses}, stores={self._stores})")
+
+
+class TieredSynthesisStore:
+    """Two-level persistence: a node-local store backed by a shared directory.
+
+    The serving tier's cache hierarchy is per-worker LRU → **node-local**
+    :class:`SynthesisStore` → **shared** store directory (one warm directory
+    exported to the whole fleet, possibly read-only).  This class is the
+    disk half of that hierarchy and is a drop-in for the ``store=``
+    parameter of :class:`~repro.engine.cache.CompiledSolverCache`:
+
+    * :meth:`load` tries the local store first; on a local miss it consults
+      the shared store and **promotes** a shared hit into the local store,
+      so a cold worker warm-starts from whatever any node ever compiled and
+      pays the shared-directory read once per entry;
+    * :meth:`save` writes the local store always and the shared store
+      best-effort — a read-only shared directory (``PermissionError``)
+      degrades to local-only persistence instead of crashing, exactly the
+      posture a fleet worker needs when only some nodes may publish.
+
+    Both levels accept a path or a ready :class:`SynthesisStore`; ``shared``
+    may be ``None`` (single-level, pure delegation).
+    """
+
+    def __init__(self, local: "SynthesisStore | str | os.PathLike",
+                 shared: "SynthesisStore | str | os.PathLike | None" = None
+                 ) -> None:
+        self.local = (local if isinstance(local, SynthesisStore)
+                      else SynthesisStore(local))
+        self.shared = (shared if isinstance(shared, SynthesisStore)
+                       or shared is None else SynthesisStore(shared))
+        self._lock = threading.Lock()
+        self._local_hits = 0
+        self._shared_hits = 0
+        self._promotions = 0
+        self._shared_denied = 0
+
+    #: the cache hands ``str(store.path)`` to process workers; the local
+    #: level is the per-node location that makes sense to inherit.
+    @property
+    def path(self) -> pathlib.Path:
+        return self.local.path
+
+    # ------------------------------------------------------------------ #
+    def load(self, cache_key: tuple, **backend_options) -> QSVTLinearSolver | None:
+        """Tiered lookup: local store, then shared store (with promotion)."""
+        solver = self.local.load(cache_key, **backend_options)
+        if solver is not None:
+            with self._lock:
+                self._local_hits += 1
+            return solver
+        if self.shared is None:
+            return None
+        try:
+            solver = self.shared.load(cache_key, **backend_options)
+        except PermissionError:
+            # an unreadable shared directory must degrade to a local-only
+            # store, never take the worker down (SynthesisStore.load already
+            # absorbs most OSErrors; this guards pathological mounts).
+            with self._lock:
+                self._shared_denied += 1
+            return None
+        if solver is None:
+            return None
+        with self._lock:
+            self._shared_hits += 1
+        if self.local.save(cache_key, solver):
+            with self._lock:
+                self._promotions += 1
+        return solver
+
+    def save(self, cache_key: tuple, solver: QSVTLinearSolver) -> bool:
+        """Persist locally (authoritative) and to the shared level best-effort."""
+        saved = self.local.save(cache_key, solver)
+        if self.shared is not None:
+            try:
+                self.shared.save(cache_key, solver)
+            except PermissionError:  # pragma: no cover - save() already absorbs
+                with self._lock:
+                    self._shared_denied += 1
+        return saved
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Clear the local level only (the shared level is fleet property)."""
+        return self.local.clear()
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def stats(self) -> dict:
+        """Tier counters plus both levels' own snapshots."""
+        with self._lock:
+            tiered = {
+                "local_hits": self._local_hits,
+                "shared_hits": self._shared_hits,
+                "promotions": self._promotions,
+                "shared_denied": self._shared_denied,
+            }
+        tiered["local"] = self.local.stats()
+        tiered["shared"] = None if self.shared is None else self.shared.stats()
+        return tiered
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TieredSynthesisStore(local={str(self.local.path)!r}, "
+                f"shared={None if self.shared is None else str(self.shared.path)!r})")

@@ -21,6 +21,11 @@ __all__ = [
     "BackendError",
     "StaleSynthesisError",
     "ResourceModelError",
+    "SolveTimeoutError",
+    "AdmissionError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "WorkerUnavailableError",
 ]
 
 
@@ -86,3 +91,50 @@ class StaleSynthesisError(BackendError):
 
 class ResourceModelError(ReproError, ValueError):
     """The fault-tolerant resource model was queried with invalid inputs."""
+
+
+class SolveTimeoutError(ReproError, TimeoutError):
+    """A request's deadline expired before its coalesced sweep started.
+
+    Raised by :meth:`repro.engine.aio.AsyncSolveEngine.solve` (and therefore
+    by the serving tier) for requests submitted with ``deadline=``: the
+    deadline is checked when the batched sweep is about to run, so an expired
+    request never consumes solve work — the primitive admission control and
+    load-shedding build on."""
+
+    def __init__(self, message: str, *, late_by: float | None = None):
+        super().__init__(message)
+        #: seconds past the deadline when the sweep would have started
+        #: (``None`` if unknown).
+        self.late_by = late_by
+
+
+class AdmissionError(ReproError, RuntimeError):
+    """A serving-tier request was rejected by admission control.
+
+    Every admission rejection is **retriable by design**: the request was
+    never dispatched, no partial work exists, and the client may retry after
+    :attr:`retry_after` seconds (possibly against a different tenant budget
+    or once queues drain).  Subclasses identify which control fired."""
+
+    #: admission rejections never leave partial state behind.
+    retriable = True
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        #: suggested client back-off in seconds (``None`` = pick your own).
+        self.retry_after = retry_after
+
+
+class QueueFullError(AdmissionError):
+    """The routed worker's queue depth crossed the load-shedding watermark."""
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant's token-bucket quota is exhausted."""
+
+
+class WorkerUnavailableError(AdmissionError):
+    """No live worker can serve the request (empty hash ring, or the routed
+    worker died while the request was in flight; the surviving ring will own
+    the fingerprint on retry)."""

@@ -1,0 +1,49 @@
+"""Sharded multi-worker serving tier over the solve engine.
+
+This package scales the single-process serving stack (compiled-solver
+cache → synthesis store → coalescing async engine) across worker
+*processes*, with the three classic serving-tier ingredients:
+
+* **routing** — :class:`~repro.serving.router.HashRing` places each matrix
+  fingerprint on a consistent-hash ring with virtual nodes, so the same
+  matrix always lands on the same live worker (cache heat) and a worker
+  death moves only ~1/W of the key space (churn containment);
+* **admission control** — :class:`~repro.serving.admission.AdmissionController`
+  bounds per-worker queues and enforces per-tenant token-bucket quotas,
+  shedding overload *at the front door* with explicit retriable errors
+  instead of letting latency grow unboundedly;
+* **workers** — :mod:`repro.serving.worker` processes wrap an
+  :class:`~repro.engine.aio.AsyncSolveEngine` over a tiered cache hierarchy
+  (per-worker LRU → node-local store → shared store directory), coalescing
+  same-fingerprint bursts into fused sweeps and widening the coalescing
+  window under backpressure.
+
+:class:`~repro.serving.frontend.ClusterEngine` is the in-process API
+(``submit`` / ``solve`` / ``stats``);
+:class:`~repro.serving.frontend.ServingHTTPServer` exposes it over
+stdlib HTTP/JSON.  ``benchmarks/bench_serving_cluster.py`` measures the
+tier under Zipf-distributed traffic, including a 10x overload run.
+
+Examples
+--------
+>>> from repro.serving import ClusterEngine
+>>> with ClusterEngine(num_workers=2) as cluster:
+...     record = cluster.solve(A, b, epsilon_l=1e-3)
+...     print(cluster.stats(include_workers=False)["latency"]["p99"])
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .frontend import ClusterEngine, ServingHTTPServer
+from .router import DEFAULT_VNODES, HashRing
+from .worker import WorkerConfig, worker_main
+
+__all__ = [
+    "HashRing",
+    "DEFAULT_VNODES",
+    "TokenBucket",
+    "AdmissionController",
+    "WorkerConfig",
+    "worker_main",
+    "ClusterEngine",
+    "ServingHTTPServer",
+]

@@ -1,0 +1,585 @@
+"""Cluster front end: routed, admission-controlled access to a worker fleet.
+
+:class:`ClusterEngine` is the in-process API (``submit`` / ``solve`` /
+``stats``); :class:`ServingHTTPServer` wraps it in a minimal stdlib
+HTTP/JSON surface.  One request travels::
+
+        submit(A, b)
+          │  fingerprint(A)                    (hash once, memoised by object)
+          │  HashRing.route(fingerprint) ──────→ worker_id   (sticky: cache heat)
+          │  AdmissionController.admit() ──────→ may raise QuotaExceededError /
+          │                                      QueueFullError (both retriable)
+          │  SharedMatrixRegistry.publish(A)    (one shared segment per matrix)
+          ▼
+        worker request queue ──(multiprocessing)──→ AsyncSolveEngine
+          ▲                                        coalesced fused sweep
+          │                                        tiered store warm-start
+        response queue ←─ result / typed error ←───┘
+
+Guarantees the tests pin down:
+
+* **determinism** — a fingerprint routes to the same worker for as long as
+  that worker lives, so its compiled-solver cache, node-local store and
+  shared-memory attachments stay hot; cluster answers equal single-process
+  answers to 1e-12;
+* **graceful degradation** — overload never queues unboundedly: requests
+  are shed *at the front door* with explicit retriable errors, admitted
+  requests keep bounded latency, and no exception type other than the
+  documented rejections escapes the API;
+* **churn containment** — a dead worker takes only its own arc with it:
+  its in-flight requests fail retriably
+  (:class:`~repro.exceptions.WorkerUnavailableError`), the ring drops its
+  virtual nodes, and every other fingerprint keeps its warm home.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import queue as queue_module
+import threading
+import time
+from concurrent.futures import Future, TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from .. import exceptions as exceptions_module
+from ..core.results import SingleSolveRecord
+from ..engine.runner import _fork_context
+from ..engine.sharedmem import SharedMatrixRegistry
+from ..exceptions import (
+    AdmissionError,
+    ReproError,
+    SolveTimeoutError,
+    WorkerUnavailableError,
+)
+from ..utils import LatencyHistogram, matrix_fingerprint
+from .admission import AdmissionController
+from .router import DEFAULT_VNODES, HashRing
+from .worker import (
+    MSG_SHUTDOWN,
+    MSG_SOLVE,
+    MSG_STATS,
+    WorkerConfig,
+    worker_main,
+)
+
+__all__ = ["ClusterEngine", "ServingHTTPServer"]
+
+
+class ClusterEngine:
+    """Sharded multi-process solve service behind one ``submit``/``solve`` API.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes to spawn (each owns a stable arc of fingerprints).
+    vnodes:
+        Virtual nodes per worker on the hash ring.
+    queue_limit:
+        Per-worker in-flight bound; beyond it requests shed with
+        :class:`~repro.exceptions.QueueFullError`.  ``None`` disables.
+    tenant_rate / tenant_burst:
+        Per-tenant token-bucket quota (tokens/second, bucket size);
+        ``tenant_rate=None`` disables quotas.
+    local_store_dir / shared_store_dir:
+        Disk levels of the tiered cache hierarchy.  Each worker gets its own
+        subdirectory of ``local_store_dir`` (node-local level); the shared
+        directory is common to the fleet and may be read-only.
+    use_shared_memory:
+        Publish each distinct matrix into one shared-memory segment and hand
+        workers a fingerprint handle (default); off = pickle matrices per
+        request.
+    default_deadline:
+        Deadline (seconds) applied to requests that do not pass their own.
+    max_batch_size / coalesce_window / backpressure_watermark /
+    max_coalesce_window / cache_maxsize / threads_per_worker:
+        Forwarded into each :class:`~repro.serving.worker.WorkerConfig`.
+
+    Use as a context manager (or call :meth:`close`) — worker processes and
+    shared-memory segments are released deterministically.
+    """
+
+    def __init__(self, *, num_workers: int = 2, vnodes: int = DEFAULT_VNODES,
+                 queue_limit: int | None = 64,
+                 tenant_rate: float | None = None,
+                 tenant_burst: float | None = None,
+                 local_store_dir=None, shared_store_dir=None,
+                 use_shared_memory: bool = True,
+                 default_deadline: float | None = None,
+                 max_batch_size: int = 64, coalesce_window: float = 0.0,
+                 backpressure_watermark: int = 8,
+                 max_coalesce_window: float = 0.005,
+                 cache_maxsize: int = 32,
+                 threads_per_worker: int | None = 1) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.default_deadline = default_deadline
+        self._ring = HashRing(vnodes=vnodes)
+        self._admission = AdmissionController(queue_limit=queue_limit,
+                                              tenant_rate=tenant_rate,
+                                              tenant_burst=tenant_burst)
+        self._latency = LatencyHistogram()
+        self._registry = SharedMatrixRegistry() if use_shared_memory else None
+        if self._registry is not None:
+            # Start the resource tracker *before* forking the workers: a fork
+            # child that first touches shared memory with no inherited tracker
+            # fd spawns its own tracker, which then never observes the
+            # parent's unlink and warns about "leaked" segments at shutdown.
+            from multiprocessing import resource_tracker
+            resource_tracker.ensure_running()
+        context = _fork_context()
+        if context is None:  # pragma: no cover - non-POSIX platforms
+            import multiprocessing
+            context = multiprocessing.get_context()
+        self._responses = context.Queue()
+        self._lock = threading.Lock()
+        self._inflight: dict[int, tuple[Future, str, float]] = {}
+        self._depth: dict[str, int] = {}
+        self._request_ids = itertools.count()
+        self._matrix_memo: dict[int, tuple[str, object]] = {}
+        self._retired: set[str] = set()
+        self._worker_deaths = 0
+        self._submitted = 0
+        self._completed = 0
+        self._closing = threading.Event()
+        self._workers: dict[str, dict] = {}
+        for index in range(num_workers):
+            worker_id = f"worker-{index}"
+            config = WorkerConfig(
+                worker_id=worker_id,
+                local_store_dir=(None if local_store_dir is None
+                                 else str(local_store_dir) + f"/{worker_id}"),
+                shared_store_dir=(None if shared_store_dir is None
+                                  else str(shared_store_dir)),
+                cache_maxsize=cache_maxsize,
+                max_batch_size=max_batch_size,
+                coalesce_window=coalesce_window,
+                backpressure_watermark=backpressure_watermark,
+                max_coalesce_window=max_coalesce_window,
+                threads=threads_per_worker)
+            requests = context.Queue()
+            process = context.Process(
+                target=worker_main, args=(config, requests, self._responses),
+                name=f"repro-serving-{worker_id}", daemon=True)
+            self._workers[worker_id] = {"config": config, "requests": requests,
+                                        "process": process, "final_stats": None}
+            self._depth[worker_id] = 0
+        for worker in self._workers.values():
+            worker["process"].start()
+        for worker_id in self._workers:
+            self._ring.add_worker(worker_id)
+        self._collector = threading.Thread(target=self._collect,
+                                           name="repro-cluster-rx", daemon=True)
+        self._collector.start()
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+    def submit(self, matrix, rhs, *, epsilon_l: float = 1e-2,
+               backend: str = "auto", kappa: float | None = None,
+               tenant: str | None = None, deadline: float | None = None,
+               **backend_options) -> Future:
+        """Route + admit + dispatch one request; returns a ``Future``.
+
+        Raises the admission rejections synchronously (the request was never
+        dispatched — safe to retry); solve failures, worker deaths and
+        deadline expiries surface through the future.  The returned future
+        carries the routed worker id as ``future.worker_id``.
+        """
+        if self._closing.is_set():
+            raise RuntimeError("ClusterEngine is closed")
+        fingerprint, payload = self._prepare_matrix(matrix)
+        worker_id = self._ring.route(fingerprint)
+        future: Future = Future()
+        future.worker_id = worker_id
+        request_id = next(self._request_ids)
+        with self._lock:
+            # admit under the lock so depth-check and increment are atomic
+            # (two racing submits must not both squeeze under the watermark).
+            self._admission.admit(worker_id, self._depth.get(worker_id, 0),
+                                  tenant=tenant)
+            self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
+            self._inflight[request_id] = (future, worker_id, time.monotonic())
+            self._submitted += 1
+        if deadline is None:
+            deadline = self.default_deadline
+        params = {
+            "epsilon_l": float(epsilon_l),
+            "backend": backend,
+            "kappa": kappa,
+            "backend_options": backend_options,
+            "deadline_at": (None if deadline is None
+                            else time.monotonic() + float(deadline)),
+        }
+        message = (MSG_SOLVE, request_id, payload,
+                   np.array(rhs, dtype=float, copy=True), params)
+        try:
+            self._workers[worker_id]["requests"].put(message)
+        except BaseException:
+            self._settle(request_id, None, None)
+            raise
+        return future
+
+    def solve(self, matrix, rhs, **kwargs) -> SingleSolveRecord:
+        """Blocking convenience wrapper: ``submit(...).result()``."""
+        return self.submit(matrix, rhs, **kwargs).result()
+
+    def _prepare_matrix(self, matrix) -> tuple[str, object]:
+        """(fingerprint, wire payload) for a matrix, memoised by object.
+
+        With shared memory on, the payload is a
+        :class:`~repro.engine.sharedmem.SharedMatrixHandle` — published once
+        per distinct content, attached zero-copy by the owning worker.  The
+        memo keys on ``id(matrix)`` (same precedent as the runner's publish
+        memo): re-presenting one array object costs neither a re-hash nor a
+        re-publish.
+        """
+        memo = self._matrix_memo.get(id(matrix))
+        if memo is not None:
+            return memo
+        if self._registry is not None:
+            handle = self._registry.publish(matrix)
+            entry = (handle.fingerprint, handle)
+        else:
+            entry = (matrix_fingerprint(matrix), matrix)
+        self._matrix_memo[id(matrix)] = entry
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # response path
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> None:
+        """Collector thread: settle futures, notice dead workers."""
+        while True:
+            try:
+                response = self._responses.get(timeout=0.05)
+            except queue_module.Empty:
+                if self._closing.is_set() and not self._inflight:
+                    return
+                self._reap_dead_workers()
+                continue
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                return
+            worker_id, kind, request_id, *payload = response
+            if kind == "result":
+                self._settle(request_id,
+                             SingleSolveRecord(**payload[0]), None)
+            elif kind == "error":
+                name, message = payload
+                self._settle(request_id, None,
+                             _rebuild_exception(name, message))
+            elif kind == "stats":
+                self._settle(request_id, payload[0], None, record_latency=False)
+            elif kind == "shutdown":
+                worker = self._workers.get(worker_id)
+                if worker is not None:
+                    worker["final_stats"] = payload[0]
+
+    def _settle(self, request_id, result, error, *,
+                record_latency: bool = True) -> None:
+        """Resolve one in-flight future and release its queue slot."""
+        with self._lock:
+            entry = self._inflight.pop(request_id, None)
+            if entry is None:
+                return
+            future, worker_id, started = entry
+            self._depth[worker_id] = max(0, self._depth.get(worker_id, 1) - 1)
+            if error is None:
+                self._completed += 1
+        if error is not None:
+            future.set_exception(error)
+        else:
+            if record_latency and isinstance(result, SingleSolveRecord):
+                self._latency.record(time.monotonic() - started)
+            future.set_result(result)
+
+    def _reap_dead_workers(self) -> None:
+        """Retire crashed workers: shrink the ring, fail their in-flight.
+
+        Consistent hashing makes this the *only* re-sharding step needed —
+        the dead worker's arcs fall to its ring successors, every other
+        fingerprint keeps its warm owner.
+        """
+        if self._closing.is_set():
+            return
+        for worker_id, worker in self._workers.items():
+            if worker_id in self._retired or worker["process"].is_alive():
+                continue
+            self._retired.add(worker_id)
+            self._worker_deaths += 1
+            self._ring.remove_worker(worker_id)
+            with self._lock:
+                orphaned = [request_id for request_id, (_, owner, _)
+                            in self._inflight.items() if owner == worker_id]
+            for request_id in orphaned:
+                self._settle(request_id, None, WorkerUnavailableError(
+                    f"worker {worker_id!r} died with the request in flight; "
+                    "its fingerprints now route to the surviving workers"))
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    def worker_stats(self, timeout: float = 5.0) -> dict:
+        """Per-worker telemetry snapshots (cache, coalescing, queue depth)."""
+        pending: dict[str, Future] = {}
+        for worker_id, worker in self._workers.items():
+            if worker_id in self._retired:
+                continue
+            future: Future = Future()
+            request_id = next(self._request_ids)
+            with self._lock:
+                self._inflight[request_id] = (future, worker_id,
+                                              time.monotonic())
+                self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
+            worker["requests"].put((MSG_STATS, request_id))
+            pending[worker_id] = future
+        snapshots = {}
+        for worker_id, future in pending.items():
+            try:
+                snapshots[worker_id] = future.result(timeout=timeout)
+            except (FutureTimeoutError, Exception) as exc:  # noqa: BLE001
+                snapshots[worker_id] = {"error": f"{type(exc).__name__}: {exc}"}
+        for worker_id in self._retired:
+            final = self._workers[worker_id]["final_stats"]
+            snapshots[worker_id] = {"retired": True, "final": final}
+        return snapshots
+
+    def stats(self, *, include_workers: bool = True) -> dict:
+        """Cluster snapshot: ring, admission, latency, depths, workers."""
+        with self._lock:
+            depths = dict(self._depth)
+            submitted = self._submitted
+            completed = self._completed
+            inflight = len(self._inflight)
+        stats = {
+            "workers_alive": len(self._ring),
+            "worker_deaths": self._worker_deaths,
+            "submitted": submitted,
+            "completed": completed,
+            "inflight": inflight,
+            "queue_depths": depths,
+            "ring": self._ring.stats(),
+            "admission": self._admission.stats(),
+            "latency": self._latency.summary(),
+            "shared_memory": (None if self._registry is None
+                              else self._registry.stats()),
+        }
+        if include_workers:
+            stats["per_worker"] = self.worker_stats()
+        return stats
+
+    @property
+    def workers_alive(self) -> list[str]:
+        """Ids of the workers currently on the ring."""
+        return self._ring.workers
+
+    def route(self, matrix) -> str:
+        """Which live worker owns this matrix's fingerprint (no dispatch)."""
+        fingerprint, _ = self._prepare_matrix(matrix)
+        return self._ring.route(fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain, stop the workers and release every shared resource."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        for worker_id, worker in self._workers.items():
+            if worker_id not in self._retired:
+                try:
+                    worker["requests"].put((MSG_SHUTDOWN,))
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        deadline = time.monotonic() + timeout
+        for worker in self._workers.values():
+            worker["process"].join(max(0.1, deadline - time.monotonic()))
+            if worker["process"].is_alive():
+                worker["process"].terminate()
+                worker["process"].join(1.0)
+        # fail whatever is still unresolved, then let the collector exit.
+        with self._lock:
+            orphaned = list(self._inflight)
+        for request_id in orphaned:
+            self._settle(request_id, None,
+                         WorkerUnavailableError("cluster engine closed"))
+        self._collector.join(timeout=2.0)
+        if self._registry is not None:
+            self._registry.close()
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ClusterEngine(workers={len(self._ring)}, "
+                f"submitted={self._submitted}, deaths={self._worker_deaths})")
+
+
+def _rebuild_exception(name: str, message: str) -> BaseException:
+    """Re-raise a worker-side failure as its own exception type when known.
+
+    Only types defined in :mod:`repro.exceptions` cross the boundary as
+    themselves (their constructors accept a plain message); anything else —
+    numpy errors, bugs — becomes a ``RuntimeError`` tagged with the original
+    type name, preserving per-request fault isolation without trusting
+    arbitrary constructors.
+    """
+    exc_type = getattr(exceptions_module, name, None)
+    if (isinstance(exc_type, type) and issubclass(exc_type, ReproError)):
+        try:
+            return exc_type(message)
+        except TypeError:  # pragma: no cover - exotic constructor signature
+            pass
+    return RuntimeError(f"{name}: {message}")
+
+
+# ---------------------------------------------------------------------- #
+# HTTP front end
+# ---------------------------------------------------------------------- #
+def _jsonable(value):
+    """Recursively convert numpy containers/scalars to JSON-safe values."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class ServingHTTPServer:
+    """Minimal stdlib HTTP/JSON surface over a :class:`ClusterEngine`.
+
+    Endpoints::
+
+        POST /solve    {"matrix": [[...]], "rhs": [...],
+                        "epsilon_l"?, "backend"?, "kappa"?,
+                        "tenant"?, "deadline"?}
+                       → 200 {"x": [...], "scaled_residual": ..., ...}
+                       → 429 admission rejection (Retry-After set when known)
+                       → 504 deadline expired
+                       → 400 solve-level failure (singular matrix, ...)
+        GET  /stats    → 200 cluster stats snapshot
+        GET  /healthz  → 200 {"ok": true, "workers_alive": W}
+
+    Rejections are **bodies, not exceptions**: every response carries
+    ``{"error", "message", "retriable"}`` so clients can retry on
+    ``retriable: true`` without parsing prose.  Bind to port 0 to let the
+    OS pick (see :attr:`address`); the server runs on daemon threads and
+    stops with :meth:`close`.
+    """
+
+    def __init__(self, engine: ClusterEngine, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.engine = engine
+        handler = _make_handler(engine)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-serving-http", daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (port 0 resolves here)."""
+        return self._server.server_address[:2]
+
+    def close(self) -> None:
+        """Stop accepting requests and join the accept loop."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ServingHTTPServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _make_handler(engine: ClusterEngine):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args):  # silence per-request stderr noise
+            pass
+
+        def _reply(self, status: int, body: dict,
+                   headers: dict | None = None) -> None:
+            data = json.dumps(_jsonable(body)).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self):
+            if self.path == "/healthz":
+                self._reply(200, {"ok": True,
+                                  "workers_alive": len(engine.workers_alive)})
+            elif self.path == "/stats":
+                self._reply(200, engine.stats())
+            else:
+                self._reply(404, {"error": "NotFound", "message": self.path,
+                                  "retriable": False})
+
+        def do_POST(self):
+            if self.path != "/solve":
+                self._reply(404, {"error": "NotFound", "message": self.path,
+                                  "retriable": False})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                request = json.loads(self.rfile.read(length) or b"{}")
+                matrix = np.array(request["matrix"], dtype=float)
+                rhs = np.array(request["rhs"], dtype=float)
+            except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+                self._reply(400, {"error": type(exc).__name__,
+                                  "message": str(exc), "retriable": False})
+                return
+            kwargs = {key: request[key] for key
+                      in ("epsilon_l", "backend", "kappa", "tenant", "deadline")
+                      if request.get(key) is not None}
+            try:
+                future = engine.submit(matrix, rhs, **kwargs)
+                record = future.result()
+            except AdmissionError as exc:
+                headers = ({} if exc.retry_after is None
+                           else {"Retry-After": f"{exc.retry_after:.3f}"})
+                self._reply(429, {"error": type(exc).__name__,
+                                  "message": str(exc), "retriable": True},
+                            headers)
+                return
+            except SolveTimeoutError as exc:
+                self._reply(504, {"error": type(exc).__name__,
+                                  "message": str(exc), "retriable": True})
+                return
+            except ReproError as exc:
+                self._reply(400, {"error": type(exc).__name__,
+                                  "message": str(exc), "retriable": False})
+                return
+            except Exception as exc:  # noqa: BLE001 - no 500-by-traceback
+                self._reply(500, {"error": type(exc).__name__,
+                                  "message": str(exc), "retriable": False})
+                return
+            self._reply(200, {
+                "x": record.x,
+                "scaled_residual": record.scaled_residual,
+                "scale": record.scale,
+                "block_encoding_calls": record.block_encoding_calls,
+                "polynomial_degree": record.polynomial_degree,
+                "wall_time": record.wall_time,
+                "worker": future.worker_id,
+            })
+
+    return Handler

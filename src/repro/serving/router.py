@@ -1,0 +1,170 @@
+"""Consistent-hash routing of matrix fingerprints onto workers.
+
+The serving tier's whole performance story is cache heat: a worker that
+repeatedly sees the *same* matrices answers from its compiled-solver LRU,
+its node-local :class:`~repro.engine.store.SynthesisStore` and its attached
+shared-memory segments, paying synthesis exactly once per matrix.  Routing
+therefore must be **deterministic** (the same fingerprint always lands on
+the same live worker, across processes and restarts) and **stable under
+churn** (when a worker dies, only the fingerprints it owned move — the
+survivors' caches stay hot).  Plain modulo hashing fails the second
+property catastrophically: removing one of ``W`` workers remaps ``(W-1)/W``
+of all keys.
+
+:class:`HashRing` is the classic consistent-hashing construction: each
+worker is hashed onto a ring at ``vnodes`` pseudo-random points (virtual
+nodes, smoothing the arc sizes), a fingerprint routes to the first worker
+point clockwise from its own hash, and removing a worker hands exactly its
+own arcs to the clockwise successors.  Hashes are SHA-256-derived — *never*
+Python's randomised ``hash()`` — so placement agrees across interpreter
+runs, which is what lets a restarted front end route onto a warm fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+
+from ..exceptions import WorkerUnavailableError
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: virtual nodes per worker; 64 keeps the max/min arc ratio within ~2x for
+#: small fleets while add/remove stay sub-millisecond.
+DEFAULT_VNODES = 64
+
+
+def _hash(token: str) -> int:
+    """Stable 64-bit ring position of a string token (SHA-256 prefix)."""
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Deterministic fingerprint → worker placement with minimal churn.
+
+    Parameters
+    ----------
+    workers:
+        Initial worker identifiers (any strings; the serving tier uses
+        ``"worker-0"``, ``"worker-1"``, ...).
+    vnodes:
+        Virtual nodes per worker.  More vnodes = smoother load split and
+        finer-grained movement on removal, at ``O(W * vnodes)`` ring size.
+
+    Thread-safe; ``route`` is ``O(log(W * vnodes))``.
+
+    Examples
+    --------
+    >>> ring = HashRing(["worker-0", "worker-1", "worker-2"])
+    >>> owner = ring.route(fingerprint)
+    >>> ring.remove_worker(owner)        # only owner's keys move
+    True
+    >>> ring.route(fingerprint) in ring.workers
+    True
+    """
+
+    def __init__(self, workers=(), *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._lock = threading.Lock()
+        #: sorted ring positions and the worker owning each position
+        #: (parallel lists so ``bisect`` works on the positions directly).
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._workers: set[str] = set()
+        for worker in workers:
+            self.add_worker(worker)
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def add_worker(self, worker_id: str) -> None:
+        """Insert a worker's virtual nodes; duplicate ids are an error."""
+        worker_id = str(worker_id)
+        with self._lock:
+            if worker_id in self._workers:
+                raise ValueError(f"worker {worker_id!r} is already on the ring")
+            self._workers.add(worker_id)
+            for index in range(self.vnodes):
+                point = _hash(f"{worker_id}#{index}")
+                at = bisect.bisect_left(self._points, point)
+                self._points.insert(at, point)
+                self._owners.insert(at, worker_id)
+
+    def remove_worker(self, worker_id: str) -> bool:
+        """Drop a worker's arcs (they fall to the clockwise successors).
+
+        Returns whether the worker was on the ring — removal of an unknown
+        id is a no-op so failure-detection paths can be unconditional.
+        """
+        worker_id = str(worker_id)
+        with self._lock:
+            if worker_id not in self._workers:
+                return False
+            self._workers.discard(worker_id)
+            keep = [(point, owner) for point, owner
+                    in zip(self._points, self._owners) if owner != worker_id]
+            self._points = [point for point, _ in keep]
+            self._owners = [owner for _, owner in keep]
+            return True
+
+    @property
+    def workers(self) -> list[str]:
+        """Live worker ids, sorted."""
+        with self._lock:
+            return sorted(self._workers)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def __contains__(self, worker_id: str) -> bool:
+        with self._lock:
+            return str(worker_id) in self._workers
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+    def route(self, fingerprint: str) -> str:
+        """The worker owning ``fingerprint`` (first ring point clockwise)."""
+        with self._lock:
+            if not self._points:
+                raise WorkerUnavailableError(
+                    "hash ring is empty: no live worker can own the request")
+            at = bisect.bisect_right(self._points, _hash(str(fingerprint)))
+            return self._owners[at % len(self._owners)]
+
+    def arc_shares(self) -> dict[str, float]:
+        """Fraction of the key space each worker owns (sums to 1.0).
+
+        The exact expected load split under uniformly distributed
+        fingerprints — the telemetry hook for spotting imbalanced rings
+        (too few vnodes, pathological ids).
+        """
+        with self._lock:
+            if not self._points:
+                return {}
+            shares = dict.fromkeys(self._workers, 0.0)
+            span = float(2 ** 64)
+            for index, point in enumerate(self._points):
+                previous = self._points[index - 1] if index else (
+                    self._points[-1] - 2 ** 64)
+                shares[self._owners[index]] += (point - previous) / span
+            return shares
+
+    def stats(self) -> dict:
+        """Snapshot: membership, vnodes and the arc-share split."""
+        shares = self.arc_shares()
+        return {
+            "workers": self.workers,
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+            "arc_shares": shares,
+            "max_arc_share": max(shares.values()) if shares else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HashRing(workers={len(self._workers)}, "
+                f"vnodes={self.vnodes})")

@@ -1,0 +1,237 @@
+"""Serving-tier worker: one process, one hot shard of the fingerprint space.
+
+A worker owns the arc of matrix fingerprints the
+:class:`~repro.serving.router.HashRing` assigns it, and keeps that arc
+*hot* by wrapping the whole single-process serving stack from PRs 1–5:
+
+* a :class:`~repro.engine.cache.CompiledSolverCache` (per-worker LRU) over a
+  :class:`~repro.engine.store.TieredSynthesisStore` (node-local directory →
+  shared fleet directory), so a cold worker warm-starts from disk instead of
+  re-synthesising;
+* a :class:`~repro.engine.aio.AsyncSolveEngine`, so same-fingerprint
+  requests arriving in a burst are answered by one fused ``solve_batch``
+  sweep — the event loop drains the request pipe greedily, and everything
+  drained in one gulp coalesces;
+* **backpressure**: when the drained burst exceeds ``backpressure_watermark``
+  the worker widens the engine's coalescing window to
+  ``max_coalesce_window``, trading a little latency for bigger sweeps —
+  exactly the lever that keeps throughput up while the admission layer
+  sheds the excess.
+
+Transport is deliberately boring: stdlib :mod:`multiprocessing` queues
+carrying picklable tuples (see :data:`MessageKinds` below).  Matrices arrive
+either inline (small/one-shot) or as
+:class:`~repro.engine.sharedmem.SharedMatrixHandle` references that the
+worker attaches zero-copy — the parent publishes each distinct matrix once,
+and the handle's publish-time fingerprint doubles as the cache key, so
+workers never re-hash bytes.
+
+Per-request failures are *answers*, never crashes: every exception inside a
+request is serialised back as an ``("error", ...)`` response carrying the
+exception type name, which the front end re-raises as the matching
+:mod:`repro.exceptions` class.  The worker loop itself only exits on the
+explicit shutdown message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import queue as queue_module
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..engine.aio import AsyncSolveEngine
+from ..engine.cache import CompiledSolverCache
+from ..engine.runner import _limit_worker_threads
+from ..engine.sharedmem import SharedMatrixHandle, attach_matrix
+from ..engine.store import SynthesisStore, TieredSynthesisStore
+from ..exceptions import SolveTimeoutError
+
+__all__ = ["WorkerConfig", "worker_main",
+           "MSG_SOLVE", "MSG_STATS", "MSG_SHUTDOWN"]
+
+#: request-message kinds (first tuple element) a worker understands.
+MSG_SOLVE = "solve"
+MSG_STATS = "stats"
+MSG_SHUTDOWN = "shutdown"
+
+#: fields of a :class:`~repro.core.results.SingleSolveRecord` shipped back
+#: in a result response (the front end rebuilds the record from them).
+RECORD_FIELDS = ("x", "direction", "scale", "scaled_residual",
+                 "block_encoding_calls", "polynomial_degree",
+                 "success_probability", "shots", "wall_time")
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Picklable construction recipe for one worker process.
+
+    Attributes
+    ----------
+    worker_id:
+        Ring identity (also stamped into every response).
+    local_store_dir / shared_store_dir:
+        The disk levels of the tiered cache hierarchy.  ``None`` for both
+        disables persistence; a shared dir alone still warm-starts reads.
+    cache_maxsize:
+        Per-worker compiled-solver LRU entries.
+    max_batch_size / coalesce_window / max_concurrency:
+        Forwarded to the worker's :class:`~repro.engine.aio.AsyncSolveEngine`.
+    backpressure_watermark / max_coalesce_window:
+        When one pipe drain yields more than ``backpressure_watermark``
+        requests, the coalescing window widens to ``max_coalesce_window``
+        (and narrows back once the burst subsides).
+    threads:
+        BLAS/OpenMP thread cap for the worker process (``None`` = leave
+        library defaults).
+    """
+
+    worker_id: str
+    local_store_dir: str | None = None
+    shared_store_dir: str | None = None
+    cache_maxsize: int = 32
+    max_batch_size: int = 64
+    coalesce_window: float = 0.0
+    max_concurrency: int = 2
+    backpressure_watermark: int = 8
+    max_coalesce_window: float = 0.005
+    threads: int | None = 1
+
+    def build_store(self):
+        """The tiered store this config describes (``None`` = no persistence)."""
+        if self.local_store_dir is None and self.shared_store_dir is None:
+            return None
+        if self.local_store_dir is None:
+            # read-mostly deployment: the shared directory is still worth
+            # consulting, with a node-local level living under it in spirit
+            # only — single-level store, no promotion target.
+            return SynthesisStore(self.shared_store_dir)
+        return TieredSynthesisStore(self.local_store_dir,
+                                    self.shared_store_dir)
+
+
+def worker_main(config: WorkerConfig, requests, responses) -> None:
+    """Process entry point: serve ``requests`` until the shutdown message.
+
+    ``requests`` / ``responses`` are :mod:`multiprocessing` queues; every
+    response tuple starts with ``(worker_id, kind, request_id, ...)``.
+    """
+    _limit_worker_threads(config.threads)
+    cache = CompiledSolverCache(maxsize=config.cache_maxsize,
+                                store=config.build_store())
+    asyncio.run(_serve(config, cache, requests, responses))
+
+
+async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
+                 requests, responses) -> None:
+    engine = AsyncSolveEngine(cache=cache,
+                              max_batch_size=config.max_batch_size,
+                              coalesce_window=config.coalesce_window,
+                              max_concurrency=config.max_concurrency)
+    loop = asyncio.get_running_loop()
+    reader = ThreadPoolExecutor(max_workers=1,
+                                thread_name_prefix=f"{config.worker_id}-rx")
+    pending: set[asyncio.Task] = set()
+    served = 0
+    widenings = 0
+    peak_burst = 0
+
+    def respond(kind: str, request_id, *payload) -> None:
+        responses.put((config.worker_id, kind, request_id, *payload))
+
+    async def handle_solve(message) -> None:
+        nonlocal served
+        _, request_id, matrix, rhs, params = message
+        try:
+            fingerprint = None
+            if isinstance(matrix, SharedMatrixHandle):
+                fingerprint = matrix.fingerprint
+                matrix = attach_matrix(matrix)
+            deadline_at = params.get("deadline_at")
+            remaining = None
+            if deadline_at is not None:
+                # deadlines are absolute CLOCK_MONOTONIC stamps taken in the
+                # front end (system-wide on Linux), so time spent queued
+                # between the processes counts against the budget.
+                remaining = float(deadline_at) - time.monotonic()
+                if remaining <= 0.0:
+                    raise SolveTimeoutError(
+                        f"deadline expired {-remaining:.4f}s before the "
+                        "worker dequeued the request", late_by=-remaining)
+            record = await engine.solve(
+                matrix, rhs,
+                epsilon_l=params.get("epsilon_l", 1e-2),
+                backend=params.get("backend", "auto"),
+                kappa=params.get("kappa"),
+                fingerprint=fingerprint,
+                deadline=remaining,
+                **params.get("backend_options", {}))
+            served += 1
+            respond("result", request_id,
+                    {field: getattr(record, field) for field in RECORD_FIELDS})
+        except BaseException as exc:  # noqa: BLE001 - answers, not crashes
+            respond("error", request_id, type(exc).__name__, str(exc))
+
+    def stats_snapshot() -> dict:
+        stats = engine.stats()
+        stats.update({
+            "worker_id": config.worker_id,
+            "pid": os.getpid(),
+            "served": served,
+            "queue_depth": _queue_depth(requests) + len(pending),
+            "backpressure_widenings": widenings,
+            "peak_burst": peak_burst,
+            "coalesce_window": engine.coalesce_window,
+        })
+        return stats
+
+    try:
+        shutting_down = False
+        while not shutting_down:
+            message = await loop.run_in_executor(reader, requests.get)
+            burst = [message]
+            # greedy drain: everything already queued joins this event-loop
+            # turn, which is exactly what lets the engine coalesce it into
+            # few sweeps even with a zero-width window.
+            while True:
+                try:
+                    burst.append(requests.get_nowait())
+                except queue_module.Empty:
+                    break
+            solves = sum(1 for m in burst if m[0] == MSG_SOLVE)
+            peak_burst = max(peak_burst, solves)
+            if solves > config.backpressure_watermark:
+                if engine.coalesce_window != config.max_coalesce_window:
+                    widenings += 1
+                engine.coalesce_window = config.max_coalesce_window
+            else:
+                engine.coalesce_window = config.coalesce_window
+            for message in burst:
+                kind = message[0]
+                if kind == MSG_SHUTDOWN:
+                    shutting_down = True
+                elif kind == MSG_STATS:
+                    respond("stats", message[1], stats_snapshot())
+                elif kind == MSG_SOLVE:
+                    task = loop.create_task(handle_solve(message))
+                    pending.add(task)
+                    task.add_done_callback(pending.discard)
+                else:
+                    respond("error", None, "ValueError",
+                            f"unknown message kind {kind!r}")
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        respond("shutdown", None, stats_snapshot())
+    finally:
+        engine.close()
+        reader.shutdown(wait=False)
+
+
+def _queue_depth(mp_queue) -> int:
+    """Best-effort queue depth (``qsize`` is unimplemented on some platforms)."""
+    try:
+        return int(mp_queue.qsize())
+    except (NotImplementedError, OSError):  # pragma: no cover - macOS
+        return 0

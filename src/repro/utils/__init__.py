@@ -22,7 +22,7 @@ from .fingerprint import matrix_fingerprint
 from .io import atomic_write
 from .registry import Registry
 from .rng import as_generator, spawn_generators
-from .timing import Timer
+from .timing import LatencyHistogram, Timer
 
 __all__ = [
     "matrix_fingerprint",
@@ -42,4 +42,5 @@ __all__ = [
     "as_generator",
     "spawn_generators",
     "Timer",
+    "LatencyHistogram",
 ]

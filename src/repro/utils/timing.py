@@ -1,11 +1,23 @@
-"""Lightweight wall-clock timing helper used by examples and benchmarks."""
+"""Wall-clock timing helpers: the :class:`Timer` context manager and the
+:class:`LatencyHistogram` percentile tracker shared by the serving tier.
+
+Every layer that reports request latencies — the coalescing
+:class:`~repro.engine.aio.AsyncSolveEngine`, the serving-tier workers, the
+cluster benchmark — records into a :class:`LatencyHistogram` and reads
+p50/p90/p99 from its :meth:`~LatencyHistogram.summary`, so percentiles are
+computed in exactly one place instead of being re-derived per consumer.
+"""
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["Timer"]
+import numpy as np
+
+__all__ = ["Timer", "LatencyHistogram"]
 
 
 @dataclass
@@ -35,3 +47,81 @@ class Timer:
         """Reset the start time (useful when reusing one instance in a loop)."""
         self._start = time.perf_counter()
         self.elapsed = 0.0
+
+
+class LatencyHistogram:
+    """Thread-safe duration tracker with percentile summaries.
+
+    Samples are kept in a bounded sliding window (the most recent
+    ``window`` observations) so a long-running service reports *current*
+    tail latency rather than an all-of-history average, while the running
+    ``count`` / ``total`` cover everything ever recorded.  Memory is
+    ``O(window)`` regardless of traffic volume.
+
+    Examples
+    --------
+    >>> histogram = LatencyHistogram()
+    >>> for ms in (1, 2, 3, 4, 100):
+    ...     histogram.record(ms / 1000.0)
+    >>> histogram.summary()["count"]
+    5
+    >>> histogram.percentile(50) <= histogram.percentile(99)
+    True
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._samples: deque[float] = deque(maxlen=int(window))
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observed duration (in seconds)."""
+        value = float(seconds)
+        with self._lock:
+            self._samples.append(value)
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) over the sample window; 0.0 empty."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            samples = np.fromiter(self._samples, dtype=float)
+        return float(np.percentile(samples, q))
+
+    @property
+    def count(self) -> int:
+        """Observations recorded over the histogram's lifetime."""
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict:
+        """One-stop snapshot: count, mean, p50/p90/p99, max (seconds).
+
+        ``p50``/``p90``/``p99`` cover the sliding window (current behaviour);
+        ``count`` / ``mean`` / ``max`` cover the full lifetime.
+        """
+        with self._lock:
+            count = self._count
+            total = self._total
+            maximum = self._max
+            samples = (np.fromiter(self._samples, dtype=float)
+                       if self._samples else None)
+        if samples is None:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        p50, p90, p99 = (float(v) for v in np.percentile(samples, (50, 90, 99)))
+        return {"count": count, "mean": total / count, "p50": p50,
+                "p90": p90, "p99": p99, "max": maximum}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.summary()
+        return (f"LatencyHistogram(count={stats['count']}, "
+                f"p50={stats['p50']:.6f}, p99={stats['p99']:.6f})")
