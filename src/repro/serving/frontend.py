@@ -5,7 +5,7 @@
 HTTP/JSON surface.  One request travels::
 
         submit(A, b)
-          │  fingerprint(A)                    (hash once, memoised by object)
+          │  fingerprint(A)                    (hash once per live object)
           │  HashRing.route(fingerprint) ──────→ worker_id   (sticky: cache heat)
           │  AdmissionController.admit() ──────→ may raise QuotaExceededError /
           │                                      QueueFullError (both retriable)
@@ -39,6 +39,7 @@ import json
 import queue as queue_module
 import threading
 import time
+import weakref
 from concurrent.futures import Future, TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -135,10 +136,15 @@ class ClusterEngine:
             context = multiprocessing.get_context()
         self._responses = context.Queue()
         self._lock = threading.Lock()
-        self._inflight: dict[int, tuple[Future, str, float]] = {}
+        #: request_id -> (future, worker_id, started, counts_depth);
+        #: counts_depth is False for control traffic (stats probes), which
+        #: must never occupy admission slots.
+        self._inflight: dict[int, tuple[Future, str, float, bool]] = {}
         self._depth: dict[str, int] = {}
         self._request_ids = itertools.count()
-        self._matrix_memo: dict[int, tuple[str, object]] = {}
+        #: id(matrix) -> (fingerprint, memo payload, weakref); see
+        #: :meth:`_prepare_matrix` for why the reference must be weak.
+        self._matrix_memo: dict[int, tuple[str, object, weakref.ref]] = {}
         self._retired: set[str] = set()
         self._worker_deaths = 0
         self._submitted = 0
@@ -201,7 +207,8 @@ class ClusterEngine:
             self._admission.admit(worker_id, self._depth.get(worker_id, 0),
                                   tenant=tenant)
             self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
-            self._inflight[request_id] = (future, worker_id, time.monotonic())
+            self._inflight[request_id] = (future, worker_id,
+                                          time.monotonic(), True)
             self._submitted += 1
         if deadline is None:
             deadline = self.default_deadline
@@ -220,6 +227,17 @@ class ClusterEngine:
         except BaseException:
             self._settle(request_id, None, None)
             raise
+        # Close the submit/reap race: the reaper may have retired this worker
+        # between route() and the _inflight registration above, in which case
+        # its orphan scan ran too early to see us.  Both sides touch _retired
+        # and _inflight under the lock, so at least one of them observes the
+        # other; _settle is idempotent, so double-settling is harmless.
+        with self._lock:
+            retired = worker_id in self._retired
+        if retired:
+            self._settle(request_id, None, WorkerUnavailableError(
+                f"worker {worker_id!r} was retired while the request was "
+                "being dispatched; its fingerprints now route elsewhere"))
         return future
 
     def solve(self, matrix, rhs, **kwargs) -> SingleSolveRecord:
@@ -227,31 +245,55 @@ class ClusterEngine:
         return self.submit(matrix, rhs, **kwargs).result()
 
     def _prepare_matrix(self, matrix) -> tuple[str, object]:
-        """(fingerprint, wire payload) for a matrix, memoised by object.
+        """(fingerprint, wire payload) for a matrix, memoised while it lives.
 
         With shared memory on, the payload is a
         :class:`~repro.engine.sharedmem.SharedMatrixHandle` — published once
-        per distinct content, attached zero-copy by the owning worker.  The
-        memo keys on ``id(matrix)`` (same precedent as the runner's publish
-        memo): re-presenting one array object costs neither a re-hash nor a
-        re-publish.
+        per distinct content, attached zero-copy by the owning worker.
+
+        The memo keys on ``id(matrix)`` but, unlike the runner's publish memo
+        (whose jobs list pins every array for the scope of one run), this
+        memo is engine-lifetime while the caller's arrays are not — an HTTP
+        request's matrix dies when the handler returns, and CPython reuses
+        ids.  The entry therefore holds only a *weak* reference whose
+        callback evicts it during the array's deallocation: a recycled id can
+        never resurrect another matrix's fingerprint, and the memo stays
+        bounded by the set of live client arrays.  Objects without weakref
+        support are simply re-hashed per call — correctness never depends on
+        the memo because :meth:`SharedMatrixRegistry.publish` dedups by
+        content fingerprint.
         """
-        memo = self._matrix_memo.get(id(matrix))
+        key = id(matrix)
+        memo = self._matrix_memo.get(key)
         if memo is not None:
-            return memo
+            fingerprint, memo_payload, ref = memo
+            if ref() is matrix:
+                return fingerprint, (matrix if memo_payload is None
+                                     else memo_payload)
         if self._registry is not None:
             handle = self._registry.publish(matrix)
-            entry = (handle.fingerprint, handle)
+            fingerprint, payload, memo_payload = (handle.fingerprint,
+                                                  handle, handle)
         else:
-            entry = (matrix_fingerprint(matrix), matrix)
-        self._matrix_memo[id(matrix)] = entry
-        return entry
+            # payload is the matrix itself (pickled per request); memoise
+            # only the fingerprint so the memo never pins the array alive.
+            fingerprint, payload, memo_payload = (matrix_fingerprint(matrix),
+                                                  matrix, None)
+        try:
+            ref = weakref.ref(
+                matrix,
+                lambda _ref, pop=self._matrix_memo.pop, key=key: pop(key, None))
+        except TypeError:  # weakref-less input (e.g. a plain nested list)
+            return fingerprint, payload
+        self._matrix_memo[key] = (fingerprint, memo_payload, ref)
+        return fingerprint, payload
 
     # ------------------------------------------------------------------ #
     # response path
     # ------------------------------------------------------------------ #
     def _collect(self) -> None:
         """Collector thread: settle futures, notice dead workers."""
+        last_reap = time.monotonic()
         while True:
             try:
                 response = self._responses.get(timeout=0.05)
@@ -259,35 +301,58 @@ class ClusterEngine:
                 if self._closing.is_set() and not self._inflight:
                     return
                 self._reap_dead_workers()
+                last_reap = time.monotonic()
                 continue
             except (EOFError, OSError):  # pragma: no cover - queue torn down
                 return
-            worker_id, kind, request_id, *payload = response
-            if kind == "result":
-                self._settle(request_id,
-                             SingleSolveRecord(**payload[0]), None)
-            elif kind == "error":
-                name, message = payload
-                self._settle(request_id, None,
-                             _rebuild_exception(name, message))
-            elif kind == "stats":
-                self._settle(request_id, payload[0], None, record_latency=False)
-            elif kind == "shutdown":
-                worker = self._workers.get(worker_id)
-                if worker is not None:
-                    worker["final_stats"] = payload[0]
+            try:
+                self._dispatch(response)
+            except Exception:  # noqa: BLE001 - one bad response must not
+                pass           # kill the loop and hang every other future
+            # reap on a clock too: a steady response stream from live
+            # workers must not starve detection of a dead sibling.
+            if time.monotonic() - last_reap >= 0.25:
+                self._reap_dead_workers()
+                last_reap = time.monotonic()
+
+    def _dispatch(self, response) -> None:
+        """Route one worker response to its future / stats slot."""
+        worker_id, kind, request_id, *payload = response
+        if kind == "result":
+            self._settle(request_id,
+                         SingleSolveRecord(**payload[0]), None)
+        elif kind == "error":
+            name, message = payload
+            self._settle(request_id, None,
+                         _rebuild_exception(name, message))
+        elif kind == "stats":
+            self._settle(request_id, payload[0], None, record_latency=False)
+        elif kind == "shutdown":
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker["final_stats"] = payload[0]
 
     def _settle(self, request_id, result, error, *,
                 record_latency: bool = True) -> None:
-        """Resolve one in-flight future and release its queue slot."""
+        """Resolve one in-flight future and release its queue slot.
+
+        Idempotent (the first caller pops the entry; later ones no-op), and
+        safe against caller-side ``Future.cancel()`` — a cancelled future
+        rejects ``set_result``/``set_exception``, and raising here would kill
+        the collector thread, so the slot is released and the settle skipped.
+        """
         with self._lock:
             entry = self._inflight.pop(request_id, None)
             if entry is None:
                 return
-            future, worker_id, started = entry
-            self._depth[worker_id] = max(0, self._depth.get(worker_id, 1) - 1)
-            if error is None:
-                self._completed += 1
+            future, worker_id, started, counts_depth = entry
+            if counts_depth:
+                self._depth[worker_id] = max(0,
+                                             self._depth.get(worker_id, 1) - 1)
+                if error is None:
+                    self._completed += 1
+        if not future.set_running_or_notify_cancel():
+            return  # caller cancelled; the slot above is already released
         if error is not None:
             future.set_exception(error)
         else:
@@ -307,41 +372,62 @@ class ClusterEngine:
         for worker_id, worker in self._workers.items():
             if worker_id in self._retired or worker["process"].is_alive():
                 continue
-            self._retired.add(worker_id)
+            with self._lock:
+                self._retired.add(worker_id)
             self._worker_deaths += 1
             self._ring.remove_worker(worker_id)
-            with self._lock:
-                orphaned = [request_id for request_id, (_, owner, _)
-                            in self._inflight.items() if owner == worker_id]
-            for request_id in orphaned:
-                self._settle(request_id, None, WorkerUnavailableError(
-                    f"worker {worker_id!r} died with the request in flight; "
-                    "its fingerprints now route to the surviving workers"))
+        # Orphan scan over *all* retired owners, every pass — not only at
+        # retirement time: a submit racing the retirement may register its
+        # entry just after a one-shot scan, and the retired check in submit
+        # plus this rescan together guarantee the future settles.
+        with self._lock:
+            orphaned = [(request_id, owner) for request_id,
+                        (_, owner, _, _) in self._inflight.items()
+                        if owner in self._retired]
+        for request_id, owner in orphaned:
+            self._settle(request_id, None, WorkerUnavailableError(
+                f"worker {owner!r} died with the request in flight; "
+                "its fingerprints now route to the surviving workers"))
 
     # ------------------------------------------------------------------ #
     # telemetry
     # ------------------------------------------------------------------ #
     def worker_stats(self, timeout: float = 5.0) -> dict:
-        """Per-worker telemetry snapshots (cache, coalescing, queue depth)."""
-        pending: dict[str, Future] = {}
+        """Per-worker telemetry snapshots (cache, coalescing, queue depth).
+
+        Stats probes ride the worker request queues but are *control*
+        traffic: they never count against the admission ``queue_limit``
+        (``counts_depth=False``), so monitoring cannot shed — or be shed by
+        — solve load, and a probe that times out releases its in-flight
+        entry instead of leaking it on every poll of a wedged worker.
+        """
+        pending: dict[str, tuple[int, Future]] = {}
         for worker_id, worker in self._workers.items():
-            if worker_id in self._retired:
-                continue
             future: Future = Future()
             request_id = next(self._request_ids)
             with self._lock:
+                if worker_id in self._retired:
+                    continue
                 self._inflight[request_id] = (future, worker_id,
-                                              time.monotonic())
-                self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
-            worker["requests"].put((MSG_STATS, request_id))
-            pending[worker_id] = future
+                                              time.monotonic(), False)
+            try:
+                worker["requests"].put((MSG_STATS, request_id))
+            except (ValueError, OSError):  # pragma: no cover - queue torn down
+                self._settle(request_id, None, None, record_latency=False)
+                continue
+            pending[worker_id] = (request_id, future)
         snapshots = {}
-        for worker_id, future in pending.items():
+        for worker_id, (request_id, future) in pending.items():
             try:
                 snapshots[worker_id] = future.result(timeout=timeout)
-            except (FutureTimeoutError, Exception) as exc:  # noqa: BLE001
+            except FutureTimeoutError:
+                self._settle(request_id, None, None, record_latency=False)
+                snapshots[worker_id] = {"error": "stats probe timed out"}
+            except Exception as exc:  # noqa: BLE001
                 snapshots[worker_id] = {"error": f"{type(exc).__name__}: {exc}"}
-        for worker_id in self._retired:
+        with self._lock:
+            retired = sorted(self._retired)
+        for worker_id in retired:
             final = self._workers[worker_id]["final_stats"]
             snapshots[worker_id] = {"retired": True, "final": final}
         return snapshots

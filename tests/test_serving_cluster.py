@@ -20,6 +20,7 @@ may change costs, never answers — plus the distribution-specific clauses:
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
 import time
 import urllib.error
@@ -451,6 +452,53 @@ class TestClusterEngine:
             record = cluster.solve(matrix, rhs, epsilon_l=1e-2,
                                    backend="ideal", kappa=4.0)
             assert record.scaled_residual < 1e-2
+
+    def test_matrix_memo_evicts_when_the_array_dies(self):
+        # the fingerprint memo must hold the matrix weakly: once the caller's
+        # array is garbage-collected its entry is gone, so a recycled id()
+        # can never resurrect a stale fingerprint (wrong-matrix answers).
+        with ClusterEngine(num_workers=1) as cluster:
+            matrix, rhs = _spd_system(8, 4.0, 37)
+            record = cluster.solve(matrix, rhs, epsilon_l=1e-2,
+                                   backend="ideal", kappa=4.0)
+            assert record.scaled_residual < 1e-2
+            assert len(cluster._matrix_memo) == 1
+            del matrix
+            gc.collect()
+            assert len(cluster._matrix_memo) == 0
+            # and a different matrix (possibly reusing the id) solves right
+            other, other_rhs = _spd_system(8, 4.0, 38)
+            reference = QSVTLinearSolver(other, epsilon_l=1e-2,
+                                         backend="ideal",
+                                         kappa=4.0).solve(other_rhs)
+            record = cluster.solve(other, other_rhs, epsilon_l=1e-2,
+                                   backend="ideal", kappa=4.0)
+            np.testing.assert_allclose(record.x, reference.x,
+                                       rtol=0.0, atol=1e-12)
+
+    def test_stats_probes_do_not_consume_admission_slots(self):
+        # monitoring is control traffic: polling stats must neither occupy
+        # queue_limit slots nor leak depth, even with the tightest limit.
+        matrix, rhs = _spd_system(8, 4.0, 41)
+        with ClusterEngine(num_workers=1, queue_limit=1) as cluster:
+            for _ in range(3):
+                cluster.worker_stats()
+            assert all(depth == 0 for depth in cluster._depth.values())
+            record = cluster.solve(matrix, rhs, epsilon_l=1e-2,
+                                   backend="ideal", kappa=4.0)
+            assert record.scaled_residual < 1e-2
+
+    def test_cancelled_future_does_not_kill_the_collector(self):
+        matrix, rhs = _spd_system(8, 4.0, 43)
+        with ClusterEngine(num_workers=1) as cluster:
+            future = cluster.submit(matrix, rhs, epsilon_l=1e-2,
+                                    backend="ideal", kappa=4.0)
+            future.cancel()  # may race completion; either way the collector
+            # must survive the settle and keep serving other requests.
+            record = cluster.solve(matrix, rhs, epsilon_l=1e-2,
+                                   backend="ideal", kappa=4.0)
+            assert record.scaled_residual < 1e-2
+            assert cluster._collector.is_alive()
 
     def test_closed_engine_rejects_new_work(self):
         matrix, rhs = _spd_system(8, 4.0, 23)
