@@ -16,6 +16,18 @@ with quantum adders.  Two constructions are provided:
   boundary-correction Pauli terms to the LCU; it delegates the heavy lifting
   to :class:`~repro.blockencoding.lcu.LCUBlockEncoding` over the Pauli
   decomposition, which stays compact for this structured matrix.
+* :class:`BandedPlanBlockEncoding` — the *scalable* form of the Dirichlet
+  encoding: the same LCU-over-shifts structure lowered directly to
+  :class:`~repro.quantum.plan.PlanOp` sequences (4x4 PREPARE unitaries,
+  controlled cyclic-``shift`` ops, small ancilla diagonals) instead of a
+  dense ``2^q x 2^q`` unitary, so the circuit backend applies it in
+  ``O(2^q)`` per call with **zero** dense matrices.  Exactness on the
+  Dirichlet matrix comes from a circulant *embedding*: the ``N x N``
+  Toeplitz tridiagonal ``T`` is the top-left block of the ``2N x 2N``
+  circulant with the same stencil (the wrap-around entries live outside
+  the block), and the embedding qubit is simply counted as a third
+  ancilla, so the QSVT's all-ancillas-zero projector selects the Dirichlet
+  block automatically.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ import numpy as np
 from ..exceptions import BlockEncodingError
 from ..quantum import QuantumCircuit
 from ..quantum.pauli import pauli_decompose
+from ..quantum.plan import ExecutionPlan, PlanOp
 from ..stateprep import prepare_state_circuit
 from ..utils import check_power_of_two
 from .base import BlockEncoding
@@ -35,6 +48,8 @@ __all__ = [
     "decrement_circuit",
     "CirculantBlockEncoding",
     "TridiagonalBlockEncoding",
+    "BandedPlanBlockEncoding",
+    "compile_banded_qsvt_program",
 ]
 
 
@@ -181,3 +196,194 @@ class TridiagonalBlockEncoding(LCUBlockEncoding):
         terms = pauli_decompose(matrix)
         super().__init__(matrix, terms=terms)
         self.name = "tridiagonal"
+
+
+class BandedPlanBlockEncoding:
+    """Plan-op block-encoding of the Dirichlet tridiagonal Toeplitz matrix.
+
+    The ``N x N`` matrix ``T`` with stencil ``{0: diagonal, ±1: off_diagonal}``
+    is encoded *exactly* without ever materialising a dense array, via a
+    circulant embedding: ``T`` is the top-left block of the ``2N x 2N``
+    circulant ``C = diagonal·I + off_diagonal·(S + S†)`` (the wrap-around
+    entries of ``C`` live outside that block), and the doubling qubit is
+    counted as a third ancilla so the QSVT's all-ancillas-zero projector
+    postselects the Dirichlet block for free.
+
+    Register layout (most significant first): ``[lcu0, lcu1, embed,
+    data_0 .. data_{n-1}]`` — ``num_ancillas = 3``, ``dimension = 2**n``.
+    One application of the encoding unitary is five :class:`PlanOp`\\ s:
+
+    ``P``  — 4x4 Householder PREPARE on the LCU ancillas (first column
+    ``sqrt(w/alpha)`` with ``w = (|diag|, |off|, |off|, 0)``);
+    ``S``  — cyclic ``shift=+1`` over ``(embed, data)`` controlled on the
+    LCU pattern ``(0, 1)``;
+    ``S†`` — cyclic ``shift=-1`` controlled on ``(1, 0)``;
+    ``D·P†`` — the branch-sign diagonal folded into the un-prepare.
+
+    Every op is either a 4x4 unitary or a zero-payload ``shift``, so one
+    call costs ``O(2**n)`` time and ``O(1)`` payload bytes — this is what
+    lets :class:`~repro.core.backends.CircuitQSVTBackend` keep its
+    O(nnz)-per-gate cost arbitrarily far past the dense-materialisation
+    wall.  ``alpha = |diagonal| + 2 |off_diagonal|``.
+    """
+
+    name = "banded-plan"
+
+    def __init__(self, num_data_qubits: int, *, diagonal: float = 2.0,
+                 off_diagonal: float = -1.0) -> None:
+        if num_data_qubits < 1:
+            raise BlockEncodingError("need at least one data qubit")
+        if off_diagonal == 0.0:
+            raise BlockEncodingError(
+                "off_diagonal must be nonzero (a purely diagonal operator "
+                "does not need a banded block-encoding)")
+        self.num_data_qubits = int(num_data_qubits)
+        self.diagonal = float(diagonal)
+        self.off_diagonal = float(off_diagonal)
+        self.alpha = abs(self.diagonal) + 2.0 * abs(self.off_diagonal)
+        self.num_ancillas = 3          # two LCU qubits + the embedding qubit
+        self._plan_ops: dict[bool, tuple[PlanOp, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        """Total register width (ancillas + data)."""
+        return self.num_ancillas + self.num_data_qubits
+
+    @property
+    def dimension(self) -> int:
+        """Dimension ``N`` of the encoded Dirichlet matrix."""
+        return 2**self.num_data_qubits
+
+    # ------------------------------------------------------------------ #
+    def _prepare_matrix(self) -> np.ndarray:
+        """Real orthogonal 4x4 with first column ``sqrt(w/alpha)``.
+
+        Householder reflection mapping ``e_0`` to the target column; being
+        a reflection it is symmetric, so the same matrix serves as both
+        PREPARE and PREPARE†.
+        """
+        weights = np.array([abs(self.diagonal), abs(self.off_diagonal),
+                            abs(self.off_diagonal), 0.0])
+        target = np.sqrt(weights / self.alpha)
+        u = np.zeros(4)
+        u[0] = 1.0
+        u -= target
+        norm_sq = float(u @ u)
+        if norm_sq <= 1e-28:
+            return np.eye(4)
+        return np.eye(4) - (2.0 / norm_sq) * np.outer(u, u)
+
+    def _sign_diagonal(self) -> np.ndarray:
+        """Branch signs of the LCU terms ``(I, S, S†, unused)``."""
+        sgn = lambda c: -1.0 if c < 0 else 1.0  # noqa: E731 - tiny helper
+        return np.array([sgn(self.diagonal), sgn(self.off_diagonal),
+                         sgn(self.off_diagonal), 1.0])
+
+    def plan_ops(self, *, adjoint: bool = False) -> tuple[PlanOp, ...]:
+        """The op sequence of one encoding call (or its adjoint), cached.
+
+        The adjoint reverses the sequence with inverted shifts; PREPARE is
+        a real reflection and the sign diagonal is real, so their own
+        adjoints are themselves (only the fold order flips).
+        """
+        cached = self._plan_ops.get(bool(adjoint))
+        if cached is not None:
+            return cached
+        prepare = self._prepare_matrix()
+        signs = np.diag(self._sign_diagonal())
+        lcu = (0, 1)
+        circulant_register = tuple(range(2, self.num_qubits))
+
+        def shift_op(amount: int, pattern: tuple[int, int]) -> PlanOp:
+            return PlanOp(kind="shift", qubits=circulant_register,
+                          controls=lcu, control_states=pattern, shift=amount)
+
+        if not adjoint:
+            ops = (
+                PlanOp(kind="unitary", qubits=lcu,
+                       matrix=np.ascontiguousarray(prepare, dtype=complex)),
+                shift_op(+1, (0, 1)),
+                shift_op(-1, (1, 0)),
+                PlanOp(kind="unitary", qubits=lcu,
+                       matrix=np.ascontiguousarray(prepare @ signs,
+                                                   dtype=complex)),
+            )
+        else:
+            ops = (
+                PlanOp(kind="unitary", qubits=lcu,
+                       matrix=np.ascontiguousarray(signs @ prepare,
+                                                   dtype=complex)),
+                shift_op(+1, (1, 0)),
+                shift_op(-1, (0, 1)),
+                PlanOp(kind="unitary", qubits=lcu,
+                       matrix=np.ascontiguousarray(prepare, dtype=complex)),
+            )
+        self._plan_ops[bool(adjoint)] = ops
+        return ops
+
+    # ------------------------------------------------------------------ #
+    def unitary(self, *, adjoint: bool = False) -> np.ndarray:
+        """Dense matrix of the encoding unitary — **small registers only**.
+
+        Exists for oracle tests (the plan-op route checked against an
+        explicitly assembled unitary); production paths never call it.
+        """
+        if self.num_qubits > 14:
+            raise BlockEncodingError(
+                f"refusing to materialise a {self.num_qubits}-qubit unitary; "
+                "the plan-op route exists precisely to avoid this")
+        ops = self.plan_ops(adjoint=adjoint)
+        plan = ExecutionPlan(self.num_qubits, ops,
+                             source_gate_count=len(ops), fusion="structured",
+                             max_fused_qubits=0)
+        basis = np.eye(2**self.num_qubits, dtype=complex)
+        return plan.apply_batched(basis).T
+
+    def encoded_block(self) -> np.ndarray:
+        """Top-left ``N x N`` block times ``alpha`` (oracle tests only)."""
+        full = self.unitary()
+        return self.alpha * full[: self.dimension, : self.dimension].real
+
+
+def compile_banded_qsvt_program(encoding: BandedPlanBlockEncoding, wx_phases,
+                                *, real_part: bool = True):
+    """Hand-assemble the QSVT program for a plan-op banded encoding.
+
+    Mirrors :func:`repro.qsp.qsvt_circuit.compile_qsvt_program` — same
+    temporal order (``U, phase(φ_d), U†, phase(φ_{d-1}), …``), same
+    ``±θ`` averaging for the real part, same ``e^{-iπd/2}`` global phase —
+    but builds the :class:`~repro.quantum.plan.ExecutionPlan`\\ s directly
+    from the encoding's op sequences instead of lowering a gate circuit,
+    so no ``2^q x 2^q`` array is ever formed.
+    """
+    from ..qsp.qsvt_circuit import (QSVTProgram, projector_phase_gate,
+                                    wx_to_circuit_phases)
+
+    theta = np.asarray(wx_phases, dtype=float)
+    sign_list = [1.0, -1.0] if real_part else [1.0]
+    ancilla_register = tuple(range(encoding.num_ancillas))
+    plans = []
+    global_phases = []
+    calls_per_run = 0
+    for sign in sign_list:
+        phases, global_phase = wx_to_circuit_phases(sign * theta)
+        d = phases.shape[0]
+        calls_per_run = d
+        ops: list[PlanOp] = []
+        for step in range(d):
+            ops.extend(encoding.plan_ops(adjoint=(step % 2 == 1)))
+            angle = float(phases[d - 1 - step])
+            diag = np.diag(projector_phase_gate(encoding.num_ancillas, angle))
+            ops.append(PlanOp(kind="diagonal", qubits=ancilla_register,
+                              diagonal=np.ascontiguousarray(diag)))
+        plans.append(ExecutionPlan(encoding.num_qubits, ops,
+                                   source_gate_count=len(ops),
+                                   fusion="structured", max_fused_qubits=0))
+        global_phases.append(global_phase)
+    return QSVTProgram(num_qubits=encoding.num_qubits,
+                       num_ancillas=encoding.num_ancillas,
+                       dimension=encoding.dimension,
+                       plans=plans, global_phases=global_phases,
+                       block_encoding_calls_per_run=calls_per_run,
+                       circuit_depth=plans[0].num_contractions)

@@ -42,10 +42,12 @@ from .cost_model import (
     block_encoding_calls_per_solve,
     epsilon_l_candidates,
     kappa_model_names,
+    measured_kappa,
     optimal_epsilon_l,
     poisson_complexity_table,
     poisson_tgate_estimate,
     predicted_kappa,
+    resolved_kappa,
     quantum_cost_table,
     refinement_block_encoding_calls,
     refinement_quantum_cost,
@@ -97,6 +99,8 @@ __all__ = [
     "register_kappa_model",
     "unregister_kappa_model",
     "predicted_kappa",
+    "measured_kappa",
+    "resolved_kappa",
     "kappa_model_names",
     "quantum_cost_table",
     "poisson_complexity_table",

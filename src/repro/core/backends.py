@@ -220,39 +220,63 @@ def _effective_kappa(sigma: np.ndarray, alpha: float, kappa: float | None,
 
 def _matrix_free_spectrum(operator, kappa: float | None, *, margin: float,
                           subnormalization_margin: float) -> tuple[float, float]:
-    """``(alpha, kappa_eff)`` for the matrix-free route, from exact bounds.
+    """``(alpha, kappa_eff)`` for the matrix-free route — never densifies.
 
     The dense path reads ``σ_max`` / ``σ_min`` off the SVD; the matrix-free
-    path reads them off the operator's **exact** extreme-eigenvalue bounds
-    (symmetric operators: ``σ = |λ|``).  For definite spectra ``min |λ|`` is
-    attained at an endpoint; indefinite spectra (e.g. the shifted Helmholtz
-    operator) need the caller to pin ``kappa``, exactly as the problem
-    families do with their analytic condition numbers.
+    path sources them, in order of preference:
+
+    * the operator's **exact** extreme-eigenvalue bounds (symmetric
+      operators: ``σ = |λ|``; definite spectra attain ``min |λ|`` at an
+      endpoint), or an explicitly pinned ``kappa``;
+    * reorthogonalised **Lanczos** Ritz values for symmetric spectra the
+      bounds cannot resolve — the indefinite shifted-Helmholtz case, where
+      ``min |λ|`` sits *inside* the spectrum and no analytic κ is needed
+      any more;
+    * **Golub–Kahan** singular-value estimates for non-symmetric operators
+      (convection–diffusion), which the backend inverts through the
+      symmetric dilation ``[[0, A], [Aᵀ, 0]]``.
+
+    All estimates are safety-widened (κ over-estimated) and use a fixed
+    seed, so a re-``prepare`` of the same operator is bit-reproducible.
     """
+    from ..linalg.cond import estimate_singular_bounds, lanczos_spectrum_estimate
     from ..linalg.operators import is_structured_operator
 
-    if not is_structured_operator(operator) or not operator.is_symmetric:
+    if not is_structured_operator(operator):
         raise BackendError(
-            "the matrix-free route requires a symmetric structured operator "
-            "(non-symmetric systems must go through the dense backends)")
-    bounds = operator.eigenvalue_bounds()
-    if bounds is None:
-        raise BackendError(
-            "the matrix-free route needs exact extreme-eigenvalue bounds; "
-            "construct the operator with spectrum_bounds=... or densify")
-    lo, hi = bounds
-    sigma_max = max(abs(lo), abs(hi))
+            "the matrix-free route requires a structured operator")
+    n = operator.shape[0]
+    sigma_min: float | None = None
+    if operator.is_symmetric:
+        bounds = operator.eigenvalue_bounds()
+        if bounds is not None:
+            lo, hi = bounds
+            sigma_max = max(abs(lo), abs(hi))
+            if lo * hi > 0:
+                sigma_min = min(abs(lo), abs(hi))
+        if bounds is None or (sigma_min is None and kappa is None):
+            lo_e, hi_e, interior = lanczos_spectrum_estimate(
+                operator.matvec, n, rng=0)
+            if bounds is None:
+                sigma_max = max(abs(lo_e), abs(hi_e))
+            if sigma_min is None and interior > 0.0:
+                sigma_min = interior
+    else:
+        smin, smax = estimate_singular_bounds(operator.matvec,
+                                              operator.rmatvec, n, rng=0)
+        sigma_max = smax
+        if smin > 0.0:
+            sigma_min = smin
     if sigma_max <= 0.0:
         raise BackendError("matrix is numerically singular")
     alpha = subnormalization_margin * sigma_max
-    sigma_min = min(abs(lo), abs(hi)) if lo * hi > 0 else None
     if kappa is not None:
         cap = sigma_max / float(kappa)
         sigma_min = cap if sigma_min is None else min(sigma_min, cap)
     if sigma_min is None or sigma_min <= 0.0:
         raise BackendError(
-            "indefinite spectrum: pass kappa= so the polynomial domain "
-            "(min |λ|) is known — the bounds only pin the endpoints")
+            "could not resolve min |λ| for the matrix-free route: the "
+            "spectral estimate collapsed to zero — pass kappa= explicitly")
     return alpha, margin * alpha / sigma_min
 
 
@@ -361,6 +385,7 @@ def _export_program(program: QSVTProgram, arrays: dict) -> dict:
                 "qubits": list(op.qubits),
                 "controls": list(op.controls),
                 "control_states": list(op.control_states),
+                "shift": int(op.shift),
                 "source_gates": int(op.source_gates),
             })
         plans_meta.append({
@@ -396,6 +421,7 @@ def _import_program(meta: dict, arrays: dict) -> QSVTProgram:
                           else np.asarray(diagonal, dtype=complex)),
                 controls=tuple(int(q) for q in op_meta["controls"]),
                 control_states=tuple(int(s) for s in op_meta["control_states"]),
+                shift=int(op_meta.get("shift", 0)),
                 source_gates=int(op_meta["source_gates"]),
             ))
         plans.append(ExecutionPlan(
@@ -488,19 +514,31 @@ class CircuitQSVTBackend(QSVTBackend):
 
         method = self.block_encoding_method
         if is_structured_operator(matrix):
-            # the circuit simulation is dense in the *statevector* anyway, so
-            # structured operators densify here (small N only) — but banded
-            # tridiagonal Toeplitz operators pick up their native
-            # block-encoding construction instead of the generic dilation.
+            stencil = getattr(matrix, "toeplitz_stencil", lambda: None)()
+            banded_shape = (is_power_of_two(matrix.dimension)
+                            and stencil is not None
+                            and set(stencil) == {-1, 0, 1}
+                            and stencil[1] == stencil[-1])
+            # symmetric tridiagonal Toeplitz operators (the Eq.-(7) Poisson
+            # shape) run through the plan-op banded encoding: O(2^q) per
+            # block-encoding call, zero dense matrices, no densification
+            # wall.  An *explicit* dense construction name keeps the legacy
+            # densify-and-simulate path (the reference the plan-op route is
+            # tested against).
+            if banded_shape and method in (None, "banded-plan"):
+                self._prepare_banded_plan(matrix, epsilon_l, kappa)
+                return
+            if method == "banded-plan":
+                raise BackendError(
+                    "the banded-plan block-encoding needs a symmetric "
+                    "power-of-two tridiagonal Toeplitz operator")
+            # other structured shapes densify here (small N only): the
+            # circuit simulation is dense in the *statevector* anyway.
             if matrix.dimension > self._DENSIFY_LIMIT:
                 raise BackendError(
-                    f"circuit backend cannot simulate N={matrix.dimension}; "
-                    "use the ideal backend's matrix-free route")
-            if method is None and is_power_of_two(matrix.dimension):
-                stencil = getattr(matrix, "toeplitz_stencil", lambda: None)()
-                if (stencil is not None and set(stencil) == {-1, 0, 1}
-                        and stencil[1] == stencil[-1]):
-                    method = "tridiagonal"
+                    f"circuit backend cannot simulate N={matrix.dimension} "
+                    "with a dense block-encoding; use the ideal backend's "
+                    "matrix-free route")
             matrix = matrix.to_dense()
         if method is None:
             method = "dilation"
@@ -534,6 +572,67 @@ class CircuitQSVTBackend(QSVTBackend):
             dense_block_encoding=self.dense_block_encoding,
             fusion=self.fusion, max_fused_qubits=self.max_fused_qubits)
         self._record_synthesis(mat)
+        self._prepared = True
+
+    def _prepare_banded_plan(self, operator, epsilon_l: float,
+                             kappa: float | None) -> None:
+        """Matrix-free circuit synthesis for tridiagonal Toeplitz operators.
+
+        Swaps the dense ``SVD → dense block-encoding → gate circuit``
+        pipeline for exact closed-form spectra and the plan-op circulant
+        embedding of :class:`~repro.blockencoding.banded.BandedPlanBlockEncoding`
+        — nothing in the synthesis or in later ``apply_inverse`` calls ever
+        materialises an ``N x N`` array, so the ``_DENSIFY_LIMIT`` wall does
+        not apply to this route.
+        """
+        from ..blockencoding.banded import (BandedPlanBlockEncoding,
+                                            compile_banded_qsvt_program)
+        from ..linalg.cond import lanczos_spectrum_estimate
+
+        stencil = operator.toeplitz_stencil()
+        self.resolved_block_encoding = "banded-plan"
+        # A† = A for the real symmetric stencil, so the encoding targets the
+        # operator itself — same convention as build_block_encoding(A†).
+        self.block = BandedPlanBlockEncoding(
+            int(operator.dimension).bit_length() - 1,
+            diagonal=float(stencil.get(0, 0.0)), off_diagonal=float(stencil[1]))
+        bounds = operator.eigenvalue_bounds()
+        sigma_min = None
+        sigma_max = self.block.alpha
+        if bounds is not None:
+            lo, hi = bounds
+            sigma_max = max(abs(lo), abs(hi))
+            if lo * hi > 0:
+                sigma_min = min(abs(lo), abs(hi))
+        if sigma_min is None and kappa is None:
+            _, _, interior = lanczos_spectrum_estimate(
+                operator.matvec, operator.shape[0], rng=0)
+            sigma_min = interior if interior > 0.0 else None
+        if kappa is not None:
+            cap = sigma_max / float(kappa)
+            sigma_min = cap if sigma_min is None else min(sigma_min, cap)
+        if sigma_min is None or sigma_min <= 0.0:
+            raise BackendError("matrix is numerically singular")
+        self.kappa_effective = self.kappa_margin * self.block.alpha / sigma_min
+        self.polynomial = _calibrated_polynomial(
+            self.kappa_effective, epsilon_l, max_norm=self.max_polynomial_norm,
+            calibrate=self.calibrate_polynomial,
+            error_convention=self.error_convention)
+        phase_result = solve_qsp_phases(self.polynomial.coefficients,
+                                        tolerance=self.phase_tolerance,
+                                        raise_on_failure=False)
+        if not phase_result.converged and phase_result.residual > 1e-8:
+            raise BackendError(
+                f"QSP phase factors did not converge (residual "
+                f"{phase_result.residual:.2e}); use the 'ideal' backend for "
+                "this configuration")
+        self.phases = phase_result.phases
+        self.phase_residual = phase_result.residual
+        self.epsilon_l = float(epsilon_l)
+        self.matrix = operator
+        self.program = compile_banded_qsvt_program(self.block, self.phases,
+                                                   real_part=True)
+        self._record_synthesis(operator)
         self._prepared = True
 
     def apply_inverse(self, rhs) -> BackendApplication:
@@ -591,10 +690,11 @@ class CircuitQSVTBackend(QSVTBackend):
         return total
 
     def export_payload(self) -> dict:
+        from ..linalg.operators import is_structured_operator, operator_state_payload
+
         if not self._prepared:
             raise BackendError("call prepare() before export_payload()")
         arrays = {
-            "matrix": self.matrix,
             "phases": np.asarray(self.phases, dtype=float),
             "poly_coefficients": np.asarray(self.polynomial.coefficients,
                                             dtype=float),
@@ -614,16 +714,31 @@ class CircuitQSVTBackend(QSVTBackend):
             "polynomial": _polynomial_meta(self.polynomial),
             "program": _export_program(self.program, arrays),
         }
+        if is_structured_operator(self.matrix):
+            # the banded-plan route keeps the structured operator itself —
+            # persist its versioned state instead of a dense matrix.
+            op_meta, op_arrays = operator_state_payload(self.matrix)
+            meta["operator_state"] = op_meta
+            arrays.update(op_arrays)
+        else:
+            arrays["matrix"] = self.matrix
         return {"meta": meta, "arrays": arrays}
 
     def import_payload(self, payload: dict) -> None:
+        from ..linalg.operators import operator_from_payload
+
         meta, arrays = payload["meta"], payload["arrays"]
         if meta.get("backend") != self.name:
             raise BackendError(
                 f"payload was exported by backend {meta.get('backend')!r}, "
                 f"not {self.name!r}")
-        mat = check_square(np.asarray(arrays["matrix"], dtype=float), name="A")
-        self.matrix = mat
+        if "operator_state" in meta:
+            self.matrix = mat = operator_from_payload(meta["operator_state"],
+                                                      arrays)
+        else:
+            mat = check_square(np.asarray(arrays["matrix"], dtype=float),
+                               name="A")
+            self.matrix = mat
         self.resolved_block_encoding = str(meta["block_encoding_method"])
         self.block = _RestoredBlockEncoding(**meta["block"])
         self.kappa_effective = float(meta["kappa_effective"])
@@ -666,16 +781,21 @@ class IdealPolynomialBackend(QSVTBackend):
     so arbitrarily large polynomial degrees (``κ`` of a few hundred, Fig. 4)
     remain tractable.
 
-    **Matrix-free route.**  Handed a symmetric
+    **Matrix-free route.**  Handed a
     :class:`~repro.linalg.operators.StructuredOperator`, ``prepare`` skips
     the ``O(N³)`` SVD entirely: the subnormalisation ``α`` and the effective
-    ``κ`` come from the operator's *exact* extreme-eigenvalue bounds, and
-    ``apply_inverse`` evaluates the very same Eq.-(4) Chebyshev polynomial
-    through a Clenshaw recurrence over ``matvec`` calls — ``degree × O(nnz)``
-    work and ``O(nnz)`` memory.  For a symmetric matrix the two routes
-    compute the same transformation (``V P(Σ/α) W† = P(A/α)`` because the
-    polynomial is odd), and the dense fallback is preserved bit-for-bit:
-    ndarray inputs take the exact pre-existing SVD code path.
+    ``κ`` come from the operator's *exact* extreme-eigenvalue bounds when it
+    has them, and otherwise from matrix-free spectral estimates (Lanczos
+    Ritz values for symmetric — including indefinite — spectra, Golub–Kahan
+    singular-value bounds for non-symmetric ones).  ``apply_inverse``
+    evaluates the very same Eq.-(4) Chebyshev polynomial through a Clenshaw
+    recurrence over ``matvec`` calls — ``degree × O(nnz)`` work and
+    ``O(nnz)`` memory.  For a symmetric matrix the two routes compute the
+    same transformation (``V P(Σ/α) W† = P(A/α)`` because the polynomial is
+    odd); non-symmetric operators run the dilation ``[[0, A], [Aᵀ, 0]]``,
+    whose odd-polynomial action reproduces the dense SVD route exactly (see
+    :meth:`_transform_matrix_free`).  The dense fallback is preserved
+    bit-for-bit: ndarray inputs take the exact pre-existing SVD code path.
     """
 
     name = "ideal-polynomial"
@@ -718,7 +838,7 @@ class IdealPolynomialBackend(QSVTBackend):
 
     def _prepare_matrix_free(self, operator, epsilon_l: float,
                              kappa: float | None) -> None:
-        """Synthesis without the SVD: exact bounds size the polynomial."""
+        """Synthesis without the SVD: exact or estimated bounds size the polynomial."""
         self.alpha, self.kappa_effective = _matrix_free_spectrum(
             operator, kappa, margin=self.kappa_margin,
             subnormalization_margin=self.subnormalization_margin)
@@ -729,21 +849,42 @@ class IdealPolynomialBackend(QSVTBackend):
         self.matrix = operator
         self._v = self._sigma = self._wh = None
         self._matrix_free = True
+        self._dilated = not operator.is_symmetric
         self.epsilon_l = float(epsilon_l)
         self._record_synthesis(operator)
         self._prepared = True
 
     # ------------------------------------------------------------------ #
     def _transform_matrix_free(self, normalized: np.ndarray) -> np.ndarray:
-        """``P(A/α)`` applied by Clenshaw over ``matvec``/``matmat`` calls."""
+        """``P(A/α)`` applied by Clenshaw over ``matvec``/``matmat`` calls.
+
+        Non-symmetric operators run the same odd polynomial on the symmetric
+        dilation ``H = [[0, A], [Aᵀ, 0]]``: with ``Aᵀ = V Σ Wᵀ``, an odd
+        ``p`` gives ``p(H/α) [b; 0] = [0; V p(Σ/α) Wᵀ b]`` — the bottom
+        block is *exactly* what the dense route computes from the SVD of
+        ``A†``, at twice the matvec cost and still O(nnz) memory.
+        """
         operator = self.matrix
         inv_alpha = 1.0 / self.alpha
+        coefficients = self.polynomial.coefficients
+        if not self._dilated:
+            if normalized.ndim == 1:
+                apply = lambda w: inv_alpha * operator.matvec(w)  # noqa: E731
+            else:
+                apply = lambda w: inv_alpha * operator.matmat(w)  # noqa: E731
+            return evaluate_chebyshev_operator(coefficients, apply, normalized)
+        n = operator.shape[0]
         if normalized.ndim == 1:
-            apply = lambda w: inv_alpha * operator.matvec(w)  # noqa: E731
+            def apply(w):
+                return inv_alpha * np.concatenate(
+                    [operator.matvec(w[n:]), operator.rmatvec(w[:n])])
+            stacked = np.concatenate([normalized, np.zeros(n)])
         else:
-            apply = lambda w: inv_alpha * operator.matmat(w)  # noqa: E731
-        return evaluate_chebyshev_operator(self.polynomial.coefficients,
-                                           apply, normalized)
+            def apply(w):
+                return inv_alpha * np.vstack(
+                    [operator.matmat(w[n:]), operator.rmatmat(w[:n])])
+            stacked = np.vstack([normalized, np.zeros_like(normalized)])
+        return evaluate_chebyshev_operator(coefficients, apply, stacked)[n:]
 
     def apply_inverse(self, rhs) -> BackendApplication:
         if not self._prepared:
@@ -813,18 +954,11 @@ class IdealPolynomialBackend(QSVTBackend):
         return total
 
     def export_payload(self) -> dict:
+        from ..linalg.operators import operator_state_payload
+
         if not self._prepared:
             raise BackendError("call prepare() before export_payload()")
-        if self._matrix_free:
-            raise NotImplementedError(
-                "matrix-free syntheses are not persisted: re-deriving one "
-                "costs an exact bound lookup plus the polynomial build, and "
-                "the operator storage lives outside the payload format")
         arrays = {
-            "matrix": self.matrix,
-            "svd_v": self._v,
-            "svd_sigma": self._sigma,
-            "svd_wh": self._wh,
             "poly_coefficients": np.asarray(self.polynomial.coefficients,
                                             dtype=float),
         }
@@ -835,26 +969,53 @@ class IdealPolynomialBackend(QSVTBackend):
             "alpha": float(self.alpha),
             "polynomial": _polynomial_meta(self.polynomial),
         }
+        if self._matrix_free:
+            # a matrix-free synthesis is the operator state plus the
+            # calibrated polynomial — both tiny, both restorable in any
+            # process; the estimated-spectrum work (Lanczos / Golub–Kahan)
+            # is what the store round-trip skips.
+            op_meta, op_arrays = operator_state_payload(self.matrix)
+            meta["operator_state"] = op_meta
+            arrays.update(op_arrays)
+        else:
+            arrays.update({
+                "matrix": self.matrix,
+                "svd_v": self._v,
+                "svd_sigma": self._sigma,
+                "svd_wh": self._wh,
+            })
         return {"meta": meta, "arrays": arrays}
 
     def import_payload(self, payload: dict) -> None:
+        from ..linalg.operators import operator_from_payload
+
         meta, arrays = payload["meta"], payload["arrays"]
         if meta.get("backend") != self.name:
             raise BackendError(
                 f"payload was exported by backend {meta.get('backend')!r}, "
                 f"not {self.name!r}")
-        mat = check_square(np.asarray(arrays["matrix"], dtype=float), name="A")
-        self.matrix = mat
-        self._matrix_free = False
-        self._v = np.asarray(arrays["svd_v"])
-        self._sigma = np.asarray(arrays["svd_sigma"])
-        self._wh = np.asarray(arrays["svd_wh"])
+        if "operator_state" in meta:
+            operator = operator_from_payload(meta["operator_state"], arrays)
+            self.matrix = operator
+            self._matrix_free = True
+            self._dilated = not operator.is_symmetric
+            self._v = self._sigma = self._wh = None
+            restored = operator
+        else:
+            mat = check_square(np.asarray(arrays["matrix"], dtype=float),
+                               name="A")
+            self.matrix = mat
+            self._matrix_free = False
+            self._v = np.asarray(arrays["svd_v"])
+            self._sigma = np.asarray(arrays["svd_sigma"])
+            self._wh = np.asarray(arrays["svd_wh"])
+            restored = mat
         self.alpha = float(meta["alpha"])
         self.kappa_effective = float(meta["kappa_effective"])
         self.polynomial = _polynomial_from_meta(meta["polynomial"],
                                                 arrays["poly_coefficients"])
         self.epsilon_l = float(meta["epsilon_l"])
-        self._record_synthesis(mat)
+        self._record_synthesis(restored)
         self._prepared = True
 
     def describe(self) -> dict:

@@ -44,6 +44,8 @@ __all__ = [
     "register_kappa_model",
     "unregister_kappa_model",
     "predicted_kappa",
+    "measured_kappa",
+    "resolved_kappa",
     "kappa_model_names",
     "CostBreakdown",
     "quantum_cost_table",
@@ -228,6 +230,39 @@ def predicted_kappa(name: str, **params) -> float:
             f"kappa model {name!r} has no closed form for {params!r} "
             "(measure it from the matrix instead)")
     return float(value)
+
+
+def measured_kappa(operator, *, rng=0) -> float:
+    """Matrix-free κ estimate for operators without a registered growth model.
+
+    The measuring companion of :func:`predicted_kappa`: symmetric operators
+    go through safety-widened Lanczos Ritz values (valid for indefinite
+    spectra — the shifted-Helmholtz case), non-symmetric ones through
+    Golub–Kahan singular-value estimates (convection–diffusion), and exact
+    ``condition_bound`` values win when the structure provides them.  The
+    operator is never materialised, so cost predictions stay available at
+    any ``N`` the matvec supports.
+    """
+    from ..linalg.cond import estimate_operator_condition
+
+    return float(estimate_operator_condition(operator, rng=rng))
+
+
+def resolved_kappa(name: str, operator=None, *, rng=0, **params) -> float:
+    """κ from the registered model, measured from ``operator`` as fallback.
+
+    Tries :func:`predicted_kappa` first (closed forms are free and exact);
+    when the family has no registered model — or the model declines these
+    parameters with ``ValueError`` (e.g. random-regular graph topologies) —
+    falls back to :func:`measured_kappa` on the supplied operator.  With no
+    operator to measure, the registry's error propagates unchanged.
+    """
+    try:
+        return predicted_kappa(name, **params)
+    except (KeyError, ValueError):
+        if operator is None:
+            raise
+        return measured_kappa(operator, rng=rng)
 
 
 def kappa_model_names() -> list[str]:

@@ -123,7 +123,7 @@ class QSVTLinearSolver:
             raise ValueError("epsilon_l must be in (0, 1)")
         self.epsilon_l = float(epsilon_l)
         self._user_kappa = None if kappa is None else float(kappa)
-        self.kappa = self._user_kappa if kappa is not None else condition_number(self.matrix)
+        self.kappa = self._user_kappa if kappa is not None else self._default_kappa()
         self.scale_recovery = scale_recovery
         self.backend = self._resolve_backend(backend, backend_options)
         self._compile()
@@ -143,6 +143,22 @@ class QSVTLinearSolver:
         if name == "circuit":
             return CircuitQSVTBackend(**backend_options)
         return IdealPolynomialBackend(**backend_options)
+
+    def _default_kappa(self) -> float:
+        """κ for the polynomial when the caller did not pin one.
+
+        Dense matrices keep the exact SVD condition number (the ``O(N³)``
+        classical preprocessing of the paper).  Structured operators stay
+        matrix-free end-to-end: exact ``condition_bound`` values win, and
+        operators without one (indefinite Helmholtz, non-symmetric
+        convection–diffusion) fall back to safety-widened Lanczos /
+        Golub–Kahan estimates instead of densifying for an SVD.
+        """
+        if is_linear_operator(self.matrix):
+            from ..linalg.cond import estimate_operator_condition
+
+            return estimate_operator_condition(self.matrix, rng=0)
+        return condition_number(self.matrix)
 
     # ------------------------------------------------------------------ #
     # synthesis lifecycle
@@ -178,7 +194,7 @@ class QSVTLinearSolver:
         ``solver.recompile().solve(rhs)``.
         """
         self.kappa = (self._user_kappa if self._user_kappa is not None
-                      else condition_number(self.matrix))
+                      else self._default_kappa())
         self._compile()
         return self
 

@@ -16,11 +16,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..utils import as_generator, check_square
-from .iterative import power_iteration
+from .iterative import golub_kahan_bidiagonalize, power_iteration
 from .lu import LUFactorization, lu_factor
 from .triangular import solve_lower_triangular, solve_upper_triangular
 
-__all__ = ["condition_number", "estimate_spectral_norm", "estimate_condition_number"]
+__all__ = ["condition_number", "estimate_spectral_norm",
+           "estimate_condition_number", "lanczos_eigenvalue_estimates",
+           "lanczos_spectrum_estimate", "estimate_singular_bounds",
+           "estimate_operator_condition"]
 
 
 def condition_number(a) -> float:
@@ -74,6 +77,117 @@ def _solve_transposed(factorization: LUFactorization, b: np.ndarray) -> np.ndarr
     x = np.empty_like(z)
     x[factorization.permutation] = z
     return x
+
+
+def lanczos_eigenvalue_estimates(matvec, n: int, *, steps: int | None = None,
+                                 rng=None) -> np.ndarray:
+    """Ritz values of a symmetric operator from reorthogonalised Lanczos.
+
+    Runs ``k = min(n, steps)`` Lanczos steps (full reorthogonalisation — the
+    basis is small) driven only by ``matvec``, and returns the eigenvalues
+    of the tridiagonal projection, sorted ascending.  At ``k = n`` this is
+    the exact spectrum; for ``k < n`` the extreme Ritz values converge
+    first and interior ones are approximations — callers widen/shrink by a
+    safety factor accordingly.
+    """
+    gen = as_generator(rng)
+    k = min(int(n), 120 if steps is None else int(steps))
+    q = gen.standard_normal(int(n))
+    q /= np.linalg.norm(q)
+    basis = [q]
+    alphas: list[float] = []
+    betas: list[float] = []
+    for _ in range(k):
+        w = np.asarray(matvec(basis[-1]), dtype=np.float64)
+        alpha = float(basis[-1] @ w)
+        alphas.append(alpha)
+        w = w - alpha * basis[-1]
+        if len(basis) > 1:
+            w = w - betas[-1] * basis[-2]
+        for prev in basis:  # full reorthogonalisation
+            w = w - (prev @ w) * prev
+        beta = float(np.linalg.norm(w))
+        if beta <= 1e-14 * max(1.0, abs(alpha)) or len(alphas) == k:
+            break
+        betas.append(beta)
+        basis.append(w / beta)
+    tri = np.diag(alphas)
+    if betas:
+        off = np.asarray(betas)
+        tri += np.diag(off, 1) + np.diag(off, -1)
+    return np.sort(np.linalg.eigvalsh(tri))
+
+
+def lanczos_spectrum_estimate(matvec, n: int, *, steps: int | None = None,
+                              rng=None, safety_factor: float = 1.05
+                              ) -> tuple[float, float, float]:
+    """``(λ_min, λ_max, min |λ|)`` estimates for a symmetric operator.
+
+    The extremes are widened and the interior magnitude shrunk by
+    ``safety_factor``, erring on the side of a *larger* κ — the QSVT
+    polynomial must cover the whole spectrum, so under-estimating
+    ``min |λ|`` is safe and over-estimating it is not.  This is what lets
+    indefinite Helmholtz workloads run matrix-free without an analytic κ.
+    """
+    ritz = lanczos_eigenvalue_estimates(matvec, n, steps=steps, rng=rng)
+    lo, hi = float(ritz[0]), float(ritz[-1])
+    spread = max(abs(lo), abs(hi))
+    lo_w = lo - (safety_factor - 1.0) * spread
+    hi_w = hi + (safety_factor - 1.0) * spread
+    interior = float(np.min(np.abs(ritz))) / safety_factor
+    return (lo_w, hi_w, interior)
+
+
+def estimate_singular_bounds(matvec, rmatvec, n: int, *,
+                             steps: int | None = None, rng=None,
+                             safety_factor: float = 1.05
+                             ) -> tuple[float, float]:
+    """``(σ_min, σ_max)`` estimates of a square *non-symmetric* operator.
+
+    Golub–Kahan bidiagonalisation (matrix-free, ``A v`` / ``Aᵀ u`` only)
+    followed by an SVD of the small bidiagonal projection.  As with
+    :func:`lanczos_spectrum_estimate` the safety factor widens σ_max and
+    shrinks σ_min so the derived κ is an over-estimate.
+    """
+    alphas, betas = golub_kahan_bidiagonalize(matvec, rmatvec, n,
+                                              steps=steps, rng=rng)
+    bidiag = np.diag(alphas)
+    if betas.size:
+        bidiag += np.diag(betas, -1)
+    sigma = np.linalg.svd(bidiag, compute_uv=False)
+    return (float(sigma.min() / safety_factor),
+            float(sigma.max() * safety_factor))
+
+
+def estimate_operator_condition(operator, *, steps: int | None = None,
+                                rng=None, safety_factor: float = 1.05
+                                ) -> float:
+    """Matrix-free κ₂ estimate for a structured operator.
+
+    Symmetric operators go through :func:`lanczos_spectrum_estimate`
+    (``max |λ| / min |λ|`` — valid for indefinite spectra too);
+    non-symmetric ones through :func:`estimate_singular_bounds`.  Exact
+    ``condition_bound`` values, when the structure provides them, win.
+    """
+    bound = getattr(operator, "condition_bound", lambda: None)()
+    if bound is not None:
+        return float(bound)
+    n = operator.shape[0]
+    symmetric = bool(getattr(operator, "is_symmetric", False))
+    if symmetric:
+        lo, hi, interior = lanczos_spectrum_estimate(
+            operator.matvec, n, steps=steps, rng=rng,
+            safety_factor=safety_factor)
+        smax = max(abs(lo), abs(hi))
+        if interior <= 0.0:
+            return float("inf")
+        return float(smax / interior)
+    smin, smax = estimate_singular_bounds(
+        operator.matvec, operator.rmatvec, n, steps=steps, rng=rng,
+        safety_factor=safety_factor)
+    if smin <= 0.0:
+        return float("inf")
+    return float(smax / smin)
 
 
 def estimate_condition_number(a, *, iterations: int = 200, rng=None,

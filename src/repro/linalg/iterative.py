@@ -17,7 +17,8 @@ import numpy as np
 from ..exceptions import ConvergenceError
 from ..utils import as_generator, as_vector, check_system
 
-__all__ = ["IterativeResult", "conjugate_gradient", "jacobi", "power_iteration"]
+__all__ = ["IterativeResult", "conjugate_gradient", "jacobi", "power_iteration",
+           "golub_kahan_bidiagonalize", "lsqr"]
 
 
 @dataclass
@@ -102,6 +103,120 @@ def jacobi(a, b, *, tolerance: float = 1e-10, max_iterations: int = 10_000,
         if rel <= tolerance:
             return IterativeResult(x=x, iterations=iterations, residual=rel,
                                    converged=True, history=history)
+    return IterativeResult(x=x, iterations=iterations, residual=history[-1],
+                           converged=False, history=history)
+
+
+def golub_kahan_bidiagonalize(matvec: Callable[[np.ndarray], np.ndarray],
+                              rmatvec: Callable[[np.ndarray], np.ndarray],
+                              n: int, *, steps: int | None = None,
+                              rng=None, reorthogonalize: bool = True
+                              ) -> tuple[np.ndarray, np.ndarray]:
+    """Golub–Kahan (Lanczos) bidiagonalisation of a square operator ``A``.
+
+    Runs the two-sided recurrence driven only by ``A v`` and ``Aᵀ u`` —
+    never materialising ``A`` — and returns the bidiagonal coefficients
+    ``(alphas, betas)`` of the ``k x k`` lower-bidiagonal matrix ``B_k``
+    (``alphas`` on the diagonal, ``betas`` on the subdiagonal).  The
+    singular values of ``B_k`` are Ritz approximations of the singular
+    values of ``A``; with full reorthogonalisation (the default — ``k`` is
+    small) the extreme ones converge rapidly, which is what the
+    matrix-free κ estimate for *non-symmetric* operators consumes.
+    Mathematically this is symmetric Lanczos on the dilation
+    ``[[0, A], [Aᵀ, 0]]``, whose spectrum is ``±σ_i(A)``.
+    """
+    gen = as_generator(rng)
+    k = min(int(n), 60 if steps is None else int(steps))
+    u = gen.standard_normal(int(n))
+    u /= np.linalg.norm(u)
+    us = [u]
+    vs: list[np.ndarray] = []
+    alphas: list[float] = []
+    betas: list[float] = []
+    v_prev = np.zeros(int(n))
+    for j in range(k):
+        v = rmatvec(us[-1]) - (betas[-1] if betas else 0.0) * v_prev
+        if reorthogonalize:
+            for w in vs:
+                v -= (w @ v) * w
+        alpha = float(np.linalg.norm(v))
+        if alpha <= 1e-14 * max(1.0, abs(betas[-1]) if betas else 1.0):
+            break
+        v /= alpha
+        alphas.append(alpha)
+        vs.append(v)
+        v_prev = v
+        u = matvec(v) - alpha * us[-1]
+        if reorthogonalize:
+            for w in us:
+                u -= (w @ u) * w
+        beta = float(np.linalg.norm(u))
+        if beta <= 1e-14 * alpha or j == k - 1:
+            break
+        u /= beta
+        betas.append(beta)
+        us.append(u)
+    return np.asarray(alphas), np.asarray(betas[:max(len(alphas) - 1, 0)])
+
+
+def lsqr(matvec: Callable[[np.ndarray], np.ndarray],
+         rmatvec: Callable[[np.ndarray], np.ndarray],
+         b, *, tolerance: float = 1e-12,
+         max_iterations: int | None = None) -> IterativeResult:
+    """LSQR (Paige–Saunders) solve of a square system via ``A v`` / ``Aᵀ u``.
+
+    The matrix-free companion of :func:`conjugate_gradient` for
+    *non-symmetric* operators (convection–diffusion): analytically
+    equivalent to CG on the normal equations ``AᵀA x = Aᵀ b`` but built on
+    the Golub–Kahan recurrence, so it never forms ``AᵀA`` and stays
+    numerically well-behaved at moderate κ.  For a consistent square
+    system the running ``φ̄`` estimates ``||b - A x||``, which drives the
+    stopping rule and the reported residual history.
+    """
+    rhs = np.asarray(b, dtype=np.float64)
+    n = rhs.shape[0]
+    limit = max_iterations if max_iterations is not None else 10 * n
+    norm_b = float(np.linalg.norm(rhs))
+    if norm_b == 0.0:
+        return IterativeResult(x=np.zeros(n), iterations=0, residual=0.0,
+                               converged=True, history=[0.0])
+    beta = norm_b
+    u = rhs / beta
+    v = rmatvec(u)
+    alpha = float(np.linalg.norm(v))
+    if alpha == 0.0:
+        raise ConvergenceError("LSQR: Aᵀ b vanishes — b is in the null "
+                               "space of Aᵀ", iterations=0)
+    v = v / alpha
+    w = v.copy()
+    x = np.zeros(n)
+    phibar, rhobar = beta, alpha
+    history: list[float] = []
+    iterations = 0
+    for iterations in range(1, limit + 1):
+        u = matvec(v) - alpha * u
+        beta = float(np.linalg.norm(u))
+        if beta > 0.0:
+            u /= beta
+            v_next = rmatvec(u) - beta * v
+            alpha = float(np.linalg.norm(v_next))
+            if alpha > 0.0:
+                v = v_next / alpha
+        rho = float(np.hypot(rhobar, beta))
+        c, s = rhobar / rho, beta / rho
+        theta = s * alpha
+        rhobar = -c * alpha
+        phi = c * phibar
+        phibar = s * phibar
+        x += (phi / rho) * w
+        w = v - (theta / rho) * w
+        rel = abs(phibar) / norm_b
+        history.append(rel)
+        if rel <= tolerance:
+            return IterativeResult(x=x, iterations=iterations, residual=rel,
+                                   converged=True, history=history)
+        if beta == 0.0 or alpha == 0.0:
+            break
     return IterativeResult(x=x, iterations=iterations, residual=history[-1],
                            converged=False, history=history)
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import abc
 import json
+import os
 
 import numpy as np
 
@@ -50,12 +51,34 @@ __all__ = [
     "DiagonalShiftOperator",
     "is_structured_operator",
     "operator_from_state",
+    "operator_state_payload",
+    "operator_from_payload",
     "DENSE_MATERIALIZE_WALL",
+    "DENSE_WALL_ENV_VAR",
+    "dense_wall",
+    "OPERATOR_STATE_VERSION",
 ]
 
-#: dimension above which implicit ``to_dense()`` refuses (pass ``force=True``
-#: to override — an ``N x N`` float64 array above this wall is ≥ 0.5 GiB).
+#: default dimension above which implicit ``to_dense()`` (and the problem
+#: families' legacy dense assembly) refuses — an ``N x N`` float64 array
+#: above this wall is ≥ 0.5 GiB.  Override at runtime with the
+#: ``REPRO_DENSE_WALL`` environment variable; pass ``force=True`` to
+#: ``to_dense`` for a one-off escape hatch.
 DENSE_MATERIALIZE_WALL = 8192
+
+#: environment variable overriding :data:`DENSE_MATERIALIZE_WALL` — one knob
+#: shared by every dense-materialisation guard in the stack.
+DENSE_WALL_ENV_VAR = "REPRO_DENSE_WALL"
+
+
+def dense_wall() -> int:
+    """The effective dense-materialisation wall (env override or default)."""
+    return int(os.environ.get(DENSE_WALL_ENV_VAR, DENSE_MATERIALIZE_WALL))
+
+
+#: version tag of the ``operator_state_payload`` layout; bump when the
+#: meta/array packing changes so stale store entries become misses.
+OPERATOR_STATE_VERSION = 1
 
 
 def is_structured_operator(obj) -> bool:
@@ -137,15 +160,43 @@ class StructuredOperator(abc.ABC):
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Apply the operator to one vector of length ``N``."""
+        """Apply the operator to one vector of length ``N``.
+
+        Dtype contract: the input is coerced to float64 and the result is
+        always float64 (matching :attr:`dtype`) regardless of the input's
+        dtype — a float32 right-hand side round-trips through the operator
+        without silent precision surprises, it is simply promoted.
+        """
 
     def matmat(self, x: np.ndarray) -> np.ndarray:
         """Apply the operator to column-stacked vectors of shape ``(N, B)``.
 
-        The default loops over :meth:`matvec`; subclasses vectorise.
+        The default loops over :meth:`matvec`; subclasses vectorise.  The
+        float64 dtype contract of :meth:`matvec` applies column-wise.
         """
         block = np.asarray(x, dtype=np.float64)
         return np.column_stack([self.matvec(block[:, j])
+                                for j in range(block.shape[1])])
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Apply the adjoint ``Aᵀ`` to one vector of length ``N``.
+
+        Symmetric operators fall through to :meth:`matvec`; non-symmetric
+        subclasses override (the Golub–Kahan bidiagonalisation route and the
+        symmetric-dilation matrix-free solve both need ``Aᵀv``).
+        """
+        if self.is_symmetric:
+            return self.matvec(x)
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement rmatvec for "
+            "non-symmetric structure")
+
+    def rmatmat(self, x: np.ndarray) -> np.ndarray:
+        """Apply the adjoint to column-stacked vectors of shape ``(N, B)``."""
+        if self.is_symmetric:
+            return self.matmat(x)
+        block = np.asarray(x, dtype=np.float64)
+        return np.column_stack([self.rmatvec(block[:, j])
                                 for j in range(block.shape[1])])
 
     def __matmul__(self, other):
@@ -196,17 +247,20 @@ class StructuredOperator(abc.ABC):
     def to_dense(self, *, force: bool = False) -> np.ndarray:
         """Materialise the dense ``N x N`` array (never cached).
 
-        Refuses above :data:`DENSE_MATERIALIZE_WALL` unless ``force=True`` —
+        Refuses above :func:`dense_wall` (default
+        :data:`DENSE_MATERIALIZE_WALL`, override with the
+        ``REPRO_DENSE_WALL`` environment variable) unless ``force=True`` —
         the whole point of the structured path is that the dense array does
         not exist, so an implicit ``O(N²)`` allocation is a bug, not a
         convenience.
         """
-        if not force and self._n > DENSE_MATERIALIZE_WALL:
+        if not force and self._n > dense_wall():
             raise MemoryError(
                 f"refusing to densify a {self._n} x {self._n} "
                 f"{self.structure} operator "
-                f"({self._n * self._n * 8 / 2**30:.1f} GiB); pass force=True "
-                "if you really mean it")
+                f"({self._n * self._n * 8 / 2**30:.1f} GiB); raise the "
+                f"{DENSE_WALL_ENV_VAR} environment variable or pass "
+                "force=True if you really mean it")
         return self._dense()
 
     @abc.abstractmethod
@@ -439,27 +493,43 @@ class BandedOperator(StructuredOperator):
         return stencil
 
     # ------------------------------------------------------------------ #
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        vec = np.asarray(x, dtype=np.float64)
-        y = np.zeros_like(vec)
-        n = self._n
-        for k, d in self._bands.items():
-            if k >= 0:
-                y[:n - k] += d * vec[k:]
-            else:
-                y[-k:] += d * vec[:n + k]
-        return y
+    def _band_apply(self, x: np.ndarray, *, transpose: bool = False
+                    ) -> np.ndarray:
+        """Shared band contraction for 1-D/2-D operands and ``Aᵀ``.
 
-    def matmat(self, x: np.ndarray) -> np.ndarray:
+        One fused ``y[sl] += d * x[sl']`` per stored diagonal; constant
+        (Toeplitz) bands multiply by the scalar directly, so wide batches
+        avoid materialising the broadcast ``d[:, None] * block`` product.
+        The transpose mirrors each offset: the entries of band ``k`` land on
+        band ``-k`` of ``Aᵀ`` with unchanged values.
+        """
         block = np.asarray(x, dtype=np.float64)
         y = np.zeros_like(block)
         n = self._n
+        wide = block.ndim == 2
         for k, d in self._bands.items():
-            if k >= 0:
-                y[:n - k] += d[:, None] * block[k:]
+            if d.size and np.all(d == d[0]):
+                coeff = d[0]
             else:
-                y[-k:] += d[:, None] * block[:n + k]
+                coeff = d[:, None] if wide else d
+            if (k >= 0) != transpose or k == 0:
+                dst, src = slice(0, n - abs(k)), slice(abs(k), n)
+            else:
+                dst, src = slice(abs(k), n), slice(0, n - abs(k))
+            y[dst] += coeff * block[src]
         return y
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._band_apply(x)
+
+    def matmat(self, x: np.ndarray) -> np.ndarray:
+        return self._band_apply(x)
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        return self._band_apply(x, transpose=True)
+
+    def rmatmat(self, x: np.ndarray) -> np.ndarray:
+        return self._band_apply(x, transpose=True)
 
     # ------------------------------------------------------------------ #
     @property
@@ -609,18 +679,87 @@ class CSROperator(StructuredOperator):
                                         np.diff(self._indptr))
         return self._row_cache
 
+    def _scipy_matrix(self):
+        """scipy CSR view *sharing* the frozen arrays (no copy); None without scipy.
+
+        The numpy kernels below are memory-bandwidth-bound (every gathered
+        ``x[indices]`` materialises an ``(nnz, B)`` block); scipy's single-pass
+        C kernel avoids the intermediate entirely.  Wrapping costs ~microseconds
+        because the three canonical arrays are handed over by reference.
+        """
+        try:
+            from scipy.sparse import csr_matrix
+        except ImportError:  # pragma: no cover - scipy is a baked-in dep
+            return None
+        return csr_matrix((self._data, self._indices, self._indptr),
+                          shape=(self._n, self._n))
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
+        # both routes accumulate in float64, which is exactly the operator's
+        # dtype contract: any real input promotes to float64.
         vec = np.asarray(x, dtype=np.float64)
+        sparse = self._scipy_matrix()
+        if sparse is not None:
+            return sparse @ vec
         return np.bincount(self._rows, weights=self._data * vec[self._indices],
                            minlength=self._n)
 
     def matmat(self, x: np.ndarray) -> np.ndarray:
+        """Wide-batch product without a per-column Python loop.
+
+        Dispatches to scipy's single-pass C kernel when available (it reads
+        the frozen CSR arrays in place), else falls back to one
+        ``np.add.reduceat`` contraction over the gathered
+        ``data ⊙ x[indices]`` block.  ``reduceat`` has one wart: a start
+        index with an empty segment returns the *element* at that index
+        instead of zero (and an index equal to ``nnz`` is out of range), so
+        empty rows are clamped and zeroed afterwards.
+        """
+        block = np.asarray(x, dtype=np.float64)
+        if block.shape[1] == 0 or self.nnz == 0:
+            return np.zeros((self._n, block.shape[1]))
+        sparse = self._scipy_matrix()
+        if sparse is not None:
+            return np.asarray(sparse @ block)
+        contrib = self._data[:, None] * block[self._indices]
+        counts = np.diff(self._indptr)
+        if counts.min() > 0:
+            return np.add.reduceat(contrib, self._indptr[:-1], axis=0)
+        starts = np.minimum(self._indptr[:-1], self.nnz - 1)
+        out = np.add.reduceat(contrib, starts, axis=0)
+        out[counts == 0] = 0.0
+        return out
+
+    def _matmat_loop(self, x: np.ndarray) -> np.ndarray:
+        """The pre-vectorisation per-column kernel (benchmark baseline)."""
         block = np.asarray(x, dtype=np.float64)
         gathered = block[self._indices]
         return np.column_stack([
             np.bincount(self._rows, weights=self._data * gathered[:, j],
                         minlength=self._n)
             for j in range(block.shape[1])])
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        vec = np.asarray(x, dtype=np.float64)
+        sparse = self._scipy_matrix()
+        if sparse is not None:
+            return sparse.T @ vec
+        return np.bincount(self._indices,
+                           weights=self._data * vec[self._rows],
+                           minlength=self._n)
+
+    def rmatmat(self, x: np.ndarray) -> np.ndarray:
+        block = np.asarray(x, dtype=np.float64)
+        b = block.shape[1]
+        if b == 0 or self.nnz == 0:
+            return np.zeros((self._n, b))
+        sparse = self._scipy_matrix()
+        if sparse is not None:
+            return np.asarray(sparse.T @ block)
+        contrib = (self._data[:, None] * block[self._rows]).ravel()
+        flat = self._indices[:, None] * b + np.arange(b, dtype=np.int64)
+        return np.bincount(flat.ravel(), weights=contrib,
+                           minlength=self._n * b).reshape(self._n, b)
 
     # ------------------------------------------------------------------ #
     @property
@@ -658,7 +797,26 @@ class CSROperator(StructuredOperator):
         bounds = self.eigenvalue_bounds()
         if self.is_symmetric and bounds is not None and bounds[0] * bounds[1] > 0:
             return self._cg_solve(b)
+        if not self.is_symmetric and self._n > dense_wall():
+            # beyond the wall a dense factorisation is off the table: LSQR
+            # (Golub–Kahan) solves the non-symmetric system matrix-free.
+            return self._lsqr_solve(b)
         return super().solve(b)
+
+    def _lsqr_solve(self, b, *, tolerance: float = 1e-12) -> np.ndarray:
+        from .iterative import lsqr
+
+        rhs = np.asarray(b, dtype=np.float64)
+
+        def one(column: np.ndarray) -> np.ndarray:
+            result = lsqr(self.matvec, self.rmatvec, column,
+                          tolerance=tolerance,
+                          max_iterations=40 * self._n)
+            return result.x
+
+        if rhs.ndim == 1:
+            return one(rhs)
+        return np.column_stack([one(rhs[:, j]) for j in range(rhs.shape[1])])
 
 
 # ---------------------------------------------------------------------- #
@@ -697,6 +855,7 @@ class KroneckerSumOperator(StructuredOperator):
                          spectrum_bounds=spectrum_bounds)
         self._scale = float(scale)
         self._eigh_cache: list[tuple[np.ndarray, np.ndarray]] | None = None
+        self._lam_total_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -707,11 +866,13 @@ class KroneckerSumOperator(StructuredOperator):
     def scale(self) -> float:
         return self._scale
 
-    def _apply_terms(self, tensor: np.ndarray) -> np.ndarray:
+    def _apply_terms(self, tensor: np.ndarray, *, transpose: bool = False
+                     ) -> np.ndarray:
         """Σ_i (T_i along axis i) on a tensor with optional trailing batch axis."""
         acc = np.zeros_like(tensor)
         for axis, term in enumerate(self._terms):
-            acc += np.moveaxis(np.tensordot(term, tensor, axes=(1, axis)),
+            factor = term.T if transpose else term
+            acc += np.moveaxis(np.tensordot(factor, tensor, axes=(1, axis)),
                                0, axis)
         return acc
 
@@ -723,6 +884,16 @@ class KroneckerSumOperator(StructuredOperator):
         block = np.asarray(x, dtype=np.float64)
         tensor = block.reshape(*self._dims, block.shape[1])
         out = self._scale * self._apply_terms(tensor)
+        return out.reshape(self._n, block.shape[1])
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        tensor = np.asarray(x, dtype=np.float64).reshape(self._dims)
+        return self._scale * self._apply_terms(tensor, transpose=True).ravel()
+
+    def rmatmat(self, x: np.ndarray) -> np.ndarray:
+        block = np.asarray(x, dtype=np.float64)
+        tensor = block.reshape(*self._dims, block.shape[1])
+        out = self._scale * self._apply_terms(tensor, transpose=True)
         return out.reshape(self._n, block.shape[1])
 
     # ------------------------------------------------------------------ #
@@ -787,10 +958,15 @@ class KroneckerSumOperator(StructuredOperator):
         for axis, (_, q) in enumerate(factors):
             tensor = np.moveaxis(np.tensordot(q.T, tensor, axes=(1, axis)),
                                  0, axis)
-        lam_total = factors[0][0]
-        for lam, _ in factors[1:]:
-            lam_total = np.add.outer(lam_total, lam)
-        tensor = tensor * np.asarray(transform(lam_total))[..., None]
+        if self._lam_total_cache is None:
+            lam_total = factors[0][0]
+            for lam, _ in factors[1:]:
+                lam_total = np.add.outer(lam_total, lam)
+            lam_total = np.asarray(lam_total)
+            lam_total.setflags(write=False)
+            self._lam_total_cache = lam_total
+        tensor = tensor * np.asarray(
+            transform(self._lam_total_cache))[..., None]
         for axis, (_, q) in enumerate(factors):
             tensor = np.moveaxis(np.tensordot(q, tensor, axes=(1, axis)),
                                  0, axis)
@@ -847,6 +1023,14 @@ class DiagonalShiftOperator(StructuredOperator):
     def matmat(self, x: np.ndarray) -> np.ndarray:
         block = np.asarray(x, dtype=np.float64)
         return self._scale * self._base.matmat(block) + self._shift * block
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        vec = np.asarray(x, dtype=np.float64)
+        return self._scale * self._base.rmatvec(vec) + self._shift * vec
+
+    def rmatmat(self, x: np.ndarray) -> np.ndarray:
+        block = np.asarray(x, dtype=np.float64)
+        return self._scale * self._base.rmatmat(block) + self._shift * block
 
     # ------------------------------------------------------------------ #
     @property
@@ -932,3 +1116,40 @@ def operator_from_state(meta: dict, arrays: list) -> StructuredOperator:
                                      scale=float(meta["scale"]),
                                      spectrum_bounds=bounds)
     raise ValueError(f"unknown structured-operator kind {kind!r}")
+
+
+def operator_state_payload(operator: StructuredOperator,
+                           *, prefix: str = "operator"
+                           ) -> tuple[dict, dict]:
+    """Versioned (JSON-able meta, named-array dict) form of an operator.
+
+    This is the persistence format: the arrays carry unique names so they
+    can ride inside an ``npz`` payload next to a backend's own arrays (the
+    :class:`~repro.engine.store.SynthesisStore` entry), and the meta embeds
+    :data:`OPERATOR_STATE_VERSION` so a layout change turns old entries
+    into clean store misses instead of wrong restores.  The version lives
+    in the *payload*, not in :meth:`StructuredOperator._meta`, so operator
+    fingerprints are untouched.
+    """
+    meta, arrays = operator.to_state()
+    payload_meta = {
+        "state_version": OPERATOR_STATE_VERSION,
+        "meta": meta,
+        "num_arrays": len(arrays),
+    }
+    payload_arrays = {f"{prefix}_arr{i}": np.asarray(arr)
+                      for i, arr in enumerate(arrays)}
+    return payload_meta, payload_arrays
+
+
+def operator_from_payload(payload_meta: dict, payload_arrays: dict,
+                          *, prefix: str = "operator") -> StructuredOperator:
+    """Inverse of :func:`operator_state_payload` (version-checked)."""
+    version = payload_meta.get("state_version")
+    if version != OPERATOR_STATE_VERSION:
+        raise ValueError(
+            f"operator-state payload version {version!r} is not the "
+            f"supported version {OPERATOR_STATE_VERSION}")
+    count = int(payload_meta["num_arrays"])
+    arrays = [payload_arrays[f"{prefix}_arr{i}"] for i in range(count)]
+    return operator_from_state(payload_meta["meta"], arrays)

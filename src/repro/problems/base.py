@@ -25,7 +25,6 @@ hits).
 from __future__ import annotations
 
 import abc
-import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +32,11 @@ import numpy as np
 from ..applications.workloads import LinearSystemWorkload
 from ..engine.runner import SolveJob
 from ..linalg import random_rhs
+from ..linalg.operators import (
+    DENSE_MATERIALIZE_WALL,
+    DENSE_WALL_ENV_VAR,
+    dense_wall,
+)
 from ..utils import is_linear_operator, matrix_fingerprint
 
 __all__ = [
@@ -49,18 +53,21 @@ __all__ = [
 #: dimension above which ``assembly="dense"`` refuses.  An ``N x N`` float64
 #: array above this wall is ≥ 0.5 GiB *per copy* (assembly, SVD workspace,
 #: cache entry, per-worker pickle), which is exactly the regime the
-#: structured path exists for.  Override with ``REPRO_DENSE_WALL``.
-DENSE_ASSEMBLY_WALL = 8192
+#: structured path exists for.  This is the *same* wall every
+#: ``to_dense()`` materialisation honours
+#: (:data:`repro.linalg.operators.DENSE_MATERIALIZE_WALL`), and the single
+#: ``REPRO_DENSE_WALL`` environment override moves both together.
+DENSE_ASSEMBLY_WALL = DENSE_MATERIALIZE_WALL
 
 
 def check_dense_assembly(dimension: int, family: str) -> None:
     """Refuse dense assembly beyond the wall (see :data:`DENSE_ASSEMBLY_WALL`)."""
-    wall = int(os.environ.get("REPRO_DENSE_WALL", DENSE_ASSEMBLY_WALL))
+    wall = dense_wall()
     if int(dimension) > wall:
         raise ValueError(
             f"{family}: dense assembly of an N={dimension} system exceeds the "
             f"dense wall ({wall}); use assembly='structured' (the default) or "
-            "raise REPRO_DENSE_WALL if you accept the memory cost")
+            f"raise {DENSE_WALL_ENV_VAR} if you accept the memory cost")
 
 
 def random_rhs_list(dimension: int, count: int, rng=None) -> list:

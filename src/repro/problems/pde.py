@@ -17,8 +17,14 @@ stencils — ``O(nnz)`` storage and assembly instead of ``O(N²)``, which is
 what unlocks ``N ≥ 32768`` grids.  ``assembly="dense"`` reproduces the
 original dense arrays bit-for-bit up to the dense wall
 (:func:`repro.problems.base.check_dense_assembly`) and refuses beyond it.
-The convection–diffusion family is non-symmetric and stays dense (the
-matrix-free QSVT route needs symmetry).
+The convection–diffusion family is non-symmetric: its structured default
+assembles a :class:`~repro.linalg.operators.CSROperator` whose κ is
+*estimated* matrix-free by Golub–Kahan bidiagonalisation
+(:func:`repro.linalg.cond.estimate_operator_condition`) — the dilation-aware
+backends invert it without ever densifying.  The indefinite Helmholtz family
+can likewise swap its analytic κ pin for a safety-widened Lanczos estimate
+(``kappa_source="estimated"``), exercising the same spectra-estimation
+machinery the backends use when no closed form exists.
 """
 
 from __future__ import annotations
@@ -28,11 +34,13 @@ import numpy as np
 from ..applications.workloads import LinearSystemWorkload
 from ..linalg import (
     BandedOperator,
+    CSROperator,
     KroneckerSumOperator,
     is_structured_operator,
     lu_factor,
     tridiagonal_toeplitz,
 )
+from ..linalg.cond import estimate_operator_condition
 from ..utils import as_generator
 from .base import (
     ProblemFamily,
@@ -264,7 +272,8 @@ class ConvectionDiffusionFamily(ProblemFamily):
                    "Peclet number)")
 
     def workloads(self, *, num_points: int = 16, peclet: float = 0.8,
-                  diffusivity: float = 1.0, num_rhs: int = 1, rng=0
+                  diffusivity: float = 1.0, num_rhs: int = 1,
+                  assembly: str = "structured", rng=0
                   ) -> list[LinearSystemWorkload]:
         if num_points < 2 or num_rhs < 1:
             raise ValueError("num_points must be >= 2 and num_rhs >= 1")
@@ -273,21 +282,43 @@ class ConvectionDiffusionFamily(ProblemFamily):
         n = int(num_points)
         h = 1.0 / (n + 1)
         velocity = 2.0 * float(diffusivity) * float(peclet) / h
-        diffusion = float(diffusivity) / h**2 * tridiagonal_toeplitz(n, 2.0, -1.0)
-        convection = np.zeros((n, n))
-        idx = np.arange(n - 1)
-        convection[idx, idx + 1] = velocity / (2.0 * h)
-        convection[idx + 1, idx] = -velocity / (2.0 * h)
-        matrix = diffusion + convection
-        # non-normal matrix: no closed-form κ₂ — measure it once here (the
-        # workload pins it, so downstream solves skip the SVD).
-        kappa = float(np.linalg.cond(matrix, 2))
+        diagonal = 2.0 * float(diffusivity) / h**2
+        upper = -float(diffusivity) / h**2 + velocity / (2.0 * h)
+        lower = -float(diffusivity) / h**2 - velocity / (2.0 * h)
+        if assembly == "structured":
+            # non-symmetric tridiagonal stored as CSR: O(nnz) assembly, and
+            # the non-normal κ₂ — which has no closed form — is estimated
+            # matrix-free by Golub–Kahan bidiagonalisation (safety-widened,
+            # so the pinned value over-covers the true spectrum).
+            idx = np.arange(n - 1)
+            rows = np.concatenate([np.arange(n), idx, idx + 1])
+            cols = np.concatenate([np.arange(n), idx + 1, idx])
+            values = np.concatenate([np.full(n, diagonal),
+                                     np.full(n - 1, upper),
+                                     np.full(n - 1, lower)])
+            matrix = CSROperator.from_coo(rows, cols, values, n)
+            kappa = estimate_operator_condition(matrix, rng=0)
+        elif assembly == "dense":
+            check_dense_assembly(n, self.name)
+            diffusion = (float(diffusivity) / h**2
+                         * tridiagonal_toeplitz(n, 2.0, -1.0))
+            convection = np.zeros((n, n))
+            idx = np.arange(n - 1)
+            convection[idx, idx + 1] = velocity / (2.0 * h)
+            convection[idx + 1, idx] = -velocity / (2.0 * h)
+            matrix = diffusion + convection
+            # dense route keeps the exact measured κ₂ (one-off SVD).
+            kappa = float(np.linalg.cond(matrix, 2))
+        else:
+            raise ValueError(
+                f"assembly must be 'structured' or 'dense', got {assembly!r}")
         forcing = np.ones(n) / np.sqrt(n)
         rhs_list = [forcing] + random_rhs_list(n, num_rhs - 1, as_generator(rng))
         return solved_workloads(
             f"convdiff-n{n}-p{peclet:g}", matrix, rhs_list, kappa,
             {"num_points": n, "peclet": float(peclet),
-             "velocity": velocity, "diffusivity": float(diffusivity)})
+             "velocity": velocity, "diffusivity": float(diffusivity),
+             "assembly": assembly})
 
 
 # ---------------------------------------------------------------------- #
@@ -321,15 +352,17 @@ class HelmholtzFamily(ProblemFamily):
                                   shift_fraction: float = 0.5,
                                   num_rhs: int = 1,
                                   assembly: str = "structured",
+                                  kappa_source: str = "analytic",
                                   rng=0) -> float:
-        del num_rhs, assembly, rng  # no influence on the spectrum
+        del num_rhs, assembly, kappa_source, rng  # no influence on the spectrum
         lam = stencil_eigenvalues(num_points)
         gaps = np.abs(lam - self._shift(int(num_points), shift, shift_fraction))
         return float(gaps.max() / gaps.min())
 
     def workloads(self, *, num_points: int = 16, shift=None,
                   shift_fraction: float = 0.5, num_rhs: int = 1,
-                  assembly: str = "structured", rng=0
+                  assembly: str = "structured",
+                  kappa_source: str = "analytic", rng=0
                   ) -> list[LinearSystemWorkload]:
         if num_points < 2 or num_rhs < 1:
             raise ValueError("num_points must be >= 2 and num_rhs >= 1")
@@ -338,8 +371,7 @@ class HelmholtzFamily(ProblemFamily):
         if assembly == "structured":
             # T − σI stays tridiagonal Toeplitz (banded LU solves, exact
             # closed-form extreme eigenvalues; the *indefinite* min |λ| has
-            # no endpoint formula, which is why the analytic κ is pinned on
-            # every workload).
+            # no endpoint formula, which is why the default pins analytic κ).
             matrix = BandedOperator.toeplitz(
                 n, {0: 2.0 - sigma, 1: -1.0, -1: -1.0})
         elif assembly == "dense":
@@ -348,7 +380,18 @@ class HelmholtzFamily(ProblemFamily):
         else:
             raise ValueError(
                 f"assembly must be 'structured' or 'dense', got {assembly!r}")
-        kappa = self.analytic_condition_number(num_points=n, shift=sigma)
+        if kappa_source == "analytic":
+            kappa = self.analytic_condition_number(num_points=n, shift=sigma)
+        elif kappa_source == "estimated":
+            # Lanczos Ritz values resolve the interior min |λ| matrix-free —
+            # the route workloads without a closed-form spectrum would take.
+            operator = (matrix if is_structured_operator(matrix)
+                        else BandedOperator.from_dense(matrix))
+            kappa = float(estimate_operator_condition(operator, rng=0))
+        else:
+            raise ValueError(
+                "kappa_source must be 'analytic' or 'estimated', "
+                f"got {kappa_source!r}")
         gaps = stencil_eigenvalues(n) - sigma
         wave = np.sin(np.pi * _interior_grid(n))
         rhs_list = ([wave / np.linalg.norm(wave)]
@@ -356,4 +399,5 @@ class HelmholtzFamily(ProblemFamily):
         return solved_workloads(
             f"helmholtz-n{n}-s{sigma:.3g}", matrix, rhs_list, kappa,
             {"num_points": n, "shift": sigma, "assembly": assembly,
+             "kappa_source": kappa_source,
              "indefinite": bool((gaps < 0).any() and (gaps > 0).any())})

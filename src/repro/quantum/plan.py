@@ -99,18 +99,28 @@ class PlanOp:
     ----------
     kind:
         ``"unitary"`` (dense matrix over ``qubits``), ``"diagonal"`` (the
-        matrix is exactly diagonal; applied as an elementwise multiply) or
+        matrix is exactly diagonal; applied as an elementwise multiply),
         ``"controlled"`` (matrix over ``qubits`` applied only on the activated
-        control sub-block, via control-axis slicing).
+        control sub-block, via control-axis slicing) or ``"shift"`` (an
+        optionally controlled cyclic increment ``|x⟩ → |x + shift mod 2^k⟩``
+        over ``k`` *contiguous* target qubits, applied as one ``np.roll`` —
+        the O(2^n) zero-payload kernel behind the banded block-encoding's
+        shift circuits).
     qubits:
         Target qubits the matrix acts on (``qubits[0]`` most significant).
+        ``shift`` ops additionally require the qubits to be contiguous and
+        ascending, with no control qubit strictly between them.
     matrix:
         ``(2^k, 2^k)`` unitary for ``unitary``/``controlled`` ops (``None``
         for diagonal ops).
     diagonal:
         Length-``2^k`` diagonal for ``diagonal`` ops (``None`` otherwise).
     controls / control_states:
-        Control qubits and their activation states (``controlled`` ops only).
+        Control qubits and their activation states (``controlled`` and
+        ``shift`` ops).
+    shift:
+        Cyclic increment of ``shift`` ops (e.g. ``+1`` for ``S|x⟩=|x+1⟩``,
+        ``-1`` for its adjoint); ignored by the other kinds.
     source_gates:
         Number of circuit gates fused into this op.
     """
@@ -121,6 +131,7 @@ class PlanOp:
     diagonal: np.ndarray | None = field(default=None, repr=False)
     controls: tuple[int, ...] = ()
     control_states: tuple[int, ...] = ()
+    shift: int = 0
     source_gates: int = 1
 
     # ------------------------------------------------------------------ #
@@ -146,9 +157,22 @@ class PlanOp:
         if self.kind == "unitary":
             return _contract(tensor, self.matrix,
                              [q + offset for q in self.qubits])
+        if self.kind == "shift":
+            if not self.controls:
+                return self._roll(tensor, [q + offset for q in self.qubits])
+            tensor = tensor.copy()
+            index: list = [slice(None)] * tensor.ndim
+            for qubit, state_bit in zip(self.controls, self.control_states):
+                index[qubit + offset] = 1 if state_bit else 0
+            sub = tensor[tuple(index)]
+            controls_sorted = sorted(self.controls)
+            axes = [q + offset - sum(1 for c in controls_sorted if c < q)
+                    for q in self.qubits]
+            tensor[tuple(index)] = self._roll(sub, axes)
+            return tensor
         # controlled: slice the activated sub-block, contract, write back
         tensor = tensor.copy()
-        index: list = [slice(None)] * tensor.ndim
+        index = [slice(None)] * tensor.ndim
         for qubit, state_bit in zip(self.controls, self.control_states):
             index[qubit + offset] = 1 if state_bit else 0
         sub = tensor[tuple(index)]
@@ -161,6 +185,22 @@ class PlanOp:
                             [shifted(q) for q in self.qubits])
         tensor[tuple(index)] = new_sub
         return tensor
+
+    def _roll(self, sub: np.ndarray, axes: Sequence[int]) -> np.ndarray:
+        """Cyclic increment over contiguous axes: merge, ``np.roll``, split.
+
+        ``np.roll(a, +1)`` satisfies ``out[x] = a[x-1]`` — amplitude at
+        basis state ``|x⟩`` moves to ``|x+1 mod 2^k⟩``, i.e. the cyclic
+        shift operator ``S`` of the banded block-encoding.
+        """
+        lead, k = axes[0], len(axes)
+        if list(axes) != list(range(lead, lead + k)):
+            raise DimensionError(
+                "shift ops require contiguous ascending target axes, got "
+                f"{tuple(axes)}")
+        shape = sub.shape
+        merged = sub.reshape(shape[:lead] + (1 << k,) + shape[lead + k:])
+        return np.roll(merged, self.shift, axis=lead).reshape(shape)
 
 
 # ---------------------------------------------------------------------- #

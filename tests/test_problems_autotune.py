@@ -122,14 +122,18 @@ def test_kappa_models_registered():
 
 def test_convection_diffusion_is_nonsymmetric_and_tunable():
     family = PROBLEM_FAMILIES["convection-diffusion"]
-    matrix = family.workloads(peclet=0.8)[0].matrix
+    # the structured default assembles a non-symmetric CSR operator;
+    # densify to inspect, and cross-check against the dense assembly
+    matrix = family.workloads(peclet=0.8)[0].matrix.to_dense()
     assert not np.allclose(matrix, matrix.T)
-    symmetric = family.workloads(peclet=0.0)[0].matrix
+    np.testing.assert_allclose(
+        matrix, family.workloads(peclet=0.8, assembly="dense")[0].matrix)
+    symmetric = family.workloads(peclet=0.0)[0].matrix.to_dense()
     np.testing.assert_allclose(symmetric, symmetric.T)
     # larger Péclet, larger asymmetry
     asym = lambda a: np.linalg.norm(a - a.T)  # noqa: E731
-    assert asym(family.workloads(peclet=0.9)[0].matrix) > asym(
-        family.workloads(peclet=0.1)[0].matrix)
+    assert asym(family.workloads(peclet=0.9)[0].matrix.to_dense()) > asym(
+        family.workloads(peclet=0.1)[0].matrix.to_dense())
 
 
 def test_helmholtz_is_indefinite_but_invertible():
