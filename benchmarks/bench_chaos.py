@@ -1,0 +1,399 @@
+"""Chaos drill — a seeded kill schedule under Zipf traffic, recovery gated.
+
+Replays a deterministic fault schedule against the self-healing serving tier
+(:mod:`repro.serving`) and gates on the recovery properties the resilience
+layer promises, in two phases:
+
+* **Healthy phase** — the same closed-loop Zipf workload as
+  ``bench_serving_cluster.py``, but with the full resilience stack armed
+  (supervisor, circuit breakers, redispatch).  Its throughput quantifies the
+  cost of supervision on the fault-free path; in full mode it is compared
+  against the recorded ``BENCH_serving_cluster.json`` baseline and must stay
+  within 5%.
+* **Chaos phase** — closed-loop clients solving through a client-side
+  :class:`~repro.serving.resilience.RetryPolicy` while a scripted killer
+  SIGTERMs the routed owner of the hottest system at fixed progress points
+  (a seeded 2-kill schedule).  After each kill the driver measures the time
+  until the supervisor has respawned the victim **and** the consistent-hash
+  ring's ``arc_shares`` equal the pre-kill placement exactly — recovery to
+  *full* capacity, not merely "something answers".
+
+Acceptance gates (the tentpole's contract):
+
+* every request settles — nothing in flight after the clients drain, no
+  silent drops;
+* >= 99% of requests succeed after retries;
+* each kill recovers (ring re-converged, victim respawned) within a bound;
+* exactly the scripted deaths occur — a kill must never cascade into
+  collateral deaths of healthy siblings;
+* non-degraded answers match single-process ground truth to 1e-10.
+
+Results go to ``benchmarks/results/chaos.txt`` (human-readable) and
+``BENCH_chaos.json`` at the repository root (machine-readable).  Run
+directly for the CI smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py --smoke
+
+which exits non-zero when any acceptance criterion regresses.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.reporting import format_table
+from repro.serving import ClusterEngine, RetryPolicy
+
+try:
+    from .common import emit
+    from .bench_serving_cluster import (
+        _EPSILON_L,
+        _ZIPF_S,
+        _build_pool,
+        _measure_zipf,
+        _references,
+        _zipf_weights,
+    )
+except ImportError:     # script mode: python benchmarks/bench_chaos.py
+    from common import emit
+    from bench_serving_cluster import (
+        _EPSILON_L,
+        _ZIPF_S,
+        _build_pool,
+        _measure_zipf,
+        _references,
+        _zipf_weights,
+    )
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_JSON_PATH = _ROOT / "BENCH_chaos.json"
+_BASELINE_PATH = _ROOT / "BENCH_serving_cluster.json"
+
+#: non-degraded cluster answers must match single-process answers to this.
+_PARITY_TOL = 1e-10
+#: fraction of chaos-phase requests that must succeed after retries.
+_MIN_SUCCESS_RATE = 0.99
+#: seconds allowed from SIGTERM to full re-convergence (respawn + ring).
+_MAX_RECOVERY_S = 10.0
+#: healthy-path throughput may regress at most this much vs the recorded
+#: serving-cluster baseline (full mode only; cross-machine JSONs are skipped).
+_MAX_HEALTHY_REGRESSION = 0.05
+#: progress fractions (of the chaos request count) at which the killer fires.
+_KILL_SCHEDULE = (0.25, 0.55)
+
+
+# ---------------------------------------------------------------------- #
+# scripted killer
+# ---------------------------------------------------------------------- #
+class _Killer(threading.Thread):
+    """Fires the seeded kill schedule and times each recovery.
+
+    Each scheduled kill waits until client progress crosses its fraction,
+    SIGTERMs the *current routed owner of the hottest system* (deterministic
+    given the seed: routing is a pure function of fingerprint and the live
+    ring), then polls until the victim has respawned and ``arc_shares``
+    equal the pre-kill baseline exactly.
+    """
+
+    def __init__(self, cluster: ClusterEngine, hottest_matrix,
+                 total_requests: int, progress) -> None:
+        super().__init__(name="chaos-killer", daemon=True)
+        self._cluster = cluster
+        self._hottest = hottest_matrix
+        self._total = total_requests
+        self._progress = progress       # zero-arg callable -> settled count
+        self.kills: list[dict] = []
+        self.baseline_shares = dict(cluster.stats(
+            include_workers=False)["ring"]["arc_shares"])
+
+    def run(self) -> None:
+        for fraction in _KILL_SCHEDULE:
+            threshold = int(fraction * self._total)
+            while self._progress() < threshold:
+                time.sleep(0.005)
+            victim = self._cluster.route(self._hottest)
+            prior_restarts = self._cluster.stats(
+                include_workers=False)["restarts"].get(victim, 0)
+            killed_at = time.monotonic()
+            self._cluster._workers[victim]["process"].terminate()
+            recovery_s, reconverged = self._await_recovery(
+                victim, prior_restarts, killed_at)
+            self.kills.append({
+                "at_fraction": fraction,
+                "at_request": threshold,
+                "victim": victim,
+                "recovery_s": recovery_s,
+                "reconverged": reconverged,
+            })
+
+    def _await_recovery(self, victim: str, prior_restarts: int,
+                        killed_at: float) -> tuple[float, bool]:
+        deadline = killed_at + _MAX_RECOVERY_S + 5.0
+        while time.monotonic() < deadline:
+            stats = self._cluster.stats(include_workers=False)
+            if (stats["restarts"].get(victim, 0) > prior_restarts
+                    and stats["ring"]["arc_shares"] == self.baseline_shares):
+                return time.monotonic() - killed_at, True
+            time.sleep(0.01)
+        return time.monotonic() - killed_at, False
+
+
+# ---------------------------------------------------------------------- #
+# chaos phase: retrying closed-loop clients + the killer
+# ---------------------------------------------------------------------- #
+def _measure_chaos(cluster: ClusterEngine, pool: list[dict],
+                   references: list[np.ndarray], *, num_requests: int,
+                   clients: int, rng_seed: int = 2) -> dict:
+    weights = _zipf_weights(len(pool))
+    draws = np.random.default_rng(rng_seed).choice(len(pool),
+                                                   size=num_requests,
+                                                   p=weights)
+    partitions = np.array_split(draws, clients)
+    settled = {"n": 0}
+    count_lock = threading.Lock()
+    successes = [0] * clients
+    degraded = [0] * clients
+    deviations = [0.0] * clients
+    retries = [0] * clients
+    failures: list[str] = []
+
+    killer = _Killer(cluster, pool[0]["matrix"], num_requests,
+                     lambda: settled["n"])
+
+    def client(index: int, indices) -> None:
+        # one policy per client: retries are the client's own backoff state.
+        policy = RetryPolicy(max_attempts=6, base_delay=0.02, max_delay=0.5,
+                             rng=1000 + index)
+        for pool_index in indices:
+            entry = pool[pool_index]
+            try:
+                record = policy.execute(
+                    cluster.solve, entry["matrix"], entry["rhs"],
+                    epsilon_l=_EPSILON_L, backend="ideal",
+                    kappa=entry["kappa"])
+            except BaseException as exc:  # noqa: BLE001 - typed, counted
+                failures.append(type(exc).__name__)
+            else:
+                successes[index] += 1
+                if record.degraded:
+                    degraded[index] += 1
+                else:
+                    deviations[index] = max(deviations[index], float(
+                        np.max(np.abs(record.x - references[pool_index]))))
+            finally:
+                with count_lock:
+                    settled["n"] += 1
+        retries[index] = policy.stats()["retries"]
+
+    threads = [threading.Thread(target=client, args=(i, partition))
+               for i, partition in enumerate(partitions)]
+    start = time.perf_counter()
+    killer.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_time = time.perf_counter() - start
+    killer.join(timeout=_MAX_RECOVERY_S + 10.0)
+
+    stats = cluster.stats(include_workers=False)
+    total_success = sum(successes)
+    return {
+        "num_requests": num_requests,
+        "clients": clients,
+        "zipf_s": _ZIPF_S,
+        "rng_seed": rng_seed,
+        "kill_schedule": list(_KILL_SCHEDULE),
+        "kills": killer.kills,
+        "wall_time_s": wall_time,
+        "throughput_rps": num_requests / wall_time,
+        "successes": total_success,
+        "failures": len(failures),
+        "failure_types": sorted(set(failures)),
+        "success_rate": total_success / num_requests,
+        "client_retries": sum(retries),
+        "degraded": sum(degraded),
+        "max_deviation": max(deviations),
+        "inflight_after_drain": stats["inflight"],
+        "worker_deaths": stats["worker_deaths"],
+        "restarts": stats["restarts"],
+        "redispatched": stats["redispatched"],
+        "workers_alive_after": stats["workers_alive"],
+        "supervisor": stats["supervisor"],
+    }
+
+
+# ---------------------------------------------------------------------- #
+def run_benchmark(*, smoke: bool = False) -> dict:
+    if smoke:
+        num_workers, healthy_requests, chaos_requests, clients = 2, 40, 60, 4
+    else:
+        num_workers, healthy_requests, chaos_requests, clients = 2, 400, 300, 8
+
+    pool = _build_pool(smoke)
+    references = _references(pool)
+    resilience_config = dict(
+        num_workers=num_workers, queue_limit=256,
+        respawn=True, supervisor_interval=0.05)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        # tiered store directories make every respawn a *warm* restore —
+        # the new incarnation reloads compiled solvers instead of
+        # re-synthesising, which is what keeps recovery inside the bound.
+        stores = dict(local_store_dir=f"{tmp}/local",
+                      shared_store_dir=f"{tmp}/shared")
+
+        with ClusterEngine(**resilience_config, **stores) as cluster:
+            healthy = _measure_zipf(cluster, pool, references,
+                                    num_requests=healthy_requests,
+                                    clients=clients)
+
+        with ClusterEngine(**resilience_config, **stores) as cluster:
+            # warm both the per-worker caches and the store hierarchy, so
+            # kill latency measures recovery, not first-touch synthesis.
+            for entry, reference in zip(pool, references):
+                record = cluster.solve(entry["matrix"], entry["rhs"],
+                                       epsilon_l=_EPSILON_L, backend="ideal",
+                                       kappa=entry["kappa"])
+                deviation = float(np.max(np.abs(record.x - reference)))
+                if deviation > _PARITY_TOL:
+                    raise RuntimeError(f"warmup deviates by {deviation:.2e}")
+            chaos = _measure_chaos(cluster, pool, references,
+                                   num_requests=chaos_requests,
+                                   clients=clients)
+
+    baseline_rps = None
+    regression = None
+    if not smoke and _BASELINE_PATH.exists():
+        baseline = json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))
+        baseline_rps = float(baseline["zipf"]["throughput_rps"])
+        regression = 1.0 - healthy["throughput_rps"] / baseline_rps
+
+    summary = {
+        "smoke": smoke,
+        "epsilon_l": _EPSILON_L,
+        "num_workers": num_workers,
+        "healthy": healthy,
+        "chaos": chaos,
+        "baseline_rps": baseline_rps,
+        "healthy_regression": regression,
+    }
+
+    kill_rows = [{"at": f"{k['at_fraction']:.0%}", "victim": k["victim"],
+                  "recovery [s]": k["recovery_s"],
+                  "reconverged": k["reconverged"]}
+                 for k in chaos["kills"]]
+    text = "\n\n".join([
+        format_table(
+            [{"workers": healthy["workers"],
+              "requests": healthy["num_requests"],
+              "req/s": healthy["throughput_rps"],
+              "p99 [s]": healthy["p99_s"],
+              "baseline req/s": baseline_rps if baseline_rps else "n/a",
+              "regression": (f"{regression:+.1%}" if regression is not None
+                             else "n/a")}],
+            title="Healthy path (full resilience stack armed, no faults)"),
+        format_table(kill_rows or [{"at": "-", "victim": "-",
+                                    "recovery [s]": 0.0,
+                                    "reconverged": False}],
+                     title=f"Seeded kill schedule (Zipf s={_ZIPF_S}, "
+                           f"seed={chaos['rng_seed']})"),
+        format_table(
+            [{"requests": chaos["num_requests"],
+              "success": f"{chaos['success_rate']:.2%}",
+              "retries": chaos["client_retries"],
+              "redispatched": chaos["redispatched"],
+              "degraded": chaos["degraded"],
+              "deaths": chaos["worker_deaths"],
+              "max dev": chaos["max_deviation"]}],
+            title="Chaos traffic (closed loop through RetryPolicy clients)"),
+    ])
+    if smoke:
+        # threshold gate only; never overwrite the full-run artifacts
+        emit("chaos_smoke", text)
+    else:
+        _JSON_PATH.write_text(json.dumps(summary, indent=2, default=float)
+                              + "\n", encoding="utf-8")
+        emit("chaos", text + f"\n\nwritten: {_JSON_PATH}")
+    return summary
+
+
+def _check(summary: dict) -> list[str]:
+    """Acceptance criteria of the resilience tentpole; empty = pass."""
+    failures = []
+    chaos = summary["chaos"]
+    if chaos["inflight_after_drain"] != 0:
+        failures.append(f"{chaos['inflight_after_drain']} request(s) still "
+                        "in flight after the clients drained (silent drop)")
+    if chaos["successes"] + chaos["failures"] != chaos["num_requests"]:
+        failures.append("request accounting does not balance: "
+                        f"{chaos['successes']} + {chaos['failures']} != "
+                        f"{chaos['num_requests']}")
+    if chaos["success_rate"] < _MIN_SUCCESS_RATE:
+        failures.append(f"success rate {chaos['success_rate']:.2%} after "
+                        f"retries is below {_MIN_SUCCESS_RATE:.0%} "
+                        f"(failure types: {chaos['failure_types']})")
+    if len(chaos["kills"]) != len(_KILL_SCHEDULE):
+        failures.append(f"killer fired {len(chaos['kills'])} of "
+                        f"{len(_KILL_SCHEDULE)} scheduled kills")
+    for kill in chaos["kills"]:
+        if not kill["reconverged"]:
+            failures.append(f"ring never re-converged after killing "
+                            f"{kill['victim']} at {kill['at_fraction']:.0%}")
+        elif kill["recovery_s"] > _MAX_RECOVERY_S:
+            failures.append(f"recovery after killing {kill['victim']} took "
+                            f"{kill['recovery_s']:.2f}s "
+                            f"(bound {_MAX_RECOVERY_S}s)")
+    if chaos["worker_deaths"] != len(_KILL_SCHEDULE):
+        failures.append(f"{chaos['worker_deaths']} worker deaths for "
+                        f"{len(_KILL_SCHEDULE)} scripted kills — a kill "
+                        "cascaded into collateral deaths")
+    if chaos["workers_alive_after"] != summary["num_workers"]:
+        failures.append(f"only {chaos['workers_alive_after']} of "
+                        f"{summary['num_workers']} workers on the ring after "
+                        "the drill")
+    if chaos["max_deviation"] > _PARITY_TOL:
+        failures.append(f"non-degraded chaos answers deviate by "
+                        f"{chaos['max_deviation']:.2e} "
+                        f"(tolerance {_PARITY_TOL:.0e})")
+    if summary["healthy"]["max_deviation"] > _PARITY_TOL:
+        failures.append(f"healthy-path answers deviate by "
+                        f"{summary['healthy']['max_deviation']:.2e}")
+    regression = summary["healthy_regression"]
+    if regression is not None and regression > _MAX_HEALTHY_REGRESSION:
+        failures.append(f"healthy-path throughput regressed "
+                        f"{regression:.1%} vs BENCH_serving_cluster.json "
+                        f"(bound {_MAX_HEALTHY_REGRESSION:.0%})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast configuration (the CI regression gate)")
+    args = parser.parse_args(argv)
+    summary = run_benchmark(smoke=args.smoke)
+    chaos = summary["chaos"]
+    recoveries = ", ".join(f"{k['victim']}@{k['at_fraction']:.0%}:"
+                           f"{k['recovery_s']:.2f}s"
+                           for k in chaos["kills"]) or "none"
+    print(f"healthy: {summary['healthy']['throughput_rps']:.1f} req/s; "
+          f"chaos: {chaos['success_rate']:.2%} success over "
+          f"{chaos['num_requests']} requests with {chaos['worker_deaths']} "
+          f"scripted deaths ({chaos['client_retries']} retries, "
+          f"{chaos['redispatched']} redispatched, "
+          f"{chaos['degraded']} degraded), recoveries: {recoveries}")
+    failures = _check(summary)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

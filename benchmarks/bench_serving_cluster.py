@@ -72,9 +72,13 @@ def _build_pool(smoke: bool) -> list[dict]:
     condition number (analytic where the family knows it), so the cluster
     and the single-process reference compile identical solvers.
     """
+    # assembly="dense" is pinned everywhere: the serving wire format ships
+    # concrete arrays (inline or via shared memory), so the pool must not
+    # pick up the problem registry's structured/matrix-free default.
     selections = [
         ("poisson-2d", {"grid_points": 4, "assembly": "dense"}),
-        ("convection-diffusion", {"num_points": 16, "peclet": 0.8}),
+        ("convection-diffusion", {"num_points": 16, "peclet": 0.8,
+                                  "assembly": "dense"}),
         ("graph-laplacian", {"topology": "path", "num_nodes": 16,
                              "assembly": "dense"}),
     ]
@@ -84,7 +88,8 @@ def _build_pool(smoke: bool) -> list[dict]:
             ("prescribed-spectrum", {"dimension": 16,
                                      "condition_number": 30.0}),
             ("poisson-3d", {"grid_points": 2, "assembly": "dense"}),
-            ("convection-diffusion", {"num_points": 16, "peclet": 0.3}),
+            ("convection-diffusion", {"num_points": 16, "peclet": 0.3,
+                                      "assembly": "dense"}),
             ("graph-laplacian", {"topology": "cycle", "num_nodes": 16,
                                  "assembly": "dense"}),
         ]

@@ -34,6 +34,11 @@ class SingleSolveRecord:
         Measurement shots consumed (0 when the read-out is exact).
     wall_time:
         Wall-clock seconds spent in the solve.
+    degraded:
+        ``True`` when the serving tier answered from its in-process
+        classical fallback (no live worker could own the request); the
+        answer is still exact, but bypassed the quantum pipeline and its
+        caches.
     """
 
     x: np.ndarray
@@ -45,6 +50,7 @@ class SingleSolveRecord:
     success_probability: float = 1.0
     shots: int = 0
     wall_time: float = 0.0
+    degraded: bool = False
 
 
 @dataclass

@@ -23,9 +23,12 @@ Format and failure model
   store directory and ``os.replace``-d into place, so readers (including
   concurrent worker processes) only ever observe complete entries;
 * loads are **corruption-safe**: any failure to read, parse or restore an
-  entry (truncated file, garbage bytes, fingerprint mismatch) deletes the bad
-  entry, counts it in :meth:`stats`, and falls back to recompilation — a
-  poisoned store can cost time, never correctness.
+  entry (truncated file, garbage bytes, fingerprint mismatch) **quarantines**
+  the bad entry — it is renamed to ``<entry>.corrupt`` (kept for forensics,
+  invisible to later lookups), counted in :meth:`stats` under
+  ``corrupt_quarantined``, and the caller falls back to recompilation, whose
+  result overwrites the slot with a fresh entry.  A poisoned store can cost
+  time, never correctness — and never costs that time *twice* for one entry.
 
 The default location is ``~/.cache/repro/synthesis`` (respecting
 ``XDG_CACHE_HOME``); set the ``REPRO_SYNTHESIS_STORE`` environment variable
@@ -75,6 +78,12 @@ class SynthesisStore:
         Store directory (created lazily on the first write).  Defaults to
         :func:`default_store_path`, i.e. ``$REPRO_SYNTHESIS_STORE`` or
         ``~/.cache/repro/synthesis``.
+    chaos:
+        Optional fault injector (an object with a
+        ``corrupt_payload(bytes) -> bytes | None`` method, normally a
+        :class:`repro.serving.resilience.ChaosPolicy`) applied to entry
+        bytes on :meth:`save` — the deterministic way to exercise the
+        quarantine path.  ``None`` (the default) costs nothing.
 
     Examples
     --------
@@ -87,13 +96,16 @@ class SynthesisStore:
     0
     """
 
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 chaos=None) -> None:
         self.path = pathlib.Path(path) if path is not None else default_store_path()
+        self.chaos = chaos
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._stores = 0
         self._corrupt = 0
+        self._corrupt_quarantined = 0
         self._errors = 0
         self._readonly = False
 
@@ -176,15 +188,25 @@ class SynthesisStore:
             solver = QSVTLinearSolver.from_payload(payload, **backend_options)
         except Exception:
             # truncated archive, garbage bytes, missing arrays, key
-            # mismatch, ... — the bytes themselves are bad: drop the entry
-            # and recompile.
+            # mismatch, ... — the bytes themselves are bad: quarantine the
+            # entry (rename, don't delete: the evidence survives for
+            # forensics while every later lookup is a plain miss instead of
+            # a repeated parse-and-fail) and recompile.
             with self._lock:
                 self._corrupt += 1
                 self._misses += 1
+            quarantined = False
             try:
-                path.unlink()
+                path.replace(path.with_name(path.name + ".corrupt"))
+                quarantined = True
             except OSError:
-                pass
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            if quarantined:
+                with self._lock:
+                    self._corrupt_quarantined += 1
             return None
         with self._lock:
             self._hits += 1
@@ -215,7 +237,12 @@ class SynthesisStore:
                                           "key_fingerprint": cache_key[0],
                                           "payload": payload["meta"]}),
                      **payload["arrays"])
-            atomic_write(self._entry_path(entry_key), buffer.getvalue())
+            data = buffer.getvalue()
+            if self.chaos is not None:
+                corrupted = self.chaos.corrupt_payload(data)
+                if corrupted is not None:
+                    data = corrupted
+            atomic_write(self._entry_path(entry_key), data)
         except PermissionError:
             with self._lock:
                 self._errors += 1
@@ -275,6 +302,7 @@ class SynthesisStore:
                 "misses": self._misses,
                 "stores": self._stores,
                 "corrupt": self._corrupt,
+                "corrupt_quarantined": self._corrupt_quarantined,
                 "errors": self._errors,
                 "readonly": self._readonly,
             }

@@ -26,6 +26,7 @@ __all__ = [
     "QueueFullError",
     "QuotaExceededError",
     "WorkerUnavailableError",
+    "CircuitOpenError",
 ]
 
 
@@ -137,4 +138,17 @@ class QuotaExceededError(AdmissionError):
 class WorkerUnavailableError(AdmissionError):
     """No live worker can serve the request (empty hash ring, or the routed
     worker died while the request was in flight; the surviving ring will own
-    the fingerprint on retry)."""
+    the fingerprint on retry).
+
+    Retriable by design: the supervisor respawns dead workers in the
+    background, so a short client back-off usually lands on a healed fleet
+    — :class:`repro.serving.resilience.RetryPolicy` automates exactly
+    that."""
+
+
+class CircuitOpenError(WorkerUnavailableError):
+    """The routed worker's circuit breaker is open: recent consecutive
+    failures make dispatching there pointless, so the request is shed
+    instantly instead of queueing onto a worker that is presumed down.
+    :attr:`retry_after` carries the time until the breaker half-opens and
+    admits a probe."""

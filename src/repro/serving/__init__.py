@@ -16,13 +16,25 @@ cache → synthesis store → coalescing async engine) across worker
   :class:`~repro.engine.aio.AsyncSolveEngine` over a tiered cache hierarchy
   (per-worker LRU → node-local store → shared store directory), coalescing
   same-fingerprint bursts into fused sweeps and widening the coalescing
-  window under backpressure.
+  window under backpressure;
+* **resilience** — :mod:`repro.serving.resilience` closes the fault loop:
+  a :class:`~repro.serving.resilience.Supervisor` respawns dead/hung
+  workers (warm-restoring from the tiered store) and re-adds them to the
+  ring, :class:`~repro.serving.resilience.RetryPolicy` retries retriable
+  rejections under decorrelated-jitter backoff,
+  :class:`~repro.serving.resilience.CircuitBreaker` sheds traffic for
+  workers presumed down, and the deterministic
+  :class:`~repro.serving.resilience.ChaosPolicy` harness makes every one
+  of those recovery paths reproducibly testable.
 
 :class:`~repro.serving.frontend.ClusterEngine` is the in-process API
 (``submit`` / ``solve`` / ``stats``);
 :class:`~repro.serving.frontend.ServingHTTPServer` exposes it over
 stdlib HTTP/JSON.  ``benchmarks/bench_serving_cluster.py`` measures the
-tier under Zipf-distributed traffic, including a 10x overload run.
+tier under Zipf-distributed traffic, including a 10x overload run;
+``benchmarks/bench_chaos.py`` replays a seeded kill schedule against it
+and gates on no-silent-drops, post-retry success rate and
+recovery-to-full-capacity time.
 
 Examples
 --------
@@ -34,6 +46,14 @@ Examples
 
 from .admission import AdmissionController, TokenBucket
 from .frontend import ClusterEngine, ServingHTTPServer
+from .resilience import (
+    CHAOS_ENV_VAR,
+    ChaosPolicy,
+    ChaosSpec,
+    CircuitBreaker,
+    RetryPolicy,
+    Supervisor,
+)
 from .router import DEFAULT_VNODES, HashRing
 from .worker import WorkerConfig, worker_main
 
@@ -46,4 +66,10 @@ __all__ = [
     "worker_main",
     "ClusterEngine",
     "ServingHTTPServer",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ChaosSpec",
+    "ChaosPolicy",
+    "Supervisor",
+    "CHAOS_ENV_VAR",
 ]

@@ -133,6 +133,7 @@ class AdmissionController:
         self._admitted = 0
         self._shed_queue_full = 0
         self._shed_quota = 0
+        self._shed_breaker_open = 0
 
     # ------------------------------------------------------------------ #
     def _bucket(self, tenant: str) -> TokenBucket:
@@ -173,15 +174,28 @@ class AdmissionController:
         with self._lock:
             self._admitted += 1
 
+    def note_breaker_shed(self) -> None:
+        """Count a front-door rejection made by an open circuit breaker.
+
+        The breaker lives with the routing layer (it is per-worker state),
+        but its rejections are admission decisions like any other shed —
+        recording them here keeps "how much did we refuse and why" one
+        stats read even when the refusing control is the resilience layer.
+        """
+        with self._lock:
+            self._shed_breaker_open += 1
+
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
         """Decision counters (admitted / shed by reason / live buckets)."""
         with self._lock:
-            total_shed = self._shed_queue_full + self._shed_quota
+            total_shed = (self._shed_queue_full + self._shed_quota
+                          + self._shed_breaker_open)
             return {
                 "admitted": self._admitted,
                 "shed_queue_full": self._shed_queue_full,
                 "shed_quota": self._shed_quota,
+                "shed_breaker_open": self._shed_breaker_open,
                 "shed_total": total_shed,
                 "queue_limit": self.queue_limit,
                 "tenant_rate": self.tenant_rate,

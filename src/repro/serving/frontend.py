@@ -14,7 +14,9 @@ HTTP/JSON surface.  One request travels::
         worker request queue ──(multiprocessing)──→ AsyncSolveEngine
           ▲                                        coalesced fused sweep
           │                                        tiered store warm-start
-        response queue ←─ result / typed error ←───┘
+        per-worker response queue ←─ result / typed error ←───┘
+        (isolated so a worker crashing mid-write can never wedge the
+         shared transport for its surviving siblings)
 
 Guarantees the tests pin down:
 
@@ -27,19 +29,29 @@ Guarantees the tests pin down:
   requests keep bounded latency, and no exception type other than the
   documented rejections escapes the API;
 * **churn containment** — a dead worker takes only its own arc with it:
-  its in-flight requests fail retriably
-  (:class:`~repro.exceptions.WorkerUnavailableError`), the ring drops its
-  virtual nodes, and every other fingerprint keeps its warm home.
+  its in-flight requests are redispatched to the surviving ring (or fail
+  retriably once the redispatch budget is spent), the ring drops its
+  virtual nodes, and every other fingerprint keeps its warm home;
+* **self-healing** — a :class:`~repro.serving.resilience.Supervisor`
+  respawns dead/hung workers (warm-restoring their compiled-solver state
+  from the tiered store) and re-adds them to the ring, so the fleet
+  re-converges to full capacity after faults instead of shrinking; a
+  per-worker :class:`~repro.serving.resilience.CircuitBreaker` sheds
+  traffic for workers presumed down, and when *no* live worker can own a
+  request the engine answers from its in-process classical fallback with
+  ``degraded=True`` rather than erroring.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 import queue as queue_module
 import threading
 import time
 import weakref
+from multiprocessing import connection as mp_connection
 from concurrent.futures import Future, TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -51,12 +63,14 @@ from ..engine.runner import _fork_context
 from ..engine.sharedmem import SharedMatrixRegistry
 from ..exceptions import (
     AdmissionError,
+    CircuitOpenError,
     ReproError,
     SolveTimeoutError,
     WorkerUnavailableError,
 )
-from ..utils import LatencyHistogram, matrix_fingerprint
+from ..utils import LatencyHistogram, is_linear_operator, matrix_fingerprint
 from .admission import AdmissionController
+from .resilience import CircuitBreaker, RetryPolicy, Supervisor
 from .router import DEFAULT_VNODES, HashRing
 from .worker import (
     MSG_SHUTDOWN,
@@ -67,6 +81,30 @@ from .worker import (
 )
 
 __all__ = ["ClusterEngine", "ServingHTTPServer"]
+
+
+@dataclasses.dataclass
+class _Inflight:
+    """Book-keeping for one dispatched request.
+
+    Carries everything needed to *re*-dispatch when the owning worker dies
+    (wire payload, rhs copy, params) plus a strong reference to the
+    caller's matrix for the classical degraded fallback.  Both live only as
+    long as the request is in flight, so the pin is bounded by the queue
+    limits.  Control traffic (stats probes) sets ``counts_depth=False`` and
+    carries no payload — it is never redispatched or degraded.
+    """
+
+    future: Future
+    worker_id: str
+    started: float
+    counts_depth: bool
+    fingerprint: str | None = None
+    payload: object | None = None
+    rhs: np.ndarray | None = None
+    params: dict | None = None
+    matrix: object | None = None
+    redispatches: int = 0
 
 
 class ClusterEngine:
@@ -97,6 +135,36 @@ class ClusterEngine:
     max_batch_size / coalesce_window / backpressure_watermark /
     max_coalesce_window / cache_maxsize / threads_per_worker:
         Forwarded into each :class:`~repro.serving.worker.WorkerConfig`.
+    respawn:
+        Run the :class:`~repro.serving.resilience.Supervisor`: dead workers
+        are respawned (warm-restoring from the tiered store) and re-added
+        to the ring, hung workers (stale heartbeat with queued work) are
+        killed so the same path heals them.  ``False`` restores PR 6's
+        shrink-only behaviour.
+    supervisor_interval / hang_timeout / max_restarts:
+        Supervisor tuning: pass period, heartbeat staleness bound
+        (``None`` disables hang detection) and an optional cap on respawns
+        per worker.
+    retry_policy:
+        Optional :class:`~repro.serving.resilience.RetryPolicy` applied to
+        *synchronous* admission rejections inside :meth:`submit`
+        (quota / queue-full / breaker-open / empty-ring), sleeping between
+        attempts.  ``None`` (default) keeps rejections immediate — the PR 6
+        contract — while in-flight redispatch below stays on.
+    max_redispatch:
+        How many times one in-flight request may be re-dispatched to a
+        surviving worker after its owner died, before degrading or failing
+        retriably.  0 disables redispatch.
+    degraded_fallback:
+        When no live worker can own a request (empty ring, breaker open,
+        redispatch budget spent), solve classically in-process and answer
+        with ``degraded=True`` instead of erroring.
+    breaker_failure_threshold / breaker_reset_timeout:
+        Per-worker circuit-breaker tuning (consecutive infrastructure
+        failures to trip; seconds until half-open).
+    chaos:
+        Optional :class:`~repro.serving.resilience.ChaosSpec` forwarded to
+        every worker — the deterministic fault-injection harness.
 
     Use as a context manager (or call :meth:`close`) — worker processes and
     shared-memory segments are released deterministically.
@@ -113,10 +181,25 @@ class ClusterEngine:
                  backpressure_watermark: int = 8,
                  max_coalesce_window: float = 0.005,
                  cache_maxsize: int = 32,
-                 threads_per_worker: int | None = 1) -> None:
+                 threads_per_worker: int | None = 1,
+                 respawn: bool = True,
+                 supervisor_interval: float = 0.2,
+                 hang_timeout: float | None = 10.0,
+                 max_restarts: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 max_redispatch: int = 2,
+                 degraded_fallback: bool = True,
+                 breaker_failure_threshold: int = 3,
+                 breaker_reset_timeout: float = 1.0,
+                 chaos=None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if max_redispatch < 0:
+            raise ValueError("max_redispatch must be >= 0")
         self.default_deadline = default_deadline
+        self.retry_policy = retry_policy
+        self.max_redispatch = int(max_redispatch)
+        self.degraded_fallback = bool(degraded_fallback)
         self._ring = HashRing(vnodes=vnodes)
         self._admission = AdmissionController(queue_limit=queue_limit,
                                               tenant_rate=tenant_rate,
@@ -134,12 +217,12 @@ class ClusterEngine:
         if context is None:  # pragma: no cover - non-POSIX platforms
             import multiprocessing
             context = multiprocessing.get_context()
-        self._responses = context.Queue()
+        self._context = context
         self._lock = threading.Lock()
-        #: request_id -> (future, worker_id, started, counts_depth);
-        #: counts_depth is False for control traffic (stats probes), which
-        #: must never occupy admission slots.
-        self._inflight: dict[int, tuple[Future, str, float, bool]] = {}
+        #: request_id -> :class:`_Inflight`; ``counts_depth`` is False for
+        #: control traffic (stats probes), which must never occupy
+        #: admission slots.
+        self._inflight: dict[int, _Inflight] = {}
         self._depth: dict[str, int] = {}
         self._request_ids = itertools.count()
         #: id(matrix) -> (fingerprint, memo payload, weakref); see
@@ -149,8 +232,14 @@ class ClusterEngine:
         self._worker_deaths = 0
         self._submitted = 0
         self._completed = 0
+        self._degraded = 0
+        self._redispatched = 0
+        self._restarts: dict[str, int] = {}
+        self._last_heard: dict[str, float] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._closing = threading.Event()
         self._workers: dict[str, dict] = {}
+        now = time.monotonic()
         for index in range(num_workers):
             worker_id = f"worker-{index}"
             config = WorkerConfig(
@@ -164,14 +253,30 @@ class ClusterEngine:
                 coalesce_window=coalesce_window,
                 backpressure_watermark=backpressure_watermark,
                 max_coalesce_window=max_coalesce_window,
-                threads=threads_per_worker)
+                threads=threads_per_worker,
+                chaos=chaos)
             requests = context.Queue()
+            # one response queue PER worker, not one shared by the fleet: a
+            # multiprocessing.Queue write holds a cross-process feeder lock,
+            # so a worker killed mid-put on a shared queue would leave the
+            # lock held forever and silence every *surviving* sibling — the
+            # exact cascade ("healthy workers look hung, get probed, get
+            # killed") that response isolation makes structurally impossible.
+            responses = context.Queue()
             process = context.Process(
-                target=worker_main, args=(config, requests, self._responses),
+                target=worker_main, args=(config, requests, responses),
                 name=f"repro-serving-{worker_id}", daemon=True)
             self._workers[worker_id] = {"config": config, "requests": requests,
-                                        "process": process, "final_stats": None}
+                                        "responses": responses,
+                                        "process": process,
+                                        "final_stats": None,
+                                        "started_at": now}
             self._depth[worker_id] = 0
+            self._restarts[worker_id] = 0
+            self._last_heard[worker_id] = now
+            self._breakers[worker_id] = CircuitBreaker(
+                failure_threshold=breaker_failure_threshold,
+                reset_timeout=breaker_reset_timeout)
         for worker in self._workers.values():
             worker["process"].start()
         for worker_id in self._workers:
@@ -179,6 +284,12 @@ class ClusterEngine:
         self._collector = threading.Thread(target=self._collect,
                                            name="repro-cluster-rx", daemon=True)
         self._collector.start()
+        self._supervisor: Supervisor | None = None
+        if respawn:
+            self._supervisor = Supervisor(self, interval=supervisor_interval,
+                                          hang_timeout=hang_timeout,
+                                          max_restarts=max_restarts)
+            self._supervisor.start()
 
     # ------------------------------------------------------------------ #
     # request path
@@ -190,26 +301,19 @@ class ClusterEngine:
         """Route + admit + dispatch one request; returns a ``Future``.
 
         Raises the admission rejections synchronously (the request was never
-        dispatched — safe to retry); solve failures, worker deaths and
-        deadline expiries surface through the future.  The returned future
-        carries the routed worker id as ``future.worker_id``.
+        dispatched — safe to retry; with a :attr:`retry_policy` configured,
+        retriable rejections are retried here under backoff before
+        surfacing); solve failures and deadline expiries surface through
+        the future.  A worker death mid-flight redispatches the request to
+        the surviving ring up to :attr:`max_redispatch` times, then (with
+        :attr:`degraded_fallback`) answers classically with
+        ``degraded=True`` — every future settles with a result or a typed
+        retriable error, never silence.  The returned future carries the
+        routed worker id as ``future.worker_id``.
         """
         if self._closing.is_set():
             raise RuntimeError("ClusterEngine is closed")
         fingerprint, payload = self._prepare_matrix(matrix)
-        worker_id = self._ring.route(fingerprint)
-        future: Future = Future()
-        future.worker_id = worker_id
-        request_id = next(self._request_ids)
-        with self._lock:
-            # admit under the lock so depth-check and increment are atomic
-            # (two racing submits must not both squeeze under the watermark).
-            self._admission.admit(worker_id, self._depth.get(worker_id, 0),
-                                  tenant=tenant)
-            self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
-            self._inflight[request_id] = (future, worker_id,
-                                          time.monotonic(), True)
-            self._submitted += 1
         if deadline is None:
             deadline = self.default_deadline
         params = {
@@ -220,24 +324,76 @@ class ClusterEngine:
             "deadline_at": (None if deadline is None
                             else time.monotonic() + float(deadline)),
         }
-        message = (MSG_SOLVE, request_id, payload,
-                   np.array(rhs, dtype=float, copy=True), params)
+        rhs_wire = np.array(rhs, dtype=float, copy=True)
+        policy = self.retry_policy
+        delay = None
+        attempt = 0
+        while True:
+            try:
+                return self._submit_once(matrix, fingerprint, payload,
+                                         rhs_wire, params, tenant)
+            except AdmissionError as exc:
+                if (policy is None or self._closing.is_set()
+                        or not policy.should_retry(exc, attempt)):
+                    raise
+                delay = policy.next_delay(delay, retry_after=exc.retry_after)
+                policy.sleep(delay)
+                attempt += 1
+
+    def _submit_once(self, matrix, fingerprint: str, payload, rhs_wire,
+                     params: dict, tenant: str | None) -> Future:
+        """One routing/admission/dispatch attempt (see :meth:`submit`)."""
         try:
-            self._workers[worker_id]["requests"].put(message)
+            worker_id = self._ring.route(fingerprint)
+        except WorkerUnavailableError:
+            # every worker is gone: either answer classically (and visibly
+            # degraded) or let the retriable error reach the retry loop —
+            # the supervisor may be mid-respawn.
+            if self.degraded_fallback:
+                return self._degraded_future(matrix, rhs_wire)
+            raise
+        breaker = self._breakers.get(worker_id)
+        if breaker is not None and not breaker.allow():
+            self._admission.note_breaker_shed()
+            if self.degraded_fallback:
+                return self._degraded_future(matrix, rhs_wire)
+            raise CircuitOpenError(
+                f"worker {worker_id!r} breaker is open after consecutive "
+                "failures; probe admitted when it half-opens",
+                retry_after=breaker.retry_after())
+        future: Future = Future()
+        future.worker_id = worker_id
+        request_id = next(self._request_ids)
+        with self._lock:
+            # admit under the lock so depth-check and increment are atomic
+            # (two racing submits must not both squeeze under the watermark).
+            self._admission.admit(worker_id, self._depth.get(worker_id, 0),
+                                  tenant=tenant)
+            self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
+            self._inflight[request_id] = _Inflight(
+                future=future, worker_id=worker_id, started=time.monotonic(),
+                counts_depth=True, fingerprint=fingerprint, payload=payload,
+                rhs=rhs_wire, params=params, matrix=matrix)
+            self._submitted += 1
+            requests = self._workers[worker_id]["requests"]
+        message = (MSG_SOLVE, request_id, payload, rhs_wire, params)
+        try:
+            requests.put(message)
         except BaseException:
             self._settle(request_id, None, None)
             raise
-        # Close the submit/reap race: the reaper may have retired this worker
-        # between route() and the _inflight registration above, in which case
-        # its orphan scan ran too early to see us.  Both sides touch _retired
-        # and _inflight under the lock, so at least one of them observes the
-        # other; _settle is idempotent, so double-settling is harmless.
+        # Close the submit/reap/respawn races: between route() and the put
+        # above, the reaper may have retired this worker (its orphan scan ran
+        # too early to see us) or the supervisor may have respawned it (our
+        # message sits in the *old* incarnation's queue that nobody reads).
+        # Both transitions swap state under the lock, so re-checking here
+        # guarantees at least one side observes the other; the owner-lost
+        # path is idempotent, so double-handling is harmless.
         with self._lock:
-            retired = worker_id in self._retired
-        if retired:
-            self._settle(request_id, None, WorkerUnavailableError(
-                f"worker {worker_id!r} was retired while the request was "
-                "being dispatched; its fingerprints now route elsewhere"))
+            lost = (worker_id in self._retired
+                    or self._workers[worker_id]["requests"] is not requests)
+        if lost:
+            self._handle_owner_lost(request_id, worker_id)
         return future
 
     def solve(self, matrix, rhs, **kwargs) -> SingleSolveRecord:
@@ -292,32 +448,62 @@ class ClusterEngine:
     # response path
     # ------------------------------------------------------------------ #
     def _collect(self) -> None:
-        """Collector thread: settle futures, notice dead workers."""
+        """Collector thread: settle futures, notice dead workers.
+
+        Multiplexes the per-worker response queues with
+        :func:`multiprocessing.connection.wait` on their read pipes.  The
+        queue snapshot is re-taken under the lock every iteration because a
+        respawn swaps in a fresh queue; a pipe torn down between snapshot
+        and wait just surfaces as an ``OSError`` for that round.
+        """
         last_reap = time.monotonic()
         while True:
+            with self._lock:
+                readers = {worker["responses"]._reader: worker["responses"]
+                           for worker in self._workers.values()}
             try:
-                response = self._responses.get(timeout=0.05)
-            except queue_module.Empty:
+                ready = mp_connection.wait(list(readers), timeout=0.05)
+            except OSError:  # pragma: no cover - queue closed mid-wait
+                ready = []
+            got_any = False
+            for reader in ready:
+                responses = readers[reader]
+                while True:
+                    try:
+                        response = responses.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    except Exception:  # noqa: BLE001 - a worker killed
+                        break  # mid-write leaves a truncated pickle; the
+                               # reaper handles the death, drop the bytes
+                    got_any = True
+                    try:
+                        self._dispatch(response)
+                    except Exception:  # noqa: BLE001 - one bad response must
+                        pass           # not kill the loop and hang the rest
+            if not got_any:
                 if self._closing.is_set() and not self._inflight:
                     return
                 self._reap_dead_workers()
                 last_reap = time.monotonic()
-                continue
-            except (EOFError, OSError):  # pragma: no cover - queue torn down
-                return
-            try:
-                self._dispatch(response)
-            except Exception:  # noqa: BLE001 - one bad response must not
-                pass           # kill the loop and hang every other future
             # reap on a clock too: a steady response stream from live
             # workers must not starve detection of a dead sibling.
-            if time.monotonic() - last_reap >= 0.25:
+            elif time.monotonic() - last_reap >= 0.25:
                 self._reap_dead_workers()
                 last_reap = time.monotonic()
 
     def _dispatch(self, response) -> None:
         """Route one worker response to its future / stats slot."""
         worker_id, kind, request_id, *payload = response
+        # every response doubles as a heartbeat and as breaker evidence:
+        # even a worker-side *solve* error proves the process and its event
+        # loop are healthy, so only infrastructure failures (deaths, probe
+        # timeouts) are allowed to trip the breaker.
+        with self._lock:
+            self._last_heard[worker_id] = time.monotonic()
+        breaker = self._breakers.get(worker_id)
+        if breaker is not None:
+            breaker.record_success()
         if kind == "result":
             self._settle(request_id,
                          SingleSolveRecord(**payload[0]), None)
@@ -345,27 +531,32 @@ class ClusterEngine:
             entry = self._inflight.pop(request_id, None)
             if entry is None:
                 return
-            future, worker_id, started, counts_depth = entry
-            if counts_depth:
-                self._depth[worker_id] = max(0,
-                                             self._depth.get(worker_id, 1) - 1)
+            if entry.counts_depth:
+                self._depth[entry.worker_id] = max(
+                    0, self._depth.get(entry.worker_id, 1) - 1)
                 if error is None:
                     self._completed += 1
+                    if (isinstance(result, SingleSolveRecord)
+                            and result.degraded):
+                        self._degraded += 1
+        future = entry.future
         if not future.set_running_or_notify_cancel():
             return  # caller cancelled; the slot above is already released
         if error is not None:
             future.set_exception(error)
         else:
             if record_latency and isinstance(result, SingleSolveRecord):
-                self._latency.record(time.monotonic() - started)
+                self._latency.record(time.monotonic() - entry.started)
             future.set_result(result)
 
     def _reap_dead_workers(self) -> None:
-        """Retire crashed workers: shrink the ring, fail their in-flight.
+        """Retire crashed workers: shrink the ring, redispatch their in-flight.
 
         Consistent hashing makes this the *only* re-sharding step needed —
         the dead worker's arcs fall to its ring successors, every other
-        fingerprint keeps its warm owner.
+        fingerprint keeps its warm owner.  The supervisor (when enabled)
+        respawns the worker afterwards and :meth:`HashRing.ensure_worker`
+        gives it exactly its old arcs back.
         """
         if self._closing.is_set():
             return
@@ -376,18 +567,192 @@ class ClusterEngine:
                 self._retired.add(worker_id)
             self._worker_deaths += 1
             self._ring.remove_worker(worker_id)
+            breaker = self._breakers.get(worker_id)
+            if breaker is not None:
+                # one death = one failure: only a crash *loop* (threshold
+                # consecutive deaths with no response in between) trips the
+                # breaker, a single fault heals invisibly.
+                breaker.record_failure()
         # Orphan scan over *all* retired owners, every pass — not only at
         # retirement time: a submit racing the retirement may register its
         # entry just after a one-shot scan, and the retired check in submit
         # plus this rescan together guarantee the future settles.
         with self._lock:
-            orphaned = [(request_id, owner) for request_id,
-                        (_, owner, _, _) in self._inflight.items()
-                        if owner in self._retired]
+            orphaned = [(request_id, entry.worker_id) for request_id, entry
+                        in self._inflight.items()
+                        if entry.worker_id in self._retired]
         for request_id, owner in orphaned:
-            self._settle(request_id, None, WorkerUnavailableError(
-                f"worker {owner!r} died with the request in flight; "
-                "its fingerprints now route to the surviving workers"))
+            self._handle_owner_lost(request_id, owner)
+
+    def _handle_owner_lost(self, request_id: int, owner: str) -> None:
+        """An in-flight request's owner died (or its queue was swapped).
+
+        Escalation ladder: re-dispatch to the current ring owner while the
+        :attr:`max_redispatch` budget lasts → classical in-process solve
+        with ``degraded=True`` → typed retriable failure.  Whatever branch
+        runs, the future settles — no admitted request is silently dropped.
+        Idempotent: the entry may already be settled or moved by a
+        concurrent caller, in which case this is a no-op.
+        """
+        with self._lock:
+            entry = self._inflight.get(request_id)
+            if entry is None or entry.worker_id != owner:
+                return  # settled, or already redispatched elsewhere
+            redispatchable = (entry.counts_depth
+                              and entry.payload is not None
+                              and entry.redispatches < self.max_redispatch
+                              and not self._closing.is_set())
+        if redispatchable:
+            try:
+                new_owner = self._ring.route(entry.fingerprint)
+            except WorkerUnavailableError:
+                new_owner = None
+            if new_owner is not None:
+                with self._lock:
+                    # atomic move; quota was paid at admission and the old
+                    # slot transfers, so redispatch never re-runs admission
+                    # (shedding an *admitted* request would be a silent
+                    # drop, the one outcome this path exists to prevent).
+                    if self._inflight.get(request_id) is not entry:
+                        return
+                    self._depth[entry.worker_id] = max(
+                        0, self._depth.get(entry.worker_id, 1) - 1)
+                    self._depth[new_owner] = self._depth.get(new_owner, 0) + 1
+                    entry.worker_id = new_owner
+                    entry.redispatches += 1
+                    self._redispatched += 1
+                    requests = self._workers[new_owner]["requests"]
+                entry.future.worker_id = new_owner
+                message = (MSG_SOLVE, request_id, entry.payload, entry.rhs,
+                           entry.params)
+                try:
+                    requests.put(message)
+                except (ValueError, OSError):
+                    self._handle_owner_lost(request_id, new_owner)
+                    return
+                with self._lock:
+                    lost = (new_owner in self._retired
+                            or self._workers[new_owner]["requests"]
+                            is not requests)
+                if lost:  # bounded by the redispatch budget
+                    self._handle_owner_lost(request_id, new_owner)
+                return
+        if (self.degraded_fallback and entry.counts_depth
+                and entry.matrix is not None and entry.rhs is not None):
+            # solve classically off-thread: this path runs on the collector
+            # / supervisor threads, which must keep servicing the fleet.
+            matrix, rhs = entry.matrix, entry.rhs
+
+            def degrade() -> None:
+                try:
+                    record = _degraded_record(matrix, rhs)
+                except Exception as exc:  # noqa: BLE001 - settle, not raise
+                    self._settle(request_id, None, exc)
+                else:
+                    self._settle(request_id, record, None)
+            threading.Thread(target=degrade, name="repro-degraded-solve",
+                             daemon=True).start()
+            return
+        self._settle(request_id, None, WorkerUnavailableError(
+            f"worker {owner!r} died with the request in flight; "
+            "its fingerprints now route to the surviving workers"))
+
+    def _degraded_future(self, matrix, rhs) -> Future:
+        """Already-settled future answered by the classical fallback."""
+        future: Future = Future()
+        future.worker_id = None
+        started = time.monotonic()
+        try:
+            record = _degraded_record(matrix, rhs)
+        except Exception as exc:  # noqa: BLE001 - the future carries it
+            with self._lock:
+                self._submitted += 1
+            future.set_exception(exc)
+            return future
+        with self._lock:
+            self._submitted += 1
+            self._completed += 1
+            self._degraded += 1
+        self._latency.record(time.monotonic() - started)
+        future.set_result(record)
+        return future
+
+    # ------------------------------------------------------------------ #
+    # supervision mechanics (policy lives in resilience.Supervisor)
+    # ------------------------------------------------------------------ #
+    def _respawn_worker(self, worker_id: str) -> bool:
+        """Start a fresh incarnation of a retired worker and re-ring it.
+
+        The new process keeps the worker id and the node-local store
+        directory, so it warm-restores compiled-solver state from disk
+        (store hits, not recompiles) and its virtual nodes land on exactly
+        the arcs it owned before — the ring re-converges to the pre-death
+        placement.  The breaker is deliberately *not* reset: a respawn is
+        hope, not evidence, and the first real response closes it.
+        """
+        if self._closing.is_set():
+            return False
+        worker = self._workers.get(worker_id)
+        if worker is None or worker["process"].is_alive():
+            return False
+        config = dataclasses.replace(
+            worker["config"], incarnation=worker["config"].incarnation + 1)
+        requests = self._context.Queue()
+        # fresh response queue as well: the dead incarnation may have left a
+        # truncated frame (or a held feeder lock) in its old pipe, and the
+        # new process must never inherit either.
+        responses = self._context.Queue()
+        process = self._context.Process(
+            target=worker_main, args=(config, requests, responses),
+            name=f"repro-serving-{worker_id}", daemon=True)
+        process.start()
+        now = time.monotonic()
+        with self._lock:
+            old_requests = worker["requests"]
+            worker.update({"config": config, "requests": requests,
+                           "responses": responses,
+                           "process": process, "final_stats": None,
+                           "started_at": now})
+            self._retired.discard(worker_id)
+            self._restarts[worker_id] = self._restarts.get(worker_id, 0) + 1
+            self._last_heard[worker_id] = now
+        self._ring.ensure_worker(worker_id)
+        try:
+            old_requests.close()
+        except (ValueError, OSError):  # pragma: no cover - already torn down
+            pass
+        return True
+
+    def _probe_worker(self, worker_id: str, timeout: float = 2.0) -> bool:
+        """Liveness probe: does a stats round-trip complete in ``timeout``?
+
+        Used by the supervisor to distinguish *hung* (event loop wedged —
+        no answer ever) from *busy* (sweeps run in executor threads, so the
+        loop answers stats promptly even under load).
+        """
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            return False
+        future: Future = Future()
+        request_id = next(self._request_ids)
+        with self._lock:
+            if worker_id in self._retired:
+                return False
+            requests = worker["requests"]
+            self._inflight[request_id] = _Inflight(
+                future=future, worker_id=worker_id,
+                started=time.monotonic(), counts_depth=False)
+        try:
+            requests.put((MSG_STATS, request_id))
+        except (ValueError, OSError):
+            self._settle(request_id, None, None, record_latency=False)
+            return False
+        try:
+            future.result(timeout=timeout)
+            return True
+        except Exception:  # noqa: BLE001 - timeout or torn-down future
+            self._settle(request_id, None, None, record_latency=False)
+            return False
 
     # ------------------------------------------------------------------ #
     # telemetry
@@ -408,10 +773,12 @@ class ClusterEngine:
             with self._lock:
                 if worker_id in self._retired:
                     continue
-                self._inflight[request_id] = (future, worker_id,
-                                              time.monotonic(), False)
+                requests = worker["requests"]
+                self._inflight[request_id] = _Inflight(
+                    future=future, worker_id=worker_id,
+                    started=time.monotonic(), counts_depth=False)
             try:
-                worker["requests"].put((MSG_STATS, request_id))
+                requests.put((MSG_STATS, request_id))
             except (ValueError, OSError):  # pragma: no cover - queue torn down
                 self._settle(request_id, None, None, record_latency=False)
                 continue
@@ -439,15 +806,25 @@ class ClusterEngine:
             submitted = self._submitted
             completed = self._completed
             inflight = len(self._inflight)
+            degraded = self._degraded
+            redispatched = self._redispatched
+            restarts = dict(self._restarts)
         stats = {
             "workers_alive": len(self._ring),
             "worker_deaths": self._worker_deaths,
             "submitted": submitted,
             "completed": completed,
             "inflight": inflight,
+            "degraded": degraded,
+            "redispatched": redispatched,
+            "restarts": restarts,
             "queue_depths": depths,
             "ring": self._ring.stats(),
             "admission": self._admission.stats(),
+            "breakers": {worker_id: breaker.stats()
+                         for worker_id, breaker in self._breakers.items()},
+            "supervisor": (None if self._supervisor is None
+                           else self._supervisor.stats()),
             "latency": self._latency.summary(),
             "shared_memory": (None if self._registry is None
                               else self._registry.stats()),
@@ -474,6 +851,10 @@ class ClusterEngine:
         if self._closing.is_set():
             return
         self._closing.set()
+        if self._supervisor is not None:
+            # _closing wakes its loop; join before shutdown so no respawn
+            # races the teardown below.
+            self._supervisor.join(timeout=2.0)
         for worker_id, worker in self._workers.items():
             if worker_id not in self._retired:
                 try:
@@ -505,6 +886,36 @@ class ClusterEngine:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ClusterEngine(workers={len(self._ring)}, "
                 f"submitted={self._submitted}, deaths={self._worker_deaths})")
+
+
+def _degraded_record(matrix, rhs) -> SingleSolveRecord:
+    """Classical in-process solve shaped like a worker answer.
+
+    The graceful-degradation fallback: exact (``block_encoding_calls == 0``,
+    ``polynomial_degree == 0``) but bypassing the quantum pipeline and every
+    cache, and flagged ``degraded=True`` so callers can tell.  Structured
+    operators use their own ``solve`` (Thomas, fast diagonalisation, CG —
+    the same classical reference the benchmarks validate against); dense
+    input falls back to LAPACK.
+    """
+    started = time.monotonic()
+    rhs = np.asarray(rhs, dtype=float)
+    if is_linear_operator(matrix):
+        x = np.asarray(matrix.solve(rhs), dtype=float)
+        residual = float(np.linalg.norm(np.asarray(matrix.matvec(x)) - rhs))
+    else:
+        dense = np.asarray(matrix, dtype=float)
+        x = np.linalg.solve(dense, rhs)
+        residual = float(np.linalg.norm(dense @ x - rhs))
+    scale = float(np.linalg.norm(x))
+    direction = x / scale if scale > 0.0 else np.zeros_like(x)
+    rhs_norm = float(np.linalg.norm(rhs))
+    return SingleSolveRecord(
+        x=x, direction=direction, scale=scale,
+        scaled_residual=residual / rhs_norm if rhs_norm > 0.0 else residual,
+        block_encoding_calls=0, polynomial_degree=0,
+        success_probability=1.0, shots=0,
+        wall_time=time.monotonic() - started, degraded=True)
 
 
 def _rebuild_exception(name: str, message: str) -> BaseException:
@@ -549,12 +960,16 @@ class ServingHTTPServer:
         POST /solve    {"matrix": [[...]], "rhs": [...],
                         "epsilon_l"?, "backend"?, "kappa"?,
                         "tenant"?, "deadline"?}
-                       → 200 {"x": [...], "scaled_residual": ..., ...}
+                       → 200 {"x": [...], "scaled_residual": ...,
+                              "degraded": false, ...}
                        → 429 admission rejection (Retry-After set when known)
+                       → 503 no worker available / breaker open (retriable;
+                              Retry-After carries the half-open countdown)
                        → 504 deadline expired
                        → 400 solve-level failure (singular matrix, ...)
         GET  /stats    → 200 cluster stats snapshot
-        GET  /healthz  → 200 {"ok": true, "workers_alive": W}
+        GET  /healthz  → 200 {"ok": true, "workers_alive": W,
+                              "worker_deaths": D, "restarts": R}
 
     Rejections are **bodies, not exceptions**: every response carries
     ``{"error", "message", "retriable"}`` so clients can retry on
@@ -611,8 +1026,13 @@ def _make_handler(engine: ClusterEngine):
 
         def do_GET(self):
             if self.path == "/healthz":
-                self._reply(200, {"ok": True,
-                                  "workers_alive": len(engine.workers_alive)})
+                alive = len(engine.workers_alive)
+                with engine._lock:
+                    restarts = sum(engine._restarts.values())
+                self._reply(200, {"ok": alive > 0 or engine.degraded_fallback,
+                                  "workers_alive": alive,
+                                  "worker_deaths": engine._worker_deaths,
+                                  "restarts": restarts})
             elif self.path == "/stats":
                 self._reply(200, engine.stats())
             else:
@@ -639,6 +1059,15 @@ def _make_handler(engine: ClusterEngine):
             try:
                 future = engine.submit(matrix, rhs, **kwargs)
                 record = future.result()
+            except WorkerUnavailableError as exc:
+                # includes CircuitOpenError: the service (not the client) is
+                # the problem, so 503 — retriable, the supervisor is healing.
+                headers = ({} if exc.retry_after is None
+                           else {"Retry-After": f"{exc.retry_after:.3f}"})
+                self._reply(503, {"error": type(exc).__name__,
+                                  "message": str(exc), "retriable": True},
+                            headers)
+                return
             except AdmissionError as exc:
                 headers = ({} if exc.retry_after is None
                            else {"Retry-After": f"{exc.retry_after:.3f}"})
@@ -666,6 +1095,7 @@ def _make_handler(engine: ClusterEngine):
                 "polynomial_degree": record.polynomial_degree,
                 "wall_time": record.wall_time,
                 "worker": future.worker_id,
+                "degraded": record.degraded,
             })
 
     return Handler

@@ -1,0 +1,558 @@
+"""Self-healing primitives for the serving tier.
+
+PR 6's tier *contains* faults (a dead worker takes only its own arc, its
+in-flight requests fail retriably) but never *repairs* them: the fleet only
+shrinks, and "retriable" is an adjective the client has to act on by hand.
+This module closes that loop with the same shape of argument the paper makes
+for iterative refinement — a cheap outer loop that repairs imperfect inner
+results:
+
+* :class:`RetryPolicy` — client-side exponential backoff with decorrelated
+  jitter (the AWS formula: ``sleep = min(cap, uniform(base, prev * 3))``),
+  honouring the server-provided ``retry_after`` on admission rejections and
+  bounding retries on :class:`~repro.exceptions.WorkerUnavailableError`.
+  The RNG and the sleep function are injectable, so tests replay schedules
+  deterministically and never actually sleep.
+* :class:`CircuitBreaker` — per-worker failure isolation.  ``closed`` routes
+  normally; ``failure_threshold`` *consecutive* failures trip it ``open``
+  (requests shed instantly with a ``retry_after`` instead of queueing onto a
+  doomed worker); after ``reset_timeout`` it goes ``half-open`` and admits
+  one probe — success closes it, failure re-opens it for another window.
+* :class:`ChaosSpec` / :class:`ChaosPolicy` — a deterministic
+  fault-injection harness.  A seeded RNG (derived per worker *and* per
+  incarnation, so a respawned worker replays a fresh but reproducible
+  stream) scripts worker crashes, hangs, slow responses, queue stalls and
+  corrupted store payloads.  The policy is injected into
+  :func:`~repro.serving.worker.worker_main` via
+  :class:`~repro.serving.worker.WorkerConfig` or the ``REPRO_CHAOS``
+  environment variable (JSON), and costs **zero** overhead when disabled —
+  the worker holds ``None`` and never calls in.
+* :class:`Supervisor` — the respawn loop of
+  :class:`~repro.serving.frontend.ClusterEngine`.  It watches for worker
+  death (reaper signal) and heartbeat staleness (a worker with queued work
+  that has gone silent is probed; a probe timeout means *hung*, and a hung
+  worker is killed so the death path can heal it), then respawns the
+  process under exponential backoff and re-adds it to the hash ring —
+  the fleet re-converges to full capacity instead of shrinking forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..exceptions import (
+    AdmissionError,
+    CircuitOpenError,
+    QueueFullError,
+    QuotaExceededError,
+    WorkerUnavailableError,
+)
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "ChaosSpec", "ChaosPolicy",
+           "Supervisor", "CHAOS_ENV_VAR"]
+
+#: environment variable carrying a JSON :class:`ChaosSpec` for worker
+#: processes (the config field takes precedence when both are set).
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+
+# ---------------------------------------------------------------------- #
+# retry policy
+# ---------------------------------------------------------------------- #
+class RetryPolicy:
+    """Bounded retries with exponential backoff and decorrelated jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries (the first attempt counts; ``max_attempts=4`` means up
+        to three retries).
+    base_delay / max_delay:
+        Backoff bounds in seconds.  The decorrelated-jitter recurrence is
+        ``delay = min(max_delay, uniform(base_delay, previous * 3))`` with
+        ``previous`` starting at ``base_delay``; it spreads a thundering
+        herd across the window far better than full jitter on a pure
+        exponential.
+    retry_admission:
+        Retry :class:`~repro.exceptions.QuotaExceededError` /
+        :class:`~repro.exceptions.QueueFullError` (honouring their
+        ``retry_after`` as a floor on the delay).  Off by default policy
+        consumers that want shedding to stay visible can disable it.
+    retry_unavailable:
+        Retry :class:`~repro.exceptions.WorkerUnavailableError` (including
+        :class:`~repro.exceptions.CircuitOpenError`) — the fault the
+        supervisor repairs in the background, so a short backoff usually
+        lands on a healed fleet.
+    rng:
+        Seed or ``random.Random`` for the jitter draws; pass a seed for a
+        reproducible schedule.
+    sleep:
+        Injectable sleep callable (tests pass a recorder).
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=4, rng=0, sleep=lambda s: None)
+    >>> policy.execute(flaky_callable)           # retried up to 3 times
+    """
+
+    def __init__(self, *, max_attempts: int = 4, base_delay: float = 0.05,
+                 max_delay: float = 2.0, retry_admission: bool = True,
+                 retry_unavailable: bool = True, rng=None,
+                 sleep=time.sleep) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay <= 0.0 or max_delay < base_delay:
+            raise ValueError("need 0 < base_delay <= max_delay")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.retry_admission = bool(retry_admission)
+        self.retry_unavailable = bool(retry_unavailable)
+        self._rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        self.sleep = sleep
+        self._lock = threading.Lock()
+        self._retries = 0
+
+    # ------------------------------------------------------------------ #
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether ``error`` on 0-based ``attempt`` warrants another try."""
+        if attempt + 1 >= self.max_attempts:
+            return False
+        if not getattr(error, "retriable", False):
+            return False
+        if isinstance(error, (QuotaExceededError, QueueFullError)):
+            return self.retry_admission
+        if isinstance(error, WorkerUnavailableError):
+            return self.retry_unavailable
+        return isinstance(error, AdmissionError)
+
+    def next_delay(self, previous: float | None = None, *,
+                   retry_after: float | None = None) -> float:
+        """Decorrelated-jitter successor of ``previous`` (``None`` = first).
+
+        A server-provided ``retry_after`` floors the delay — backing off
+        *less* than the server asked for just converts one rejection into
+        two.
+        """
+        with self._lock:
+            anchor = self.base_delay if previous is None else previous
+            delay = self._rng.uniform(self.base_delay,
+                                      max(self.base_delay, anchor * 3.0))
+        delay = min(self.max_delay, delay)
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        return delay
+
+    def execute(self, fn, *args, **kwargs):
+        """Call ``fn`` under this policy; re-raises the final failure."""
+        delay = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except AdmissionError as exc:
+                if not self.should_retry(exc, attempt):
+                    raise
+                delay = self.next_delay(delay, retry_after=exc.retry_after)
+                with self._lock:
+                    self._retries += 1
+                self.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"max_attempts": self.max_attempts,
+                    "base_delay": self.base_delay,
+                    "max_delay": self.max_delay,
+                    "retries": self._retries}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"base_delay={self.base_delay}, max_delay={self.max_delay})")
+
+
+# ---------------------------------------------------------------------- #
+# circuit breaker
+# ---------------------------------------------------------------------- #
+class CircuitBreaker:
+    """Per-worker trip switch: fail fast instead of queueing onto the doomed.
+
+    States: ``closed`` (normal), ``open`` (shedding), ``half-open`` (one
+    probe allowed).  ``failure_threshold`` *consecutive* failures trip the
+    breaker; after ``reset_timeout`` seconds the next :meth:`allow` admits a
+    single probe — a success closes the breaker, a failure re-opens it for
+    another full window.  ``clock`` is injectable for deterministic tests.
+    Thread-safe.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 reset_timeout: float = 1.0, clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0.0:
+            raise ValueError("reset_timeout must be > 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self._trips = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked(float(self._clock()))
+
+    def _state_locked(self, now: float) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing or now - self._opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a request pass right now?  (Claims the half-open probe slot.)"""
+        now = float(self._clock())
+        with self._lock:
+            state = self._state_locked(now)
+            if state == "closed":
+                return True
+            if state == "half-open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker will next admit a probe (0 = now)."""
+        now = float(self._clock())
+        with self._lock:
+            if self._opened_at is None:
+                return 0.0
+            return max(0.0, self.reset_timeout - (now - self._opened_at))
+
+    def record_success(self) -> None:
+        """A request attributed to this worker completed normally."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """An infrastructure failure attributed to this worker."""
+        now = float(self._clock())
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._probing:
+                # the half-open probe failed: re-open for a fresh window.
+                self._probing = False
+                self._opened_at = now
+            elif (self._opened_at is None
+                  and self._consecutive_failures >= self.failure_threshold):
+                self._opened_at = now
+                self._trips += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"state": self._state_locked(float(self._clock())),
+                    "consecutive_failures": self._consecutive_failures,
+                    "trips": self._trips,
+                    "failure_threshold": self.failure_threshold,
+                    "reset_timeout": self.reset_timeout}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CircuitBreaker(state={self.state!r}, trips={self._trips})"
+
+
+# ---------------------------------------------------------------------- #
+# deterministic chaos injection
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Picklable, JSON-able script of faults for :class:`ChaosPolicy`.
+
+    All probabilities are per-request (``stall_rate`` per queue drain,
+    ``corrupt_store_rate`` per store write); ``crash_points`` is an explicit
+    deterministic schedule of ``(incarnation, request_index)`` pairs — e.g.
+    ``((0, 2),)`` crashes the worker's first incarnation while it handles
+    its third request, and leaves every respawned incarnation healthy.
+    ``workers`` restricts the spec to specific worker ids (empty = all).
+    The default spec injects nothing and reports ``enabled == False``.
+    """
+
+    seed: int = 0
+    crash_points: tuple = ()
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_seconds: float = 3600.0
+    slow_rate: float = 0.0
+    slow_seconds: float = 0.05
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.05
+    corrupt_store_rate: float = 0.0
+    workers: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "crash_points",
+                           tuple((int(inc), int(idx))
+                                 for inc, idx in self.crash_points))
+        object.__setattr__(self, "workers",
+                           tuple(str(w) for w in self.workers))
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.crash_points) or any(
+            rate > 0.0 for rate in (self.crash_rate, self.hang_rate,
+                                    self.slow_rate, self.stall_rate,
+                                    self.corrupt_store_rate))
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ChaosSpec":
+        known = {name for name in cls.__dataclass_fields__}
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown ChaosSpec field(s): {sorted(unknown)}")
+        return cls(**spec)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "seed": self.seed,
+            "crash_points": [list(point) for point in self.crash_points],
+            "crash_rate": self.crash_rate,
+            "hang_rate": self.hang_rate,
+            "hang_seconds": self.hang_seconds,
+            "slow_rate": self.slow_rate,
+            "slow_seconds": self.slow_seconds,
+            "stall_rate": self.stall_rate,
+            "stall_seconds": self.stall_seconds,
+            "corrupt_store_rate": self.corrupt_store_rate,
+            "workers": list(self.workers),
+        })
+
+
+def _derive_rng(spec_seed: int, worker_id: str, incarnation: int,
+                stream: str) -> random.Random:
+    """Independent deterministic stream per (seed, worker, incarnation, use)."""
+    token = f"{spec_seed}:{worker_id}:{incarnation}:{stream}"
+    digest = hashlib.sha256(token.encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class ChaosPolicy:
+    """Deterministic fault decisions for one worker incarnation.
+
+    Each fault channel (request actions, drain stalls, store corruption)
+    draws from its **own** seeded stream, so e.g. enabling store corruption
+    never shifts the crash schedule.  Given the same spec, worker id,
+    incarnation and request order, every decision replays identically —
+    which is what makes recovery paths *testable*.
+
+    The serving tier never pays for a disabled policy:
+    :meth:`resolve` returns ``None`` (not an inert object) when the spec
+    injects nothing, and callers hold ``if chaos is not None`` guards.
+    """
+
+    def __init__(self, spec: ChaosSpec | dict, *, worker_id: str = "",
+                 incarnation: int = 0) -> None:
+        self.spec = (spec if isinstance(spec, ChaosSpec)
+                     else ChaosSpec.from_dict(spec))
+        self.worker_id = str(worker_id)
+        self.incarnation = int(incarnation)
+        self._applies = (not self.spec.workers
+                         or self.worker_id in self.spec.workers)
+        self._crash_at = {idx for inc, idx in self.spec.crash_points
+                          if inc == self.incarnation}
+        seed = self.spec.seed
+        self._request_rng = _derive_rng(seed, self.worker_id,
+                                        self.incarnation, "request")
+        self._drain_rng = _derive_rng(seed, self.worker_id,
+                                      self.incarnation, "drain")
+        self._store_rng = _derive_rng(seed, self.worker_id,
+                                      self.incarnation, "store")
+
+    @property
+    def enabled(self) -> bool:
+        return self._applies and self.spec.enabled
+
+    @classmethod
+    def resolve(cls, spec, *, worker_id: str = "", incarnation: int = 0,
+                environ=os.environ) -> "ChaosPolicy | None":
+        """Active policy from a config spec or ``REPRO_CHAOS``; else ``None``."""
+        if spec is None:
+            raw = environ.get(CHAOS_ENV_VAR)
+            if not raw:
+                return None
+            spec = ChaosSpec.from_dict(json.loads(raw))
+        policy = cls(spec, worker_id=worker_id, incarnation=incarnation)
+        return policy if policy.enabled else None
+
+    # ------------------------------------------------------------------ #
+    def on_request(self, index: int) -> str | None:
+        """Fault for the ``index``-th request this incarnation handles.
+
+        Returns ``"crash"`` / ``"hang"`` / ``"slow"`` / ``None``.  The
+        random draw happens on **every** request (even when a crash point
+        preempts it), keeping later decisions independent of the schedule.
+        """
+        spec = self.spec
+        draw = self._request_rng.random()
+        if index in self._crash_at:
+            return "crash"
+        if draw < spec.crash_rate:
+            return "crash"
+        if draw < spec.crash_rate + spec.hang_rate:
+            return "hang"
+        if draw < spec.crash_rate + spec.hang_rate + spec.slow_rate:
+            return "slow"
+        return None
+
+    def on_drain(self) -> float:
+        """Queue-stall duration to inject before this drain pass (0 = none)."""
+        if self.spec.stall_rate <= 0.0:
+            return 0.0
+        if self._drain_rng.random() < self.spec.stall_rate:
+            return self.spec.stall_seconds
+        return 0.0
+
+    def corrupt_payload(self, data: bytes) -> bytes | None:
+        """Corrupted replacement for a store payload, or ``None`` = intact.
+
+        Corruption truncates the archive and appends garbage — exactly the
+        torn-write / bad-sector shape the store's quarantine path handles.
+        """
+        if self.spec.corrupt_store_rate <= 0.0:
+            return None
+        if self._store_rng.random() >= self.spec.corrupt_store_rate:
+            return None
+        return data[: max(1, len(data) // 2)] + b"\x00chaos"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ChaosPolicy(worker={self.worker_id!r}, "
+                f"incarnation={self.incarnation}, enabled={self.enabled})")
+
+
+# ---------------------------------------------------------------------- #
+# supervisor
+# ---------------------------------------------------------------------- #
+class Supervisor:
+    """Respawn loop: watch the fleet, heal deaths, unstick hangs.
+
+    Owned by :class:`~repro.serving.frontend.ClusterEngine` (which passes
+    itself in); the engine provides the mechanics (``_reap_dead_workers``,
+    ``_respawn_worker``, ``_probe_worker``) and the supervisor provides the
+    policy:
+
+    * **death** — a worker process that is no longer alive is reaped (ring
+      shrink + orphan redispatch) and then respawned under exponential
+      backoff (``backoff_base`` doubling up to ``backoff_cap`` per
+      consecutive short-lived incarnation; an incarnation that survives
+      ``stable_after`` seconds resets the schedule), so a crash-looping
+      worker cannot turn the supervisor into a fork bomb;
+    * **hang** — a worker with queued work whose last response (its
+      heartbeat) is older than ``hang_timeout`` is sent a stats probe with
+      a short deadline.  Silence means the event loop is wedged — the
+      process is terminated, which converts the hang into a death the next
+      pass heals.  ``hang_timeout=None`` disables hang detection.
+    """
+
+    def __init__(self, engine, *, interval: float = 0.2,
+                 hang_timeout: float | None = 10.0,
+                 probe_timeout: float = 2.0, backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0, stable_after: float = 5.0,
+                 max_restarts: int | None = None) -> None:
+        if interval <= 0.0:
+            raise ValueError("interval must be > 0")
+        self._engine = engine
+        self.interval = float(interval)
+        self.hang_timeout = None if hang_timeout is None else float(hang_timeout)
+        self.probe_timeout = float(probe_timeout)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.stable_after = float(stable_after)
+        self.max_restarts = max_restarts
+        self._lock = threading.Lock()
+        #: worker_id -> (consecutive short-lived incarnations, next allowed at)
+        self._backoff: dict[str, tuple[int, float]] = {}
+        self._respawns = 0
+        self._hang_kills = 0
+        self._exhausted: set[str] = set()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serving-supervisor",
+                                        daemon=True)
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    def _run(self) -> None:
+        closing = self._engine._closing
+        while not closing.wait(self.interval):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - supervision must outlive bugs
+                pass
+
+    # ------------------------------------------------------------------ #
+    def tick(self) -> None:
+        """One supervision pass (public so tests can drive it directly)."""
+        engine = self._engine
+        now = time.monotonic()
+        for worker_id in list(engine._workers):
+            if engine._closing.is_set():
+                return
+            info = engine._workers[worker_id]
+            process = info["process"]
+            if not process.is_alive():
+                engine._reap_dead_workers()
+                self._maybe_respawn(worker_id, info, now)
+            elif (self.hang_timeout is not None
+                  and engine._depth.get(worker_id, 0) > 0
+                  and now - engine._last_heard.get(worker_id, now)
+                  > self.hang_timeout):
+                if not engine._probe_worker(worker_id,
+                                            timeout=self.probe_timeout):
+                    with self._lock:
+                        self._hang_kills += 1
+                    process.terminate()  # next pass heals it as a death
+
+    def _maybe_respawn(self, worker_id: str, info: dict, now: float) -> None:
+        restarts = self._engine._restarts.get(worker_id, 0)
+        if self.max_restarts is not None and restarts >= self.max_restarts:
+            with self._lock:
+                self._exhausted.add(worker_id)
+            return
+        with self._lock:
+            consecutive, not_before = self._backoff.get(worker_id, (0, 0.0))
+            if now < not_before:
+                return
+            lifetime = now - info.get("started_at", now)
+            consecutive = 0 if lifetime >= self.stable_after else consecutive + 1
+            delay = min(self.backoff_cap,
+                        self.backoff_base * (2.0 ** max(0, consecutive - 1)))
+            self._backoff[worker_id] = (consecutive, now + delay)
+        self._engine._respawn_worker(worker_id)
+        with self._lock:
+            self._respawns += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"respawns": self._respawns,
+                    "hang_kills": self._hang_kills,
+                    "interval": self.interval,
+                    "hang_timeout": self.hang_timeout,
+                    "exhausted": sorted(self._exhausted)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Supervisor(respawns={self._respawns}, "
+                f"hang_kills={self._hang_kills})")

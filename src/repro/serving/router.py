@@ -93,6 +93,21 @@ class HashRing:
                 self._points.insert(at, point)
                 self._owners.insert(at, worker_id)
 
+    def ensure_worker(self, worker_id: str) -> bool:
+        """Add a worker unless it is already on the ring; ``True`` = added.
+
+        The supervisor's re-add after a respawn: the worker keeps its id,
+        so its virtual nodes land on exactly the points it owned before —
+        the ring re-converges to the pre-death placement, and every
+        fingerprint it used to serve comes home to the warm node-local
+        store.  Idempotent so respawn races are harmless.
+        """
+        try:
+            self.add_worker(worker_id)
+        except ValueError:
+            return False
+        return True
+
     def remove_worker(self, worker_id: str) -> bool:
         """Drop a worker's arcs (they fall to the clockwise successors).
 

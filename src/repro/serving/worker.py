@@ -31,6 +31,13 @@ request is serialised back as an ``("error", ...)`` response carrying the
 exception type name, which the front end re-raises as the matching
 :mod:`repro.exceptions` class.  The worker loop itself only exits on the
 explicit shutdown message.
+
+**Fault injection** — a :class:`~repro.serving.resilience.ChaosPolicy`
+(from :attr:`WorkerConfig.chaos` or the ``REPRO_CHAOS`` environment
+variable) can deterministically script crashes, hangs, slow responses,
+queue stalls and corrupted store payloads, so every recovery path of the
+supervisor/retry layer is testable.  With no policy configured the worker
+holds ``None`` and the request path never calls in — zero overhead.
 """
 
 from __future__ import annotations
@@ -86,6 +93,16 @@ class WorkerConfig:
     threads:
         BLAS/OpenMP thread cap for the worker process (``None`` = leave
         library defaults).
+    incarnation:
+        0 for the original spawn; the supervisor increments it on every
+        respawn.  It namespaces the chaos RNG streams (so a respawned
+        worker replays a *different* but reproducible fault schedule) and
+        is reported in stats for observability.
+    chaos:
+        Optional :class:`~repro.serving.resilience.ChaosSpec` (or plain
+        dict) scripting deterministic faults; ``None`` falls back to the
+        ``REPRO_CHAOS`` environment variable, and an absent/inert spec
+        costs nothing.
     """
 
     worker_id: str
@@ -98,18 +115,34 @@ class WorkerConfig:
     backpressure_watermark: int = 8
     max_coalesce_window: float = 0.005
     threads: int | None = 1
+    incarnation: int = 0
+    chaos: object | None = None
 
-    def build_store(self):
-        """The tiered store this config describes (``None`` = no persistence)."""
+    def build_store(self, chaos=None):
+        """The tiered store this config describes (``None`` = no persistence).
+
+        ``chaos`` (a resolved :class:`~repro.serving.resilience.ChaosPolicy`)
+        attaches to the **node-local** level only: corrupted payloads are a
+        per-node fault, and keeping the shared level clean means quarantine
+        tests observe exactly one corruption site.
+        """
         if self.local_store_dir is None and self.shared_store_dir is None:
             return None
         if self.local_store_dir is None:
             # read-mostly deployment: the shared directory is still worth
             # consulting, with a node-local level living under it in spirit
             # only — single-level store, no promotion target.
-            return SynthesisStore(self.shared_store_dir)
-        return TieredSynthesisStore(self.local_store_dir,
-                                    self.shared_store_dir)
+            return SynthesisStore(self.shared_store_dir, chaos=chaos)
+        return TieredSynthesisStore(
+            SynthesisStore(self.local_store_dir, chaos=chaos),
+            self.shared_store_dir)
+
+    def build_chaos(self):
+        """Resolved :class:`ChaosPolicy` for this incarnation (``None`` = off)."""
+        from .resilience import ChaosPolicy
+
+        return ChaosPolicy.resolve(self.chaos, worker_id=self.worker_id,
+                                   incarnation=self.incarnation)
 
 
 def worker_main(config: WorkerConfig, requests, responses) -> None:
@@ -119,13 +152,14 @@ def worker_main(config: WorkerConfig, requests, responses) -> None:
     response tuple starts with ``(worker_id, kind, request_id, ...)``.
     """
     _limit_worker_threads(config.threads)
+    chaos = config.build_chaos()
     cache = CompiledSolverCache(maxsize=config.cache_maxsize,
-                                store=config.build_store())
-    asyncio.run(_serve(config, cache, requests, responses))
+                                store=config.build_store(chaos=chaos))
+    asyncio.run(_serve(config, cache, requests, responses, chaos=chaos))
 
 
 async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
-                 requests, responses) -> None:
+                 requests, responses, chaos=None) -> None:
     engine = AsyncSolveEngine(cache=cache,
                               max_batch_size=config.max_batch_size,
                               coalesce_window=config.coalesce_window,
@@ -137,14 +171,28 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
     served = 0
     widenings = 0
     peak_burst = 0
+    started_at = time.monotonic()
+    request_serial = 0
 
     def respond(kind: str, request_id, *payload) -> None:
         responses.put((config.worker_id, kind, request_id, *payload))
 
-    async def handle_solve(message) -> None:
+    async def handle_solve(message, serial: int) -> None:
         nonlocal served
         _, request_id, matrix, rhs, params = message
         try:
+            if chaos is not None:
+                action = chaos.on_request(serial)
+                if action == "crash":
+                    # a real crash: no answer, no cleanup — the front end's
+                    # reaper and supervisor must cope with exactly this.
+                    os._exit(23)
+                elif action == "hang":
+                    # block the event loop synchronously: heartbeats stop,
+                    # which is what distinguishes hung from merely slow.
+                    time.sleep(chaos.spec.hang_seconds)
+                elif action == "slow":
+                    await asyncio.sleep(chaos.spec.slow_seconds)
             fingerprint = None
             if isinstance(matrix, SharedMatrixHandle):
                 fingerprint = matrix.fingerprint
@@ -175,6 +223,7 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
             respond("error", request_id, type(exc).__name__, str(exc))
 
     def stats_snapshot() -> dict:
+        now = time.monotonic()
         stats = engine.stats()
         stats.update({
             "worker_id": config.worker_id,
@@ -184,6 +233,14 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
             "backpressure_widenings": widenings,
             "peak_burst": peak_burst,
             "coalesce_window": engine.coalesce_window,
+            # heartbeat is a CLOCK_MONOTONIC stamp (system-wide on Linux,
+            # the same clock the front end reads), so the supervisor and
+            # /healthz can tell a *hung* worker (stale heartbeat, queued
+            # work) from a merely slow one (fresh heartbeat, long sweeps).
+            "heartbeat": now,
+            "uptime_s": now - started_at,
+            "incarnation": config.incarnation,
+            "chaos_enabled": chaos is not None,
         })
         return stats
 
@@ -191,6 +248,12 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
         shutting_down = False
         while not shutting_down:
             message = await loop.run_in_executor(reader, requests.get)
+            if chaos is not None:
+                stall = chaos.on_drain()
+                if stall > 0.0:
+                    # queue stall: requests pile up undrained (and the
+                    # event loop wedges), exactly a stuck feeder thread.
+                    time.sleep(stall)
             burst = [message]
             # greedy drain: everything already queued joins this event-loop
             # turn, which is exactly what lets the engine coalesce it into
@@ -215,7 +278,9 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
                 elif kind == MSG_STATS:
                     respond("stats", message[1], stats_snapshot())
                 elif kind == MSG_SOLVE:
-                    task = loop.create_task(handle_solve(message))
+                    task = loop.create_task(
+                        handle_solve(message, request_serial))
+                    request_serial += 1
                     pending.add(task)
                     task.add_done_callback(pending.discard)
                 else:

@@ -416,8 +416,12 @@ class TestClusterEngine:
                                  kappa=4.0).scaled_residual < 1e-2
 
     def test_worker_death_is_contained_and_retriable(self):
+        # respawn=False pins PR 6's shrink-only contract; the self-healing
+        # behaviour (fleet returns to full strength) lives in
+        # test_serving_resilience.py.
         matrix, rhs = _spd_system(8, 4.0, 17)
-        with ClusterEngine(num_workers=2) as cluster:
+        with ClusterEngine(num_workers=2, respawn=False,
+                           degraded_fallback=False) as cluster:
             victim = cluster.route(matrix)
             cluster._workers[victim]["process"].terminate()
             # requests racing the death either complete or fail retriably —
@@ -539,7 +543,8 @@ class TestServingHTTP:
         assert body["worker"].startswith("worker-")
         with urllib.request.urlopen(f"{base}/healthz") as response:
             health = json.load(response)
-        assert health == {"ok": True, "workers_alive": 2}
+        assert health == {"ok": True, "workers_alive": 2,
+                          "worker_deaths": 0, "restarts": 0}
         with urllib.request.urlopen(f"{base}/stats") as response:
             stats = json.load(response)
         assert stats["submitted"] == 1 and stats["latency"]["count"] == 1
