@@ -47,6 +47,7 @@ import time
 
 import numpy as np
 
+from repro.obs import EventLog
 from repro.reporting import format_table
 from repro.serving import ClusterEngine, RetryPolicy
 
@@ -204,6 +205,21 @@ def _measure_chaos(cluster: ClusterEngine, pool: list[dict],
 
     stats = cluster.stats(include_workers=False)
     total_success = sum(successes)
+
+    # span-tree completeness (the drill runs at sample rate 1.0): every
+    # admitted request still in the ring — ok, degraded, redispatched or
+    # failed — must carry the structural front-end spans.  Shed requests
+    # never pass admission, so "route" alone is their complete tree.
+    tracer = cluster.observability.tracer
+    incomplete_traces = 0
+    for trace_id in tracer.buffer.trace_ids():
+        record = tracer.buffer.get(trace_id)
+        if record["status"] == "shed":
+            continue
+        names = set(span["name"] for span in record["spans"])
+        if not {"route", "admit"} <= names:
+            incomplete_traces += 1
+
     return {
         "num_requests": num_requests,
         "clients": clients,
@@ -226,6 +242,8 @@ def _measure_chaos(cluster: ClusterEngine, pool: list[dict],
         "redispatched": stats["redispatched"],
         "workers_alive_after": stats["workers_alive"],
         "supervisor": stats["supervisor"],
+        "trace": stats["obs"]["trace"],
+        "incomplete_traces": incomplete_traces,
     }
 
 
@@ -254,7 +272,13 @@ def run_benchmark(*, smoke: bool = False) -> dict:
                                     num_requests=healthy_requests,
                                     clients=clients)
 
-        with ClusterEngine(**resilience_config, **stores) as cluster:
+        # the drill itself runs fully observed: every request traced
+        # (sample rate 1.0) and every lifecycle event — death, redispatch,
+        # respawn — appended to a shared JSONL the drill audits afterwards.
+        event_path = f"{tmp}/events.jsonl"
+        with ClusterEngine(**resilience_config, **stores,
+                           trace_sample_rate=1.0,
+                           event_log_path=event_path) as cluster:
             # warm both the per-worker caches and the store hierarchy, so
             # kill latency measures recovery, not first-touch synthesis.
             for entry, reference in zip(pool, references):
@@ -267,6 +291,23 @@ def run_benchmark(*, smoke: bool = False) -> dict:
             chaos = _measure_chaos(cluster, pool, references,
                                    num_requests=chaos_requests,
                                    clients=clients)
+
+        # post-hoc timeline: the event log is the drill's audit trail, read
+        # back from disk after the engine (and its workers) closed.
+        records = EventLog.read_file(event_path)
+        kind_counts: dict[str, int] = {}
+        for record in records:
+            kind_counts[record["kind"]] = kind_counts.get(record["kind"], 0) + 1
+        chaos["timeline"] = {
+            "events": len(records),
+            "kinds": kind_counts,
+            "deaths": [{"worker": r.get("worker"),
+                        "incarnation": r.get("incarnation")}
+                       for r in records if r["kind"] == "worker_death"],
+            "respawns": [{"worker": r.get("worker"),
+                          "incarnation": r.get("incarnation")}
+                         for r in records if r["kind"] == "worker_respawn"],
+        }
 
     baseline_rps = None
     regression = None
@@ -313,6 +354,13 @@ def run_benchmark(*, smoke: bool = False) -> dict:
               "deaths": chaos["worker_deaths"],
               "max dev": chaos["max_deviation"]}],
             title="Chaos traffic (closed loop through RetryPolicy clients)"),
+        format_table(
+            [{"kind": kind, "count": count}
+             for kind, count in sorted(chaos["timeline"]["kinds"].items())],
+            title="Event-log timeline (shared JSONL, read back post-drill)")
+        + (f"\n\ntraces: {chaos['trace']['finished']} finished at sample "
+           f"rate {chaos['trace']['sample_rate']}, "
+           f"{chaos['incomplete_traces']} incomplete"),
     ])
     if smoke:
         # threshold gate only; never overwrite the full-run artifacts
@@ -365,6 +413,28 @@ def _check(summary: dict) -> list[str]:
     if summary["healthy"]["max_deviation"] > _PARITY_TOL:
         failures.append(f"healthy-path answers deviate by "
                         f"{summary['healthy']['max_deviation']:.2e}")
+    timeline = chaos["timeline"]
+    kinds = timeline["kinds"]
+    if kinds.get("worker_death", 0) != len(_KILL_SCHEDULE):
+        failures.append(f"event log recorded {kinds.get('worker_death', 0)} "
+                        f"worker_death events for {len(_KILL_SCHEDULE)} "
+                        "scripted kills")
+    if kinds.get("worker_respawn", 0) < len(_KILL_SCHEDULE):
+        failures.append(f"event log recorded only "
+                        f"{kinds.get('worker_respawn', 0)} worker_respawn "
+                        f"events for {len(_KILL_SCHEDULE)} kills")
+    for kill in chaos["kills"]:
+        if not any(r["worker"] == kill["victim"]
+                   for r in timeline["respawns"]):
+            failures.append(f"no worker_respawn event for killed victim "
+                            f"{kill['victim']} in the timeline")
+    if chaos["trace"]["finished"] < chaos["num_requests"]:
+        failures.append(f"only {chaos['trace']['finished']} traces finished "
+                        f"for {chaos['num_requests']} requests — the drill "
+                        "runs at sample rate 1.0 and must trace everything")
+    if chaos["incomplete_traces"] > 0:
+        failures.append(f"{chaos['incomplete_traces']} admitted request(s) "
+                        "settled without the structural route/admit spans")
     regression = summary["healthy_regression"]
     if regression is not None and regression > _MAX_HEALTHY_REGRESSION:
         failures.append(f"healthy-path throughput regressed "

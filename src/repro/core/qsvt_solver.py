@@ -38,6 +38,7 @@ import numpy as np
 
 from ..exceptions import StaleSynthesisError
 from ..linalg import condition_number, scaled_residual
+from ..obs.trace import span as obs_span
 from ..qsp.inverse_polynomial import (
     inverse_polynomial_degree,
     polynomial_error_from_solution_accuracy,
@@ -313,7 +314,9 @@ class QSVTLinearSolver:
             raise ValueError("right-hand side length does not match the matrix")
         self._check_fresh()
         start = time.perf_counter()
-        application = self.backend.apply_inverse(b)
+        with obs_span("sweep", batch=1, dimension=self.dimension,
+                      backend=type(self.backend).__name__):
+            application = self.backend.apply_inverse(b)
         elapsed = time.perf_counter() - start
         return self._assemble_record(application, b, elapsed)
 
@@ -333,7 +336,10 @@ class QSVTLinearSolver:
             raise ValueError("right-hand side length does not match the matrix")
         self._check_fresh()
         start = time.perf_counter()
-        applications = self.backend.apply_inverse_batch(batch)
+        with obs_span("sweep", batch=int(batch.shape[0]),
+                      dimension=self.dimension,
+                      backend=type(self.backend).__name__):
+            applications = self.backend.apply_inverse_batch(batch)
         elapsed = (time.perf_counter() - start) / max(len(applications), 1)
         return [self._assemble_record(application, batch[i], elapsed)
                 for i, application in enumerate(applications)]

@@ -29,6 +29,7 @@ import time
 import numpy as np
 
 from ..linalg import condition_number, relative_forward_error, scaled_residual
+from ..obs.trace import span as obs_span
 from ..precision import PrecisionContext
 from ..utils import as_vector, is_linear_operator
 from .communication import CommunicationTrace
@@ -186,7 +187,8 @@ class MixedPrecisionRefinement:
 
         # ---- initial solve x_0 (step 0) --------------------------------- #
         start = time.perf_counter()
-        record = self.inner_solver.solve(b)
+        with obs_span("refinement_iteration", iteration=0):
+            record = self.inner_solver.solve(b)
         elapsed = time.perf_counter() - start
         x = self.precision.round_working(record.x)
         total_calls += record.block_encoding_calls
@@ -209,9 +211,10 @@ class MixedPrecisionRefinement:
         while not converged and iteration < self.max_iterations:
             iteration += 1
             start = time.perf_counter()
-            residual = self.precision.residual_of(self.matrix, x, b)
-            correction_record = self.inner_solver.solve(residual)
-            x = self.precision.round_working(x + correction_record.x)
+            with obs_span("refinement_iteration", iteration=iteration):
+                residual = self.precision.residual_of(self.matrix, x, b)
+                correction_record = self.inner_solver.solve(residual)
+                x = self.precision.round_working(x + correction_record.x)
             elapsed = time.perf_counter() - start
             total_calls += correction_record.block_encoding_calls
             omega = scaled_residual(self.matrix, x, b)
@@ -309,7 +312,8 @@ class MixedPrecisionRefinement:
 
         # ---- initial solves x_0 (one batched sweep) ---------------------- #
         start = time.perf_counter()
-        records = self._inner_solve_batch(batch)
+        with obs_span("refinement_iteration", iteration=0, active=size):
+            records = self._inner_solve_batch(batch)
         elapsed = (time.perf_counter() - start) / size
         xs: list[np.ndarray] = []
         omegas = np.empty(size)
@@ -341,10 +345,12 @@ class MixedPrecisionRefinement:
             iteration += 1
             active = [i for i in range(size) if not done[i]]
             start = time.perf_counter()
-            residuals = np.stack([
-                self.precision.residual_of(self.matrix, xs[i], batch[i])
-                for i in active])
-            correction_records = self._inner_solve_batch(residuals)
+            with obs_span("refinement_iteration", iteration=iteration,
+                          active=len(active)):
+                residuals = np.stack([
+                    self.precision.residual_of(self.matrix, xs[i], batch[i])
+                    for i in active])
+                correction_records = self._inner_solve_batch(residuals)
             elapsed = (time.perf_counter() - start) / len(active)
             for i, record in zip(active, correction_records):
                 iterations[i] = iteration

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..core.results import SingleSolveRecord
 from ..exceptions import SolveTimeoutError
+from ..obs.trace import TraceContext, activated, current_trace
 from ..utils import LatencyHistogram
 from .cache import CompiledSolverCache
 
@@ -63,6 +64,11 @@ class _PendingGroup:
     futures: list = field(default_factory=list)
     #: absolute ``loop.time()`` deadlines per request (``None`` = no deadline).
     deadlines: list = field(default_factory=list)
+    #: ambient :class:`~repro.obs.trace.TraceContext` per member (or ``None``);
+    #: the shared sweep's spans are adopted into every sampled one.
+    traces: list = field(default_factory=list)
+    #: ``loop.time()`` stamp when each member joined (coalesce-wait spans).
+    joined: list = field(default_factory=list)
 
 
 class AsyncSolveEngine:
@@ -96,14 +102,15 @@ class AsyncSolveEngine:
 
     def __init__(self, *, cache: CompiledSolverCache | None = None, store=None,
                  max_batch_size: int = 64, coalesce_window: float = 0.0,
-                 max_concurrency: int = 4) -> None:
+                 max_concurrency: int = 4, metrics=None) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if coalesce_window < 0.0:
             raise ValueError("coalesce_window must be >= 0")
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
-        self.cache = cache if cache is not None else CompiledSolverCache(store=store)
+        self.cache = cache if cache is not None else CompiledSolverCache(
+            store=store, metrics=metrics)
         self.max_batch_size = int(max_batch_size)
         self.coalesce_window = float(coalesce_window)
         self.max_concurrency = int(max_concurrency)
@@ -114,7 +121,26 @@ class AsyncSolveEngine:
         self._batches = 0
         self._largest_batch = 0
         self._timeouts = 0
-        self._latency = LatencyHistogram()
+        # optional obs.metrics.MetricsRegistry mirror; the latency histogram
+        # *is* the registry series when one is attached (single recording,
+        # both views — stats()["latency"] and the metrics snapshot).
+        self._m_requests = self._m_batches = None
+        self._m_timeouts = self._m_batch_width = None
+        if metrics is not None:
+            self._m_requests = metrics.counter(
+                "engine_requests_total", "Solve requests entering coalescing")
+            self._m_batches = metrics.counter(
+                "engine_batches_total", "Fused sweeps executed")
+            self._m_timeouts = metrics.counter(
+                "engine_timeouts_total",
+                "Requests expired before their sweep started")
+            self._m_batch_width = metrics.histogram(
+                "engine_batch_width", "Coalesced requests per fused sweep")
+            self._latency = metrics.histogram(
+                "engine_latency_seconds",
+                "End-to-end coalesced solve latency").labelled()
+        else:
+            self._latency = LatencyHistogram()
 
     # ------------------------------------------------------------------ #
     async def solve(self, matrix, rhs, *, epsilon_l: float = 1e-2,
@@ -166,7 +192,11 @@ class AsyncSolveEngine:
         group.futures.append(future)
         group.deadlines.append(None if deadline is None
                                else start + float(deadline))
+        group.traces.append(current_trace())
+        group.joined.append(start)
         self._requests += 1
+        if self._m_requests is not None:
+            self._m_requests.inc()
         if (len(group.rhs) >= self.max_batch_size
                 and self._pending.get(key) is group):
             # seal the group: its flush task still owns it (and fires
@@ -199,11 +229,14 @@ class AsyncSolveEngine:
             # passed are failed now, before any solve work is spent on them,
             # and the survivors run as a (smaller) batch.
             now = loop.time()
-            live_rhs, live_futures = [], []
-            for rhs, future, expires in zip(group.rhs, group.futures,
-                                            group.deadlines):
+            live_rhs, live_futures, sampled_traces = [], [], []
+            for rhs, future, expires, trace, joined in zip(
+                    group.rhs, group.futures, group.deadlines,
+                    group.traces, group.joined):
                 if expires is not None and now > expires:
                     self._timeouts += 1
+                    if self._m_timeouts is not None:
+                        self._m_timeouts.inc()
                     if not future.done():
                         future.set_exception(SolveTimeoutError(
                             f"deadline expired {now - expires:.4f}s before "
@@ -212,11 +245,28 @@ class AsyncSolveEngine:
                 else:
                     live_rhs.append(rhs)
                     live_futures.append(future)
+                    if trace is not None and trace.sampled:
+                        sampled_traces.append(trace)
+                        trace.add_span("coalesce", start=joined,
+                                       duration=now - joined,
+                                       batch=len(group.rhs))
             if not live_rhs:
                 return
-            records = await loop.run_in_executor(
-                self._ensure_executor(),
-                lambda: self._solve_group(group, live_rhs))
+            # one sweep answers N member requests: record its spans once into
+            # a collector context, then adopt them (by reference — shared
+            # span_ids) into every sampled member trace.
+            collector = (TraceContext(sampled_traces[0].trace_id,
+                                      sampled=True, origin="sweep")
+                         if sampled_traces else None)
+
+            def run_group():
+                if collector is None:
+                    return self._solve_group(group, live_rhs)
+                with activated(collector):
+                    return self._solve_group(group, live_rhs)
+
+            records = await loop.run_in_executor(self._ensure_executor(),
+                                                 run_group)
         except BaseException as exc:  # noqa: BLE001 - fan the failure out
             for future in group.futures:
                 if not future.done():
@@ -224,6 +274,14 @@ class AsyncSolveEngine:
             return
         self._batches += 1
         self._largest_batch = max(self._largest_batch, len(records))
+        if self._m_batches is not None:
+            self._m_batches.inc()
+        if self._m_batch_width is not None:
+            self._m_batch_width.observe(float(len(records)))
+        if collector is not None:
+            shared = collector.spans
+            for trace in sampled_traces:
+                trace.adopt(shared)
         for future, record in zip(live_futures, records):
             if not future.done():
                 future.set_result(record)

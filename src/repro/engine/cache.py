@@ -48,6 +48,7 @@ import numpy as np
 from ..core.backends import QSVTBackend
 from ..core.qsvt_solver import QSVTLinearSolver
 from ..linalg.operators import is_structured_operator
+from ..obs.trace import span as obs_span
 from ..utils import matrix_fingerprint
 
 __all__ = ["CompiledSolverCache"]
@@ -84,13 +85,26 @@ class CompiledSolverCache:
     """
 
     def __init__(self, maxsize: int | None = 32,
-                 max_bytes: int | None = None, store=None) -> None:
+                 max_bytes: int | None = None, store=None,
+                 metrics=None) -> None:
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be >= 1 (or None for unbounded)")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.maxsize = maxsize
         self.max_bytes = max_bytes
+        # optional obs.metrics.MetricsRegistry mirroring the ad-hoc counters
+        # below (which remain authoritative for the legacy stats() keys).
+        self._m_lookups = self._m_compiles = self._m_evictions = None
+        if metrics is not None:
+            self._m_lookups = metrics.counter(
+                "cache_lookups_total",
+                "Compiled-solver cache lookups by result "
+                "(hit / miss / store_hit)")
+            self._m_compiles = metrics.counter(
+                "cache_compiles_total", "Solver syntheses paid by the cache")
+            self._m_evictions = metrics.counter(
+                "cache_evictions_total", "Cache entries evicted (LRU/bytes)")
         #: optional :class:`repro.engine.store.SynthesisStore` consulted on
         #: in-memory misses and populated after fresh compilations.
         self.store = store
@@ -182,6 +196,8 @@ class CompiledSolverCache:
             if cached is not None:
                 self._hits += 1
                 self._entries.move_to_end(key)
+                if self._m_lookups is not None:
+                    self._m_lookups.inc(result="hit")
                 return cached
             compile_lock = self._compile_locks.setdefault(key, threading.Lock())
         with compile_lock:
@@ -191,12 +207,19 @@ class CompiledSolverCache:
                 if cached is not None:
                     self._hits += 1
                     self._entries.move_to_end(key)
+                    if self._m_lookups is not None:
+                        self._m_lookups.inc(result="hit")
                     return cached
                 self._misses += 1
+            if self._m_lookups is not None:
+                self._m_lookups.inc(result="miss")
             # restore from the persistent store if one is attached: a store
             # hit installs a ready-made solver without any synthesis.
             if self.store is not None:
-                restored = self.store.load(key, **backend_options)
+                with obs_span("store_lookup") as entry:
+                    restored = self.store.load(key, **backend_options)
+                    if entry is not None:
+                        entry["attrs"]["hit"] = restored is not None
                 if restored is not None:
                     self._install(key, restored, store_hit=True)
                     return restored
@@ -209,9 +232,12 @@ class CompiledSolverCache:
             try:
                 owned = (matrix if is_structured_operator(matrix)
                          else np.array(matrix, dtype=float, copy=True))
-                solver = QSVTLinearSolver(owned,
-                                          epsilon_l=epsilon_l, backend=backend,
-                                          kappa=kappa, **backend_options)
+                with obs_span("compile", backend=str(backend),
+                              epsilon_l=float(epsilon_l)):
+                    solver = QSVTLinearSolver(owned,
+                                              epsilon_l=epsilon_l,
+                                              backend=backend,
+                                              kappa=kappa, **backend_options)
             except BaseException:
                 # failed syntheses must not leak their per-key lock (a stream
                 # of failing requests would otherwise grow the map unboundedly)
@@ -229,6 +255,11 @@ class CompiledSolverCache:
                  store_hit: bool) -> None:
         """Insert a freshly obtained solver and release its compile lock."""
         entry_bytes = self._payload_bytes(solver)
+        if store_hit:
+            if self._m_lookups is not None:
+                self._m_lookups.inc(result="store_hit")
+        elif self._m_compiles is not None:
+            self._m_compiles.inc()
         with self._lock:
             if store_hit:
                 self._store_hits += 1
@@ -266,12 +297,16 @@ class CompiledSolverCache:
             key = next(iter(self._entries))
             self._drop_locked(key)
             self._evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
         if self.max_bytes is None:
             return
         while self._total_bytes > self.max_bytes and len(self._entries) > 1:
             key = next(iter(self._entries))
             self._drop_locked(key)
             self._evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
 
     # ------------------------------------------------------------------ #
     def invalidate(self, matrix) -> int:

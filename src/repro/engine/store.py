@@ -47,6 +47,7 @@ import threading
 import numpy as np
 
 from ..core.qsvt_solver import QSVTLinearSolver
+from ..obs.trace import current_trace
 from ..utils import atomic_write
 
 __all__ = ["SynthesisStore", "TieredSynthesisStore", "default_store_path",
@@ -97,9 +98,12 @@ class SynthesisStore:
     """
 
     def __init__(self, path: str | os.PathLike | None = None, *,
-                 chaos=None) -> None:
+                 chaos=None, events=None) -> None:
         self.path = pathlib.Path(path) if path is not None else default_store_path()
         self.chaos = chaos
+        #: optional :class:`repro.obs.events.EventLog`: quarantines are
+        #: exactly the store incident a post-hoc timeline needs to explain.
+        self.events = events
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
@@ -207,6 +211,13 @@ class SynthesisStore:
             if quarantined:
                 with self._lock:
                     self._corrupt_quarantined += 1
+            if self.events is not None:
+                trace = current_trace()
+                self.events.emit(
+                    "store_quarantine",
+                    trace_id=None if trace is None else trace.trace_id,
+                    entry=entry_key, path=str(path),
+                    quarantined=quarantined)
             return None
         with self._lock:
             self._hits += 1
@@ -335,12 +346,16 @@ class TieredSynthesisStore:
     """
 
     def __init__(self, local: "SynthesisStore | str | os.PathLike",
-                 shared: "SynthesisStore | str | os.PathLike | None" = None
-                 ) -> None:
+                 shared: "SynthesisStore | str | os.PathLike | None" = None,
+                 *, events=None) -> None:
         self.local = (local if isinstance(local, SynthesisStore)
                       else SynthesisStore(local))
         self.shared = (shared if isinstance(shared, SynthesisStore)
                        or shared is None else SynthesisStore(shared))
+        if events is not None:
+            self.local.events = events
+            if self.shared is not None:
+                self.shared.events = events
         self._lock = threading.Lock()
         self._local_hits = 0
         self._shared_hits = 0

@@ -1,0 +1,224 @@
+"""Structured event log: append-only JSONL of serving-tier lifecycle events.
+
+Metrics say *how much* (counters, percentiles); traces say *where the time
+went* for one request; the event log says *what happened to the cluster* —
+worker deaths, hangs and respawns (with incarnation), circuit-breaker trips
+and half-opens, chaos fault injections, synthesis-store quarantines.  Each
+event is one JSON object per line, stamped with a wall-clock timestamp, a
+monotonically increasing sequence number, and — when a request observed the
+event — the ``trace_id`` that ties it back to a span tree.  A chaos drill
+becomes reconstructable post-hoc: the scripted kill, the collector noticing
+the death, the redispatch, the respawn with the next incarnation, each a
+line in order.
+
+The log is dual-homed:
+
+* an **in-memory ring** (bounded, cheap) that ``/healthz`` and ``stats()``
+  read and tests assert against, and
+* an optional **JSONL file** (``path=`` or the ``REPRO_EVENT_LOG``
+  environment variable) opened append-only and line-buffered, so multiple
+  processes — the front end and every worker — can interleave whole lines
+  into one timeline (POSIX ``O_APPEND`` semantics keep lines intact).
+
+Workers that are about to die *on purpose* (chaos crash points call
+``os._exit``) must call :meth:`EventLog.sync` first: the exit skips every
+atexit/flush path, and an unsynced fault event would vanish with the
+process — exactly the event the timeline exists to record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = ["EventLog", "EVENT_LOG_ENV_VAR", "default_event_log_path"]
+
+#: environment variable naming the JSONL file shared by all processes.
+EVENT_LOG_ENV_VAR = "REPRO_EVENT_LOG"
+
+
+def default_event_log_path(environ=os.environ) -> str | None:
+    """Event-log path from ``REPRO_EVENT_LOG`` (``None`` = memory only)."""
+    raw = environ.get(EVENT_LOG_ENV_VAR, "").strip()
+    if raw.lower() in ("", "0", "off", "false", "no"):
+        return None
+    return raw
+
+
+class EventLog:
+    """Append-only structured event sink (memory ring + optional JSONL file).
+
+    ``path=None`` consults ``REPRO_EVENT_LOG``; pass ``path=False`` to force
+    memory-only operation regardless of the environment.  File writes are
+    line-buffered and never raise into the caller — a full disk degrades the
+    log to memory-only (counted in ``write_errors``) rather than failing the
+    request path that emitted the event.
+    """
+
+    def __init__(self, path: "str | None | bool" = None, *,
+                 capacity: int = 4096, clock=time.time,
+                 source: str = "") -> None:
+        if path is None:
+            resolved = default_event_log_path()
+        elif path is False:
+            resolved = None
+        else:
+            resolved = str(path)
+        self.path = resolved
+        self.source = source
+        self._clock = clock
+        self._ring: deque[dict] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._emitted = 0
+        self._write_errors = 0
+        self._last_ts: float | None = None
+        #: optional ``on_emit(record)`` tap called after each local
+        #: :meth:`emit` (outside the lock, errors swallowed) — the worker
+        #: uses it to ship its events to the front end's memory ring over
+        #: the response queue.
+        self.on_emit = None
+        self._file = None
+        if resolved is not None:
+            try:
+                directory = os.path.dirname(resolved)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._file = open(resolved, "a", buffering=1,
+                                  encoding="utf-8")
+            except OSError:
+                self._write_errors += 1
+                self._file = None
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+    def emit(self, kind: str, *, trace_id: str | None = None,
+             **fields) -> dict:
+        """Record one event; returns the stamped record.
+
+        ``kind`` is the event type (``worker_death``, ``breaker_open``,
+        ``chaos_fault``, ``store_quarantine``, ...); arbitrary keyword
+        fields carry the specifics (worker id, incarnation, fault kind).
+        """
+        record = dict(fields)
+        record["kind"] = str(kind)
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        if self.source and "source" not in record:
+            record["source"] = self.source
+        record["ts"] = self._clock()
+        with self._lock:
+            self._seq += 1
+            self._emitted += 1
+            record["seq"] = self._seq
+            self._ring.append(record)
+            self._last_ts = record["ts"]
+            if self._file is not None:
+                try:
+                    self._file.write(
+                        json.dumps(record, default=str, sort_keys=True)
+                        + "\n")
+                except (OSError, ValueError):
+                    self._write_errors += 1
+        tap = self.on_emit
+        if tap is not None:
+            try:
+                tap(record)
+            except Exception:  # noqa: BLE001 - telemetry must not raise
+                pass
+        return record
+
+    def ingest(self, record: dict) -> dict | None:
+        """Fold an event produced by *another* process into the memory ring.
+
+        Workers append their own events to the shared file directly (their
+        line already carries a ``seq`` from their log); this keeps the front
+        end's in-memory view cluster-wide without writing the line twice.
+        """
+        if not isinstance(record, dict) or "kind" not in record:
+            return None
+        record = dict(record)
+        with self._lock:
+            self._ring.append(record)
+            self._emitted += 1
+            ts = record.get("ts")
+            if isinstance(ts, (int, float)):
+                self._last_ts = max(self._last_ts or 0.0, float(ts))
+        return record
+
+    def sync(self) -> None:
+        """Flush + fsync the file — call before a deliberate hard exit."""
+        with self._lock:
+            if self._file is None:
+                return
+            try:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except (OSError, ValueError):
+                self._write_errors += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    self._write_errors += 1
+                self._file = None
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def events(self, kind: str | None = None,
+               limit: int | None = None) -> list[dict]:
+        """Events from the memory ring, oldest first, optionally filtered."""
+        with self._lock:
+            records = list(self._ring)
+        if kind is not None:
+            records = [record for record in records
+                       if record.get("kind") == kind]
+        if limit is not None:
+            records = records[-int(limit):]
+        return records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def stats(self) -> dict:
+        """Telemetry for ``/healthz``: volume, destination, lag, errors."""
+        with self._lock:
+            last_age = (None if self._last_ts is None
+                        else max(0.0, self._clock() - self._last_ts))
+            return {"events": self._emitted, "buffered": len(self._ring),
+                    "path": self.path, "last_event_age_s": last_age,
+                    "write_errors": self._write_errors}
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def read_file(path: str) -> list[dict]:
+        """Parse a JSONL event file (skipping torn/corrupt lines)."""
+        records: list[dict] = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
+        except OSError:
+            return records
+        return records
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"EventLog(path={self.path!r}, buffered={len(self)}, "
+                f"emitted={self._emitted})")

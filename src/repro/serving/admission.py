@@ -121,7 +121,7 @@ class AdmissionController:
     def __init__(self, *, queue_limit: int | None = 64,
                  tenant_rate: float | None = None,
                  tenant_burst: float | None = None,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic, metrics=None) -> None:
         if queue_limit is not None and queue_limit < 1:
             raise ValueError("queue_limit must be >= 1 (or None)")
         self.queue_limit = queue_limit
@@ -134,6 +134,16 @@ class AdmissionController:
         self._shed_queue_full = 0
         self._shed_quota = 0
         self._shed_breaker_open = 0
+        # the ad-hoc counters above stay authoritative for stats(); the
+        # registry series mirrors them under an ``outcome`` label so the
+        # Prometheus surface gets them for free.
+        self._m_decisions = None if metrics is None else metrics.counter(
+            "admission_decisions_total",
+            "Admission gate decisions by outcome")
+
+    def _count(self, outcome: str) -> None:
+        if self._m_decisions is not None:
+            self._m_decisions.inc(outcome=outcome)
 
     # ------------------------------------------------------------------ #
     def _bucket(self, tenant: str) -> TokenBucket:
@@ -160,6 +170,7 @@ class AdmissionController:
             if not bucket.try_acquire():
                 with self._lock:
                     self._shed_quota += 1
+                self._count("shed_quota")
                 raise QuotaExceededError(
                     f"tenant {tenant!r} exceeded its quota "
                     f"({self.tenant_rate}/s)",
@@ -167,12 +178,14 @@ class AdmissionController:
         if self.queue_limit is not None and depth >= self.queue_limit:
             with self._lock:
                 self._shed_queue_full += 1
+            self._count("shed_queue_full")
             raise QueueFullError(
                 f"worker {worker_id!r} queue is full "
                 f"({depth}/{self.queue_limit} in flight); retry later",
                 retry_after=None)
         with self._lock:
             self._admitted += 1
+        self._count("admitted")
 
     def note_breaker_shed(self) -> None:
         """Count a front-door rejection made by an open circuit breaker.
@@ -184,6 +197,7 @@ class AdmissionController:
         """
         with self._lock:
             self._shed_breaker_open += 1
+        self._count("shed_breaker_open")
 
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:

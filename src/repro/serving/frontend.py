@@ -68,7 +68,9 @@ from ..exceptions import (
     SolveTimeoutError,
     WorkerUnavailableError,
 )
-from ..utils import LatencyHistogram, is_linear_operator, matrix_fingerprint
+from ..obs import Observability
+from ..obs.metrics import merge_snapshots, relabel_snapshot, render_prometheus
+from ..utils import is_linear_operator, matrix_fingerprint
 from .admission import AdmissionController
 from .resilience import CircuitBreaker, RetryPolicy, Supervisor
 from .router import DEFAULT_VNODES, HashRing
@@ -105,6 +107,10 @@ class _Inflight:
     params: dict | None = None
     matrix: object | None = None
     redispatches: int = 0
+    #: per-request :class:`~repro.obs.trace.TraceContext` (``None`` when
+    #: tracing is off); spans recorded by the owning worker are adopted into
+    #: it at settle time and the finished tree lands in the tracer's ring.
+    trace: object | None = None
 
 
 class ClusterEngine:
@@ -165,6 +171,19 @@ class ClusterEngine:
     chaos:
         Optional :class:`~repro.serving.resilience.ChaosSpec` forwarded to
         every worker — the deterministic fault-injection harness.
+    observability:
+        Optional :class:`~repro.obs.Observability` bundle (metrics registry,
+        tracer, event log).  ``None`` builds one from the environment
+        (``REPRO_METRICS`` / ``REPRO_TRACE`` / ``REPRO_EVENT_LOG``) and the
+        two knobs below.
+    trace_sample_rate:
+        Deterministic trace sampling rate in ``[0, 1]`` (``None`` follows
+        ``REPRO_TRACE``; 0 = tracing fully off, zero per-request overhead).
+        Ignored when ``observability`` is passed.
+    event_log_path:
+        JSONL file all processes append lifecycle/fault events to
+        (``None`` follows ``REPRO_EVENT_LOG``; workers share the path).
+        Ignored when ``observability`` is passed.
 
     Use as a context manager (or call :meth:`close`) — worker processes and
     shared-memory segments are released deterministically.
@@ -191,7 +210,10 @@ class ClusterEngine:
                  degraded_fallback: bool = True,
                  breaker_failure_threshold: int = 3,
                  breaker_reset_timeout: float = 1.0,
-                 chaos=None) -> None:
+                 chaos=None,
+                 observability: Observability | None = None,
+                 trace_sample_rate: float | None = None,
+                 event_log_path=None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if max_redispatch < 0:
@@ -200,11 +222,37 @@ class ClusterEngine:
         self.retry_policy = retry_policy
         self.max_redispatch = int(max_redispatch)
         self.degraded_fallback = bool(degraded_fallback)
+        if observability is None:
+            from ..obs import EventLog, Tracer
+            observability = Observability(
+                tracer=Tracer(sample_rate=trace_sample_rate),
+                events=EventLog(event_log_path, source="frontend"))
+        self._obs = observability
+        metrics = self._obs.metrics
         self._ring = HashRing(vnodes=vnodes)
         self._admission = AdmissionController(queue_limit=queue_limit,
                                               tenant_rate=tenant_rate,
-                                              tenant_burst=tenant_burst)
-        self._latency = LatencyHistogram()
+                                              tenant_burst=tenant_burst,
+                                              metrics=metrics)
+        # cluster counters: the ad-hoc ints below stay authoritative for
+        # stats(); these registry series mirror them onto /metrics (and the
+        # latency histogram IS the registry series, so no double recording).
+        self._m_requests = metrics.counter(
+            "cluster_requests_total", "Requests by final outcome")
+        self._m_redispatched = metrics.counter(
+            "cluster_redispatched_total",
+            "In-flight requests moved off a dead owner")
+        self._m_worker_deaths = metrics.counter(
+            "cluster_worker_deaths_total", "Worker processes found dead")
+        self._m_restarts = metrics.counter(
+            "cluster_restarts_total", "Worker incarnations respawned")
+        self._g_workers_alive = metrics.gauge(
+            "cluster_workers_alive", "Workers currently on the hash ring")
+        self._g_inflight = metrics.gauge(
+            "cluster_inflight", "Requests currently dispatched")
+        self._latency = metrics.histogram(
+            "cluster_latency_seconds",
+            "Submit-to-settle latency").labelled()
         self._registry = SharedMatrixRegistry() if use_shared_memory else None
         if self._registry is not None:
             # Start the resource tracker *before* forking the workers: a fork
@@ -239,7 +287,13 @@ class ClusterEngine:
         self._breakers: dict[str, CircuitBreaker] = {}
         self._closing = threading.Event()
         self._workers: dict[str, dict] = {}
+        self._started_at = time.monotonic()
+        #: worker_id -> monotonic stamp of the last metrics snapshot folded
+        #: into the cluster view (drives the /healthz staleness report).
+        self._metrics_seen: dict[str, float] = {}
         now = time.monotonic()
+        worker_event_path = (None if self._obs.events.path is None
+                             else str(self._obs.events.path))
         for index in range(num_workers):
             worker_id = f"worker-{index}"
             config = WorkerConfig(
@@ -254,7 +308,9 @@ class ClusterEngine:
                 backpressure_watermark=backpressure_watermark,
                 max_coalesce_window=max_coalesce_window,
                 threads=threads_per_worker,
-                chaos=chaos)
+                chaos=chaos,
+                event_log_path=worker_event_path,
+                metrics_enabled=metrics.enabled)
             requests = context.Queue()
             # one response queue PER worker, not one shared by the fleet: a
             # multiprocessing.Queue write holds a cross-process feeder lock,
@@ -276,7 +332,8 @@ class ClusterEngine:
             self._last_heard[worker_id] = now
             self._breakers[worker_id] = CircuitBreaker(
                 failure_threshold=breaker_failure_threshold,
-                reset_timeout=breaker_reset_timeout)
+                reset_timeout=breaker_reset_timeout,
+                listener=self._breaker_listener(worker_id))
         for worker in self._workers.values():
             worker["process"].start()
         for worker_id in self._workers:
@@ -290,6 +347,24 @@ class ClusterEngine:
                                           hang_timeout=hang_timeout,
                                           max_restarts=max_restarts)
             self._supervisor.start()
+
+    # ------------------------------------------------------------------ #
+    # observability plumbing
+    # ------------------------------------------------------------------ #
+    def _event(self, kind: str, **fields) -> None:
+        """Stamp one lifecycle event on the cluster event log (never raises)."""
+        self._obs.events.emit(kind, **fields)
+
+    def _breaker_listener(self, worker_id: str):
+        """Event-log adapter for one worker's circuit breaker."""
+        def listener(transition: str, **fields) -> None:
+            self._event(f"breaker_{transition}", worker=worker_id, **fields)
+        return listener
+
+    @property
+    def observability(self) -> Observability:
+        """The metrics/tracing/event-log bundle this engine reports into."""
+        return self._obs
 
     # ------------------------------------------------------------------ #
     # request path
@@ -325,45 +400,58 @@ class ClusterEngine:
                             else time.monotonic() + float(deadline)),
         }
         rhs_wire = np.array(rhs, dtype=float, copy=True)
+        trace = self._obs.tracer.start(origin="fe")
         policy = self.retry_policy
         delay = None
         attempt = 0
         while True:
             try:
                 return self._submit_once(matrix, fingerprint, payload,
-                                         rhs_wire, params, tenant)
+                                         rhs_wire, params, tenant, trace)
             except AdmissionError as exc:
                 if (policy is None or self._closing.is_set()
                         or not policy.should_retry(exc, attempt)):
+                    if trace is not None:
+                        self._obs.tracer.finish(trace, status="shed",
+                                                error=type(exc).__name__)
                     raise
                 delay = policy.next_delay(delay, retry_after=exc.retry_after)
                 policy.sleep(delay)
                 attempt += 1
 
     def _submit_once(self, matrix, fingerprint: str, payload, rhs_wire,
-                     params: dict, tenant: str | None) -> Future:
+                     params: dict, tenant: str | None, trace=None) -> Future:
         """One routing/admission/dispatch attempt (see :meth:`submit`)."""
         try:
-            worker_id = self._ring.route(fingerprint)
+            if trace is not None:
+                with trace.span("route", fingerprint=fingerprint[:16]):
+                    worker_id = self._ring.route(fingerprint)
+            else:
+                worker_id = self._ring.route(fingerprint)
         except WorkerUnavailableError:
             # every worker is gone: either answer classically (and visibly
             # degraded) or let the retriable error reach the retry loop —
             # the supervisor may be mid-respawn.
             if self.degraded_fallback:
-                return self._degraded_future(matrix, rhs_wire)
+                return self._degraded_future(matrix, rhs_wire, trace=trace,
+                                             reason="empty_ring")
             raise
         breaker = self._breakers.get(worker_id)
         if breaker is not None and not breaker.allow():
             self._admission.note_breaker_shed()
             if self.degraded_fallback:
-                return self._degraded_future(matrix, rhs_wire)
+                return self._degraded_future(matrix, rhs_wire, trace=trace,
+                                             reason="breaker_open")
             raise CircuitOpenError(
                 f"worker {worker_id!r} breaker is open after consecutive "
                 "failures; probe admitted when it half-opens",
                 retry_after=breaker.retry_after())
         future: Future = Future()
         future.worker_id = worker_id
+        if trace is not None:
+            future.trace_id = trace.trace_id
         request_id = next(self._request_ids)
+        admit_started = time.monotonic()
         with self._lock:
             # admit under the lock so depth-check and increment are atomic
             # (two racing submits must not both squeeze under the watermark).
@@ -373,9 +461,17 @@ class ClusterEngine:
             self._inflight[request_id] = _Inflight(
                 future=future, worker_id=worker_id, started=time.monotonic(),
                 counts_depth=True, fingerprint=fingerprint, payload=payload,
-                rhs=rhs_wire, params=params, matrix=matrix)
+                rhs=rhs_wire, params=params, matrix=matrix, trace=trace)
             self._submitted += 1
             requests = self._workers[worker_id]["requests"]
+        if trace is not None:
+            trace.add_span("admit", start=admit_started,
+                           duration=time.monotonic() - admit_started,
+                           worker=worker_id)
+            # stamped at dispatch time so the worker-side queue_wait span
+            # measures exactly the cross-process queue (both ends read
+            # CLOCK_MONOTONIC, which is system-wide on Linux).
+            params["trace"] = trace.to_wire()
         message = (MSG_SOLVE, request_id, payload, rhs_wire, params)
         try:
             requests.put(message)
@@ -505,27 +601,35 @@ class ClusterEngine:
         if breaker is not None:
             breaker.record_success()
         if kind == "result":
-            self._settle(request_id,
-                         SingleSolveRecord(**payload[0]), None)
+            self._settle(request_id, SingleSolveRecord(**payload[0]), None,
+                         spans=payload[1] if len(payload) > 1 else None)
         elif kind == "error":
-            name, message = payload
+            name, message = payload[0], payload[1]
             self._settle(request_id, None,
-                         _rebuild_exception(name, message))
+                         _rebuild_exception(name, message),
+                         spans=payload[2] if len(payload) > 2 else None)
         elif kind == "stats":
             self._settle(request_id, payload[0], None, record_latency=False)
+        elif kind == "event":
+            # a worker-side lifecycle/fault event (already on the shared
+            # JSONL file from the worker's own log): fold it into the front
+            # end's memory ring so one process holds the cluster timeline.
+            self._obs.events.ingest(payload[0])
         elif kind == "shutdown":
             worker = self._workers.get(worker_id)
             if worker is not None:
                 worker["final_stats"] = payload[0]
 
     def _settle(self, request_id, result, error, *,
-                record_latency: bool = True) -> None:
+                record_latency: bool = True, spans=None) -> None:
         """Resolve one in-flight future and release its queue slot.
 
         Idempotent (the first caller pops the entry; later ones no-op), and
         safe against caller-side ``Future.cancel()`` — a cancelled future
         rejects ``set_result``/``set_exception``, and raising here would kill
         the collector thread, so the slot is released and the settle skipped.
+        ``spans`` are worker-recorded span dicts adopted into the request's
+        trace before it is finished into the tracer's ring.
         """
         with self._lock:
             entry = self._inflight.pop(request_id, None)
@@ -539,6 +643,24 @@ class ClusterEngine:
                     if (isinstance(result, SingleSolveRecord)
                             and result.degraded):
                         self._degraded += 1
+        degraded = isinstance(result, SingleSolveRecord) and result.degraded
+        if entry.counts_depth:
+            if error is not None:
+                self._m_requests.inc(outcome="error")
+            else:
+                self._m_requests.inc(
+                    outcome="degraded" if degraded else "completed")
+        trace = entry.trace
+        if trace is not None:
+            if spans:
+                trace.adopt(spans)
+            self._obs.tracer.finish(
+                trace,
+                status=("error" if error is not None
+                        else "degraded" if degraded else "ok"),
+                worker=entry.worker_id,
+                redispatches=entry.redispatches,
+                error=None if error is None else type(error).__name__)
         future = entry.future
         if not future.set_running_or_notify_cancel():
             return  # caller cancelled; the slot above is already released
@@ -566,6 +688,12 @@ class ClusterEngine:
             with self._lock:
                 self._retired.add(worker_id)
             self._worker_deaths += 1
+            self._m_worker_deaths.inc()
+            self._event("worker_death", worker=worker_id,
+                        incarnation=worker["config"].incarnation,
+                        pid=worker["process"].pid,
+                        exitcode=worker["process"].exitcode,
+                        uptime_s=time.monotonic() - worker["started_at"])
             self._ring.remove_worker(worker_id)
             breaker = self._breakers.get(worker_id)
             if breaker is not None:
@@ -623,6 +751,19 @@ class ClusterEngine:
                     self._redispatched += 1
                     requests = self._workers[new_owner]["requests"]
                 entry.future.worker_id = new_owner
+                self._m_redispatched.inc()
+                trace = entry.trace
+                self._event("redispatch", worker_from=owner,
+                            worker_to=new_owner, hop=entry.redispatches,
+                            trace_id=(None if trace is None
+                                      else trace.trace_id))
+                if trace is not None:
+                    trace.add_span("redispatch", worker_from=owner,
+                                   worker_to=new_owner,
+                                   hop=entry.redispatches)
+                    # re-stamp enqueued_at: the new owner's queue_wait span
+                    # must measure *its* queue, not the dead worker's.
+                    entry.params["trace"] = trace.to_wire()
                 message = (MSG_SOLVE, request_id, entry.payload, entry.rhs,
                            entry.params)
                 try:
@@ -642,13 +783,23 @@ class ClusterEngine:
             # solve classically off-thread: this path runs on the collector
             # / supervisor threads, which must keep servicing the fleet.
             matrix, rhs = entry.matrix, entry.rhs
+            self._event("degraded_fallback", worker=owner,
+                        reason="owner_lost", hops=entry.redispatches,
+                        trace_id=(None if entry.trace is None
+                                  else entry.trace.trace_id))
 
             def degrade() -> None:
+                started = time.monotonic()
                 try:
                     record = _degraded_record(matrix, rhs)
                 except Exception as exc:  # noqa: BLE001 - settle, not raise
                     self._settle(request_id, None, exc)
                 else:
+                    if entry.trace is not None:
+                        entry.trace.add_span(
+                            "degraded", start=started,
+                            duration=time.monotonic() - started,
+                            reason="owner_lost")
                     self._settle(request_id, record, None)
             threading.Thread(target=degrade, name="repro-degraded-solve",
                              daemon=True).start()
@@ -657,23 +808,38 @@ class ClusterEngine:
             f"worker {owner!r} died with the request in flight; "
             "its fingerprints now route to the surviving workers"))
 
-    def _degraded_future(self, matrix, rhs) -> Future:
+    def _degraded_future(self, matrix, rhs, trace=None,
+                         reason: str = "") -> Future:
         """Already-settled future answered by the classical fallback."""
         future: Future = Future()
         future.worker_id = None
+        if trace is not None:
+            future.trace_id = trace.trace_id
+        self._event("degraded_fallback", reason=reason,
+                    trace_id=None if trace is None else trace.trace_id)
         started = time.monotonic()
         try:
             record = _degraded_record(matrix, rhs)
         except Exception as exc:  # noqa: BLE001 - the future carries it
             with self._lock:
                 self._submitted += 1
+            self._m_requests.inc(outcome="error")
+            if trace is not None:
+                self._obs.tracer.finish(trace, status="error",
+                                        error=type(exc).__name__)
             future.set_exception(exc)
             return future
         with self._lock:
             self._submitted += 1
             self._completed += 1
             self._degraded += 1
+        self._m_requests.inc(outcome="degraded")
         self._latency.record(time.monotonic() - started)
+        if trace is not None:
+            trace.add_span("degraded", start=started,
+                           duration=time.monotonic() - started,
+                           reason=reason)
+            self._obs.tracer.finish(trace, status="degraded", worker=None)
         future.set_result(record)
         return future
 
@@ -717,6 +883,10 @@ class ClusterEngine:
             self._restarts[worker_id] = self._restarts.get(worker_id, 0) + 1
             self._last_heard[worker_id] = now
         self._ring.ensure_worker(worker_id)
+        self._m_restarts.inc()
+        self._event("worker_respawn", worker=worker_id,
+                    incarnation=config.incarnation, pid=process.pid,
+                    restarts=self._restarts.get(worker_id, 0))
         try:
             old_requests.close()
         except (ValueError, OSError):  # pragma: no cover - already torn down
@@ -787,6 +957,9 @@ class ClusterEngine:
         for worker_id, (request_id, future) in pending.items():
             try:
                 snapshots[worker_id] = future.result(timeout=timeout)
+                if isinstance(snapshots[worker_id], dict) \
+                        and snapshots[worker_id].get("metrics") is not None:
+                    self._metrics_seen[worker_id] = time.monotonic()
             except FutureTimeoutError:
                 self._settle(request_id, None, None, record_latency=False)
                 snapshots[worker_id] = {"error": "stats probe timed out"}
@@ -829,9 +1002,72 @@ class ClusterEngine:
             "shared_memory": (None if self._registry is None
                               else self._registry.stats()),
         }
+        stats["obs"] = {"trace": self._obs.tracer.stats(),
+                        "events": self._obs.events.stats()}
         if include_workers:
             stats["per_worker"] = self.worker_stats()
+            if self._obs.metrics.enabled:
+                stats["metrics"] = self.metrics_snapshot(
+                    worker_snapshots=stats["per_worker"])
         return stats
+
+    def metrics_snapshot(self, *, worker_snapshots: dict | None = None) -> dict:
+        """One cluster-wide mergeable metrics snapshot.
+
+        The front end's own registry is relabelled ``role="frontend"``;
+        each worker's snapshot (shipped over the stats-probe path) is
+        relabelled with its worker id, then everything folds with
+        :func:`~repro.obs.metrics.merge_snapshots` — counters add,
+        histograms merge sample windows.  Pass ``worker_snapshots`` to
+        reuse an existing :meth:`worker_stats` result instead of probing
+        the fleet again.
+        """
+        snapshots = [relabel_snapshot(self._obs.metrics.snapshot(),
+                                      role="frontend")]
+        if worker_snapshots is None:
+            worker_snapshots = self.worker_stats()
+        for worker_id, snap in worker_snapshots.items():
+            if isinstance(snap, dict) and isinstance(snap.get("metrics"),
+                                                     dict):
+                snapshots.append(relabel_snapshot(snap["metrics"],
+                                                  worker=worker_id))
+        return merge_snapshots(snapshots)
+
+    def prometheus_metrics(self) -> str:
+        """Cluster metrics in Prometheus text format 0.0.4 (``GET /metrics``)."""
+        self._g_workers_alive.set(float(len(self._ring)))
+        with self._lock:
+            self._g_inflight.set(float(len(self._inflight)))
+        return render_prometheus(self.metrics_snapshot())
+
+    def trace(self, trace_id: str) -> dict | None:
+        """Finished span tree for one request id (``GET /trace/<id>``)."""
+        return self._obs.tracer.buffer.get(trace_id)
+
+    def healthz(self) -> dict:
+        """Liveness payload with observability freshness (``GET /healthz``).
+
+        Deliberately cheap: reads cached state only (no stats probes), so a
+        wedged fleet cannot wedge its own health check.
+        """
+        alive = len(self._ring)
+        now = time.monotonic()
+        with self._lock:
+            restarts = sum(self._restarts.values())
+            ages = {worker_id: (None if worker_id not in self._metrics_seen
+                                else now - self._metrics_seen[worker_id])
+                    for worker_id in self._workers}
+        events = self._obs.events.stats()
+        return {"ok": alive > 0 or self.degraded_fallback,
+                "workers_alive": alive,
+                "worker_deaths": self._worker_deaths,
+                "restarts": restarts,
+                "uptime_s": now - self._started_at,
+                "metrics_snapshot_age_s": ages,
+                "event_log": {"lag_s": events["last_event_age_s"],
+                              "events": events["events"],
+                              "write_errors": events["write_errors"]},
+                "tracing": self._obs.tracer.enabled}
 
     @property
     def workers_alive(self) -> list[str]:
@@ -876,6 +1112,9 @@ class ClusterEngine:
         self._collector.join(timeout=2.0)
         if self._registry is not None:
             self._registry.close()
+        self._event("engine_closed",
+                    uptime_s=time.monotonic() - self._started_at)
+        self._obs.events.close()
 
     def __enter__(self) -> "ClusterEngine":
         return self
@@ -969,7 +1208,12 @@ class ServingHTTPServer:
                        → 400 solve-level failure (singular matrix, ...)
         GET  /stats    → 200 cluster stats snapshot
         GET  /healthz  → 200 {"ok": true, "workers_alive": W,
-                              "worker_deaths": D, "restarts": R}
+                              "worker_deaths": D, "restarts": R,
+                              "uptime_s": ..., "metrics_snapshot_age_s":
+                              {...}, "event_log": {"lag_s": ...}}
+        GET  /metrics  → 200 Prometheus text format 0.0.4 (cluster-merged)
+        GET  /trace    → 200 tracer stats (ring occupancy, slow log)
+        GET  /trace/ID → 200 finished span tree for one request / 404
 
     Rejections are **bodies, not exceptions**: every response carries
     ``{"error", "message", "retriable"}`` so clients can retry on
@@ -1024,17 +1268,36 @@ def _make_handler(engine: ClusterEngine):
             self.end_headers()
             self.wfile.write(data)
 
+        def _reply_text(self, status: int, text: str,
+                        content_type: str) -> None:
+            data = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
         def do_GET(self):
             if self.path == "/healthz":
-                alive = len(engine.workers_alive)
-                with engine._lock:
-                    restarts = sum(engine._restarts.values())
-                self._reply(200, {"ok": alive > 0 or engine.degraded_fallback,
-                                  "workers_alive": alive,
-                                  "worker_deaths": engine._worker_deaths,
-                                  "restarts": restarts})
+                self._reply(200, engine.healthz())
             elif self.path == "/stats":
                 self._reply(200, engine.stats())
+            elif self.path == "/metrics":
+                # the version suffix is the Prometheus text-exposition
+                # contract; scrapers key parsing off it.
+                self._reply_text(200, engine.prometheus_metrics(),
+                                 "text/plain; version=0.0.4")
+            elif self.path == "/trace" or self.path == "/trace/":
+                self._reply(200, engine.observability.tracer.stats())
+            elif self.path.startswith("/trace/"):
+                trace_id = self.path[len("/trace/"):]
+                record = engine.trace(trace_id)
+                if record is None:
+                    self._reply(404, {"error": "TraceNotFound",
+                                      "message": trace_id,
+                                      "retriable": False})
+                else:
+                    self._reply(200, record)
             else:
                 self._reply(404, {"error": "NotFound", "message": self.path,
                                   "retriable": False})
@@ -1096,6 +1359,7 @@ def _make_handler(engine: ClusterEngine):
                 "wall_time": record.wall_time,
                 "worker": future.worker_id,
                 "degraded": record.degraded,
+                "trace_id": getattr(future, "trace_id", None),
             })
 
     return Handler

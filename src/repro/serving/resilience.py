@@ -53,6 +53,7 @@ from ..exceptions import (
     QuotaExceededError,
     WorkerUnavailableError,
 )
+from ..obs.trace import current_trace
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "ChaosSpec", "ChaosPolicy",
            "Supervisor", "CHAOS_ENV_VAR"]
@@ -191,7 +192,8 @@ class CircuitBreaker:
     """
 
     def __init__(self, *, failure_threshold: int = 3,
-                 reset_timeout: float = 1.0, clock=time.monotonic) -> None:
+                 reset_timeout: float = 1.0, clock=time.monotonic,
+                 listener=None) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         if reset_timeout <= 0.0:
@@ -199,11 +201,23 @@ class CircuitBreaker:
         self.failure_threshold = int(failure_threshold)
         self.reset_timeout = float(reset_timeout)
         self._clock = clock
+        #: optional ``listener(transition, **fields)`` called (outside the
+        #: lock) on open / half_open / reopen / close — the hook the serving
+        #: tier uses to put breaker state changes on the event log.
+        self.listener = listener
         self._lock = threading.Lock()
         self._consecutive_failures = 0
         self._opened_at: float | None = None
         self._probing = False
         self._trips = 0
+
+    def _notify(self, transition: str, **fields) -> None:
+        if self.listener is None:
+            return
+        try:
+            self.listener(transition, **fields)
+        except Exception:  # noqa: BLE001 - telemetry must not break routing
+            pass
 
     # ------------------------------------------------------------------ #
     @property
@@ -221,14 +235,18 @@ class CircuitBreaker:
     def allow(self) -> bool:
         """May a request pass right now?  (Claims the half-open probe slot.)"""
         now = float(self._clock())
+        probing = False
         with self._lock:
             state = self._state_locked(now)
             if state == "closed":
                 return True
             if state == "half-open" and not self._probing:
                 self._probing = True
-                return True
-            return False
+                probing = True
+        if probing:
+            self._notify("half_open")
+            return True
+        return False
 
     def retry_after(self) -> float:
         """Seconds until the breaker will next admit a probe (0 = now)."""
@@ -241,23 +259,33 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """A request attributed to this worker completed normally."""
         with self._lock:
+            closed = self._opened_at is not None
             self._consecutive_failures = 0
             self._opened_at = None
             self._probing = False
+        if closed:
+            self._notify("close")
 
     def record_failure(self) -> None:
         """An infrastructure failure attributed to this worker."""
         now = float(self._clock())
+        transition = None
         with self._lock:
             self._consecutive_failures += 1
             if self._probing:
                 # the half-open probe failed: re-open for a fresh window.
                 self._probing = False
                 self._opened_at = now
+                transition = "reopen"
             elif (self._opened_at is None
                   and self._consecutive_failures >= self.failure_threshold):
                 self._opened_at = now
                 self._trips += 1
+                transition = "open"
+        if transition is not None:
+            self._notify(transition,
+                         consecutive_failures=self._consecutive_failures,
+                         trips=self._trips)
 
     def stats(self) -> dict:
         with self._lock:
@@ -369,6 +397,10 @@ class ChaosPolicy:
                          or self.worker_id in self.spec.workers)
         self._crash_at = {idx for inc, idx in self.spec.crash_points
                           if inc == self.incarnation}
+        #: optional :class:`repro.obs.events.EventLog`; every injected fault
+        #: is recorded on it (and fsynced before a crash) so chaos drills
+        #: leave an auditable timeline.  Set by the worker after resolve().
+        self.events = None
         seed = self.spec.seed
         self._request_rng = _derive_rng(seed, self.worker_id,
                                         self.incarnation, "request")
@@ -403,13 +435,17 @@ class ChaosPolicy:
         """
         spec = self.spec
         draw = self._request_rng.random()
-        if index in self._crash_at:
-            return "crash"
-        if draw < spec.crash_rate:
+        if index in self._crash_at or draw < spec.crash_rate:
+            self._record_fault("crash", request_index=index,
+                               scheduled=index in self._crash_at)
             return "crash"
         if draw < spec.crash_rate + spec.hang_rate:
+            self._record_fault("hang", request_index=index,
+                               seconds=spec.hang_seconds)
             return "hang"
         if draw < spec.crash_rate + spec.hang_rate + spec.slow_rate:
+            self._record_fault("slow", request_index=index,
+                               seconds=spec.slow_seconds)
             return "slow"
         return None
 
@@ -418,6 +454,7 @@ class ChaosPolicy:
         if self.spec.stall_rate <= 0.0:
             return 0.0
         if self._drain_rng.random() < self.spec.stall_rate:
+            self._record_fault("stall", seconds=self.spec.stall_seconds)
             return self.spec.stall_seconds
         return 0.0
 
@@ -431,7 +468,24 @@ class ChaosPolicy:
             return None
         if self._store_rng.random() >= self.spec.corrupt_store_rate:
             return None
+        self._record_fault("corrupt_store", size=len(data))
         return data[: max(1, len(data) // 2)] + b"\x00chaos"
+
+    def _record_fault(self, fault: str, **fields) -> None:
+        """Stamp an injected fault on the event log (no-op without a sink).
+
+        Crash faults are fsynced before returning: the very next thing the
+        worker does is ``os._exit``, which would otherwise lose the line.
+        """
+        if self.events is None:
+            return
+        trace = current_trace()
+        self.events.emit("chaos_fault", fault=fault,
+                         trace_id=None if trace is None else trace.trace_id,
+                         worker=self.worker_id,
+                         incarnation=self.incarnation, **fields)
+        if fault == "crash":
+            self.events.sync()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ChaosPolicy(worker={self.worker_id!r}, "
@@ -524,6 +578,11 @@ class Supervisor:
                                             timeout=self.probe_timeout):
                     with self._lock:
                         self._hang_kills += 1
+                    emit = getattr(engine, "_event", None)
+                    if emit is not None:
+                        emit("worker_hang_kill", worker=worker_id,
+                             silent_s=now - engine._last_heard.get(worker_id,
+                                                                   now))
                     process.terminate()  # next pass heals it as a death
 
     def _maybe_respawn(self, worker_id: str, info: dict, now: float) -> None:

@@ -43,6 +43,7 @@ holds ``None`` and the request path never calls in — zero overhead.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import os
 import queue as queue_module
 import time
@@ -55,6 +56,9 @@ from ..engine.runner import _limit_worker_threads
 from ..engine.sharedmem import SharedMatrixHandle, attach_matrix
 from ..engine.store import SynthesisStore, TieredSynthesisStore
 from ..exceptions import SolveTimeoutError
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, activated
 
 __all__ = ["WorkerConfig", "worker_main",
            "MSG_SOLVE", "MSG_STATS", "MSG_SHUTDOWN"]
@@ -117,8 +121,15 @@ class WorkerConfig:
     threads: int | None = 1
     incarnation: int = 0
     chaos: object | None = None
+    #: append-only JSONL lifecycle/fault log shared with the front end
+    #: (``None`` falls back to ``REPRO_EVENT_LOG``; empty env = memory-only).
+    event_log_path: str | None = None
+    #: tri-state metrics switch (``None`` = follow ``REPRO_METRICS``); the
+    #: front end forwards its own resolved setting so one knob governs both
+    #: sides of the queue.
+    metrics_enabled: bool | None = None
 
-    def build_store(self, chaos=None):
+    def build_store(self, chaos=None, events=None):
         """The tiered store this config describes (``None`` = no persistence).
 
         ``chaos`` (a resolved :class:`~repro.serving.resilience.ChaosPolicy`)
@@ -132,10 +143,11 @@ class WorkerConfig:
             # read-mostly deployment: the shared directory is still worth
             # consulting, with a node-local level living under it in spirit
             # only — single-level store, no promotion target.
-            return SynthesisStore(self.shared_store_dir, chaos=chaos)
+            return SynthesisStore(self.shared_store_dir, chaos=chaos,
+                                  events=events)
         return TieredSynthesisStore(
             SynthesisStore(self.local_store_dir, chaos=chaos),
-            self.shared_store_dir)
+            self.shared_store_dir, events=events)
 
     def build_chaos(self):
         """Resolved :class:`ChaosPolicy` for this incarnation (``None`` = off)."""
@@ -153,17 +165,29 @@ def worker_main(config: WorkerConfig, requests, responses) -> None:
     """
     _limit_worker_threads(config.threads)
     chaos = config.build_chaos()
+    metrics = MetricsRegistry(enabled=config.metrics_enabled)
+    events = EventLog(config.event_log_path, source=config.worker_id)
+    if chaos is not None:
+        chaos.events = events
     cache = CompiledSolverCache(maxsize=config.cache_maxsize,
-                                store=config.build_store(chaos=chaos))
-    asyncio.run(_serve(config, cache, requests, responses, chaos=chaos))
+                                store=config.build_store(chaos=chaos,
+                                                         events=events),
+                                metrics=metrics)
+    try:
+        asyncio.run(_serve(config, cache, requests, responses, chaos=chaos,
+                           metrics=metrics, events=events))
+    finally:
+        events.close()
 
 
 async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
-                 requests, responses, chaos=None) -> None:
+                 requests, responses, chaos=None, metrics=None,
+                 events=None) -> None:
     engine = AsyncSolveEngine(cache=cache,
                               max_batch_size=config.max_batch_size,
                               coalesce_window=config.coalesce_window,
-                              max_concurrency=config.max_concurrency)
+                              max_concurrency=config.max_concurrency,
+                              metrics=metrics)
     loop = asyncio.get_running_loop()
     reader = ThreadPoolExecutor(max_workers=1,
                                 thread_name_prefix=f"{config.worker_id}-rx")
@@ -177,50 +201,76 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
     def respond(kind: str, request_id, *payload) -> None:
         responses.put((config.worker_id, kind, request_id, *payload))
 
+    if events is not None:
+        # besides the (shared) JSONL file, ship every worker-side event to
+        # the front end over the response queue so its in-memory ring holds
+        # the whole cluster timeline.  Crash events may lose this copy (the
+        # queue feeder might not flush before os._exit) — which is exactly
+        # why _record_fault fsyncs the file line first.
+        events.on_emit = lambda record: respond("event", None, record)
+
     async def handle_solve(message, serial: int) -> None:
         nonlocal served
         _, request_id, matrix, rhs, params = message
-        try:
-            if chaos is not None:
-                action = chaos.on_request(serial)
-                if action == "crash":
-                    # a real crash: no answer, no cleanup — the front end's
-                    # reaper and supervisor must cope with exactly this.
-                    os._exit(23)
-                elif action == "hang":
-                    # block the event loop synchronously: heartbeats stop,
-                    # which is what distinguishes hung from merely slow.
-                    time.sleep(chaos.spec.hang_seconds)
-                elif action == "slow":
-                    await asyncio.sleep(chaos.spec.slow_seconds)
-            fingerprint = None
-            if isinstance(matrix, SharedMatrixHandle):
-                fingerprint = matrix.fingerprint
-                matrix = attach_matrix(matrix)
-            deadline_at = params.get("deadline_at")
-            remaining = None
-            if deadline_at is not None:
-                # deadlines are absolute CLOCK_MONOTONIC stamps taken in the
-                # front end (system-wide on Linux), so time spent queued
-                # between the processes counts against the budget.
-                remaining = float(deadline_at) - time.monotonic()
-                if remaining <= 0.0:
-                    raise SolveTimeoutError(
-                        f"deadline expired {-remaining:.4f}s before the "
-                        "worker dequeued the request", late_by=-remaining)
-            record = await engine.solve(
-                matrix, rhs,
-                epsilon_l=params.get("epsilon_l", 1e-2),
-                backend=params.get("backend", "auto"),
-                kappa=params.get("kappa"),
-                fingerprint=fingerprint,
-                deadline=remaining,
-                **params.get("backend_options", {}))
-            served += 1
-            respond("result", request_id,
-                    {field: getattr(record, field) for field in RECORD_FIELDS})
-        except BaseException as exc:  # noqa: BLE001 - answers, not crashes
-            respond("error", request_id, type(exc).__name__, str(exc))
+        wire = params.get("trace")
+        trace = TraceContext.from_wire(wire, origin=config.worker_id)
+        sampled = trace is not None and trace.sampled
+
+        def spans_out():
+            return trace.export_spans() if sampled else None
+
+        with activated(trace) if trace is not None else contextlib.nullcontext():
+            try:
+                if sampled:
+                    trace.add_span(
+                        "queue_wait",
+                        duration=max(0.0,
+                                     time.monotonic() - wire["enqueued_at"]),
+                        worker=config.worker_id,
+                        incarnation=config.incarnation)
+                if chaos is not None:
+                    action = chaos.on_request(serial)
+                    if action == "crash":
+                        # a real crash: no answer, no cleanup — the front
+                        # end's reaper and supervisor must cope with this.
+                        os._exit(23)
+                    elif action == "hang":
+                        # block the event loop synchronously: heartbeats
+                        # stop, which is what distinguishes hung from slow.
+                        time.sleep(chaos.spec.hang_seconds)
+                    elif action == "slow":
+                        await asyncio.sleep(chaos.spec.slow_seconds)
+                fingerprint = None
+                if isinstance(matrix, SharedMatrixHandle):
+                    fingerprint = matrix.fingerprint
+                    matrix = attach_matrix(matrix)
+                deadline_at = params.get("deadline_at")
+                remaining = None
+                if deadline_at is not None:
+                    # deadlines are absolute CLOCK_MONOTONIC stamps taken in
+                    # the front end (system-wide on Linux), so time spent
+                    # queued between the processes counts against the budget.
+                    remaining = float(deadline_at) - time.monotonic()
+                    if remaining <= 0.0:
+                        raise SolveTimeoutError(
+                            f"deadline expired {-remaining:.4f}s before the "
+                            "worker dequeued the request", late_by=-remaining)
+                record = await engine.solve(
+                    matrix, rhs,
+                    epsilon_l=params.get("epsilon_l", 1e-2),
+                    backend=params.get("backend", "auto"),
+                    kappa=params.get("kappa"),
+                    fingerprint=fingerprint,
+                    deadline=remaining,
+                    **params.get("backend_options", {}))
+                served += 1
+                respond("result", request_id,
+                        {field: getattr(record, field)
+                         for field in RECORD_FIELDS},
+                        spans_out())
+            except BaseException as exc:  # noqa: BLE001 - answers, not crashes
+                respond("error", request_id, type(exc).__name__, str(exc),
+                        spans_out())
 
     def stats_snapshot() -> dict:
         now = time.monotonic()
@@ -242,6 +292,13 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
             "incarnation": config.incarnation,
             "chaos_enabled": chaos is not None,
         })
+        if metrics is not None and metrics.enabled:
+            # snapshots are mergeable: the front end folds every worker's
+            # copy into one cluster view (relabelled by worker id).
+            stats["metrics"] = metrics.snapshot()
+            stats["metrics_snapshot_at"] = now
+        if events is not None:
+            stats["events"] = events.stats()
         return stats
 
     try:

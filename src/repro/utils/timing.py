@@ -58,6 +58,11 @@ class LatencyHistogram:
     ``count`` / ``total`` cover everything ever recorded.  Memory is
     ``O(window)`` regardless of traffic volume.
 
+    Histograms from different processes aggregate: a worker ships
+    :meth:`state` in its telemetry snapshot, and the front end folds the
+    states together with :meth:`merge` (or :meth:`merged`) to read one
+    *cluster-wide* p99 instead of W incomparable per-worker percentiles.
+
     Examples
     --------
     >>> histogram = LatencyHistogram()
@@ -77,6 +82,10 @@ class LatencyHistogram:
         self._count = 0
         self._total = 0.0
         self._max = 0.0
+        #: memoised :meth:`summary` result, dropped on every mutation —
+        #: telemetry polls (stats probes, /metrics scrapes) between records
+        #: re-read a dict instead of re-running ``np.percentile``.
+        self._summary_cache: dict | None = None
 
     def record(self, seconds: float) -> None:
         """Add one observed duration (in seconds)."""
@@ -87,6 +96,60 @@ class LatencyHistogram:
             self._total += value
             if value > self._max:
                 self._max = value
+            self._summary_cache = None
+
+    # ------------------------------------------------------------------ #
+    # cross-process aggregation
+    # ------------------------------------------------------------------ #
+    def state(self) -> dict:
+        """Serialisable snapshot (counters + window samples) for merging.
+
+        The payload is plain JSON-able python (floats and lists), so it can
+        ride a worker's telemetry snapshot across a process boundary and be
+        folded into a cluster-wide histogram with :meth:`merge`.
+        """
+        with self._lock:
+            return {"count": self._count, "total": self._total,
+                    "max": self._max, "window": self._samples.maxlen,
+                    "samples": list(self._samples)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from a :meth:`state` payload."""
+        histogram = cls(window=int(state.get("window") or 8192))
+        histogram._count = int(state["count"])
+        histogram._total = float(state["total"])
+        histogram._max = float(state["max"])
+        histogram._samples.extend(float(v) for v in state["samples"])
+        return histogram
+
+    def merge(self, other: "LatencyHistogram | dict") -> "LatencyHistogram":
+        """Fold another histogram (or its :meth:`state`) into this one.
+
+        Lifetime counters add; the sample windows concatenate, the window
+        growing as needed so merging W full worker windows never silently
+        drops the samples a cluster-wide p99 is computed from.  Returns
+        ``self`` so merges chain.
+        """
+        state = other.state() if isinstance(other, LatencyHistogram) else other
+        with self._lock:
+            needed = len(self._samples) + len(state["samples"])
+            if self._samples.maxlen is not None and needed > self._samples.maxlen:
+                self._samples = deque(self._samples, maxlen=needed)
+            self._samples.extend(float(v) for v in state["samples"])
+            self._count += int(state["count"])
+            self._total += float(state["total"])
+            self._max = max(self._max, float(state["max"]))
+            self._summary_cache = None
+        return self
+
+    @classmethod
+    def merged(cls, states) -> "LatencyHistogram":
+        """One histogram folding an iterable of histograms/state payloads."""
+        merged = cls()
+        for state in states:
+            merged.merge(state)
+        return merged
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0-100) over the sample window; 0.0 empty."""
@@ -106,20 +169,31 @@ class LatencyHistogram:
         """One-stop snapshot: count, mean, p50/p90/p99, max (seconds).
 
         ``p50``/``p90``/``p99`` cover the sliding window (current behaviour);
-        ``count`` / ``mean`` / ``max`` cover the full lifetime.
+        ``count`` / ``mean`` / ``max`` cover the full lifetime.  The result
+        is memoised until the next :meth:`record`/:meth:`merge`, so polling
+        telemetry between requests costs a dict copy, not a percentile sort.
         """
         with self._lock:
+            if self._summary_cache is not None:
+                return dict(self._summary_cache)
             count = self._count
             total = self._total
             maximum = self._max
             samples = (np.fromiter(self._samples, dtype=float)
                        if self._samples else None)
         if samples is None:
-            return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
-                    "p99": 0.0, "max": 0.0}
-        p50, p90, p99 = (float(v) for v in np.percentile(samples, (50, 90, 99)))
-        return {"count": count, "mean": total / count, "p50": p50,
-                "p90": p90, "p99": p99, "max": maximum}
+            summary = {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                       "p99": 0.0, "max": 0.0}
+        else:
+            p50, p90, p99 = (float(v) for v
+                             in np.percentile(samples, (50, 90, 99)))
+            summary = {"count": count, "mean": total / count, "p50": p50,
+                       "p90": p90, "p99": p99, "max": maximum}
+        with self._lock:
+            # only memoise if no record() slipped in while computing.
+            if self._summary_cache is None and self._count == count:
+                self._summary_cache = summary
+        return dict(summary)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         stats = self.summary()

@@ -543,8 +543,12 @@ class TestServingHTTP:
         assert body["worker"].startswith("worker-")
         with urllib.request.urlopen(f"{base}/healthz") as response:
             health = json.load(response)
-        assert health == {"ok": True, "workers_alive": 2,
-                          "worker_deaths": 0, "restarts": 0}
+        assert health["ok"] is True and health["workers_alive"] == 2
+        assert health["worker_deaths"] == 0 and health["restarts"] == 0
+        assert health["uptime_s"] > 0.0
+        assert set(health["metrics_snapshot_age_s"]) == {"worker-0",
+                                                         "worker-1"}
+        assert health["event_log"]["write_errors"] == 0
         with urllib.request.urlopen(f"{base}/stats") as response:
             stats = json.load(response)
         assert stats["submitted"] == 1 and stats["latency"]["count"] == 1
