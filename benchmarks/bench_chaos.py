@@ -18,6 +18,17 @@ layer promises, in two phases:
   ring's ``arc_shares`` equal the pre-kill placement exactly — recovery to
   *full* capacity, not merely "something answers".
 
+* **Replicated drill** — a 3-worker ``R=2`` fleet whose hottest primary is
+  a *gray* failure (every request stalls, the process stays alive and
+  heartbeating) and is additionally SIGTERMed mid-run, while a healthy
+  sibling is drained and undrained.  Hedged requests rescue the stalled
+  primary's traffic within one hedge deadline, the kill fails over to warm
+  replicas, and the drain cycle hands arcs over with zero disruption —
+  all of it audited against the drill's own event-log timeline
+  (``hedge_dispatch``, ``failover``, ``worker_drain`` /
+  ``worker_drain_complete`` / ``worker_undrain``, ``worker_death``,
+  ``worker_respawn``).
+
 Acceptance gates (the tentpole's contract):
 
 * every request settles — nothing in flight after the clients drain, no
@@ -26,7 +37,10 @@ Acceptance gates (the tentpole's contract):
 * each kill recovers (ring re-converged, victim respawned) within a bound;
 * exactly the scripted deaths occur — a kill must never cascade into
   collateral deaths of healthy siblings;
-* non-degraded answers match single-process ground truth to 1e-10.
+* non-degraded answers match single-process ground truth to 1e-10;
+* the replicated drill sees **zero** degraded fallbacks and **zero**
+  post-retry failures, with affected-request p99 bounded by one hedge
+  deadline plus a dispatch margin.
 
 Results go to ``benchmarks/results/chaos.txt`` (human-readable) and
 ``BENCH_chaos.json`` at the repository root (machine-readable).  Run
@@ -49,7 +63,8 @@ import numpy as np
 
 from repro.obs import EventLog
 from repro.reporting import format_table
-from repro.serving import ClusterEngine, RetryPolicy
+from repro.serving import ChaosSpec, ClusterEngine, HashRing, RetryPolicy
+from repro.utils import matrix_fingerprint
 
 try:
     from .common import emit
@@ -87,6 +102,17 @@ _MAX_RECOVERY_S = 10.0
 _MAX_HEALTHY_REGRESSION = 0.05
 #: progress fractions (of the chaos request count) at which the killer fires.
 _KILL_SCHEDULE = (0.25, 0.55)
+
+#: replicated drill: hedge deadline, gray-failure stall, and the progress
+#: fractions for the scripted kill and the drain/undrain cycle.
+_REPL_HEDGE_AFTER = 0.2
+_REPL_SLOW_SECONDS = 2.0
+_REPL_KILL_FRACTION = 0.3
+_REPL_DRAIN_FRACTION = 0.6
+#: an affected request (primary = the stalled/killed worker) must settle
+#: within one hedge deadline plus dispatch-and-solve overhead — far below
+#: the stall it would otherwise pay.
+_REPL_FAILOVER_MARGIN = 1.0
 
 
 # ---------------------------------------------------------------------- #
@@ -248,17 +274,148 @@ def _measure_chaos(cluster: ClusterEngine, pool: list[dict],
 
 
 # ---------------------------------------------------------------------- #
+# replicated drill: R=2 ownership must make one death invisible
+# ---------------------------------------------------------------------- #
+def _measure_replicated(cluster: ClusterEngine, pool: list[dict],
+                        references: list[np.ndarray], *, victim: str,
+                        primaries: list[str], num_requests: int,
+                        clients: int, rng_seed: int = 5) -> dict:
+    """Zipf traffic against an R=2 fleet whose ``victim`` worker stalls
+    every request (gray failure), is SIGTERMed mid-run, while another
+    worker is drained and undrained — replication must absorb all of it:
+    zero degraded fallbacks, zero post-retry failures, and every affected
+    request rescued by its hedge within about one hedge deadline.
+    """
+    weights = _zipf_weights(len(pool))
+    draws = np.random.default_rng(rng_seed).choice(len(pool),
+                                                   size=num_requests,
+                                                   p=weights)
+    partitions = np.array_split(draws, clients)
+    settled = {"n": 0}
+    count_lock = threading.Lock()
+    successes = [0] * clients
+    degraded = [0] * clients
+    deviations = [0.0] * clients
+    latencies: list[list[tuple[int, float]]] = [[] for _ in range(clients)]
+    failures: list[str] = []
+    ops = {"kill_recovered_s": None, "drained": None, "undrained": None}
+
+    def driver() -> None:
+        kill_at = int(_REPL_KILL_FRACTION * num_requests)
+        while settled["n"] < kill_at:
+            time.sleep(0.005)
+        prior = cluster.stats(include_workers=False)["restarts"].get(victim, 0)
+        killed_at = time.monotonic()
+        cluster._workers[victim]["process"].terminate()
+        while time.monotonic() < killed_at + 15.0:
+            if cluster.stats(include_workers=False)["restarts"] \
+                    .get(victim, 0) > prior:
+                ops["kill_recovered_s"] = time.monotonic() - killed_at
+                break
+            time.sleep(0.01)
+        drain_at = int(_REPL_DRAIN_FRACTION * num_requests)
+        while settled["n"] < drain_at:
+            time.sleep(0.005)
+        target = next(w for w in sorted(cluster.workers_alive)
+                      if w != victim)
+        ops["drained"] = cluster.drain(target, timeout=10.0)
+        time.sleep(0.1)
+        ops["undrained"] = cluster.undrain(target)
+
+    def client(index: int, indices) -> None:
+        policy = RetryPolicy(max_attempts=6, base_delay=0.02, max_delay=0.5,
+                             rng=2000 + index)
+        for pool_index in indices:
+            entry = pool[pool_index]
+            start = time.perf_counter()
+            try:
+                record = policy.execute(
+                    cluster.solve, entry["matrix"], entry["rhs"],
+                    epsilon_l=_EPSILON_L, backend="ideal",
+                    kappa=entry["kappa"])
+            except BaseException as exc:  # noqa: BLE001 - typed, counted
+                failures.append(type(exc).__name__)
+            else:
+                successes[index] += 1
+                latencies[index].append((int(pool_index),
+                                         time.perf_counter() - start))
+                if record.degraded:
+                    degraded[index] += 1
+                else:
+                    deviations[index] = max(deviations[index], float(
+                        np.max(np.abs(record.x - references[pool_index]))))
+            finally:
+                with count_lock:
+                    settled["n"] += 1
+
+    driver_thread = threading.Thread(target=driver, name="replicated-driver",
+                                     daemon=True)
+    threads = [threading.Thread(target=client, args=(i, partition))
+               for i, partition in enumerate(partitions)]
+    start = time.perf_counter()
+    driver_thread.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_time = time.perf_counter() - start
+    driver_thread.join(timeout=30.0)
+
+    affected = [latency for chunk in latencies
+                for pool_index, latency in chunk
+                if primaries[pool_index] == victim]
+    healthy = [latency for chunk in latencies
+               for pool_index, latency in chunk
+               if primaries[pool_index] != victim]
+    stats = cluster.stats(include_workers=False)
+    return {
+        "num_requests": num_requests,
+        "clients": clients,
+        "victim": victim,
+        "hedge_after": _REPL_HEDGE_AFTER,
+        "slow_seconds": _REPL_SLOW_SECONDS,
+        "kill_fraction": _REPL_KILL_FRACTION,
+        "drain_fraction": _REPL_DRAIN_FRACTION,
+        "kill_recovered_s": ops["kill_recovered_s"],
+        "drained": ops["drained"],
+        "undrained": ops["undrained"],
+        "wall_time_s": wall_time,
+        "successes": sum(successes),
+        "failures": len(failures),
+        "failure_types": sorted(set(failures)),
+        "degraded": sum(degraded),
+        "max_deviation": max(deviations),
+        "affected_requests": len(affected),
+        "affected_p99_s": (float(np.percentile(affected, 99))
+                           if affected else None),
+        "healthy_p99_s": (float(np.percentile(healthy, 99))
+                          if healthy else None),
+        "inflight_after_drain": stats["inflight"],
+        "worker_deaths": stats["worker_deaths"],
+        "failovers": stats["failovers"],
+        "hedged": stats["hedged"],
+        "hedge_wins": stats["hedge_wins"],
+        "redispatched": stats["redispatched"],
+    }
+
+
+# ---------------------------------------------------------------------- #
 def run_benchmark(*, smoke: bool = False) -> dict:
     if smoke:
         num_workers, healthy_requests, chaos_requests, clients = 2, 40, 60, 4
+        replicated_requests = 60
     else:
         num_workers, healthy_requests, chaos_requests, clients = 2, 400, 300, 8
+        replicated_requests = 240
 
     pool = _build_pool(smoke)
     references = _references(pool)
+    # hedging off for the legacy phases: they measure pure primary dispatch
+    # (and compare against a pre-replication baseline); the replicated
+    # drill below exercises R=2 + hedging explicitly.
     resilience_config = dict(
         num_workers=num_workers, queue_limit=256,
-        respawn=True, supervisor_interval=0.05)
+        respawn=True, supervisor_interval=0.05, hedging=False)
 
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         # tiered store directories make every respawn a *warm* restore —
@@ -309,6 +466,43 @@ def run_benchmark(*, smoke: bool = False) -> dict:
                          for r in records if r["kind"] == "worker_respawn"],
         }
 
+        # replicated drill: a 3-worker R=2 fleet whose hottest primary is
+        # both gray (stalls every request) and killed mid-run, with a
+        # drain/undrain cycle on a sibling — its own event timeline.
+        repl_workers = 3
+        repl_ring = HashRing([f"worker-{i}" for i in range(repl_workers)])
+        primaries = [repl_ring.route(matrix_fingerprint(entry["matrix"]))
+                     for entry in pool]
+        repl_victim = primaries[0]
+        repl_event_path = f"{tmp}/replicated-events.jsonl"
+        slow = ChaosSpec(slow_rate=1.0, slow_seconds=_REPL_SLOW_SECONDS,
+                         workers=(repl_victim,))
+        with ClusterEngine(num_workers=repl_workers, queue_limit=256,
+                           replication_factor=2,
+                           hedge_after=_REPL_HEDGE_AFTER,
+                           supervisor_interval=0.05, chaos=slow,
+                           event_log_path=repl_event_path,
+                           local_store_dir=f"{tmp}/repl-local",
+                           shared_store_dir=f"{tmp}/repl-shared") as cluster:
+            # warm every fingerprint first (the victim's systems arrive via
+            # their hedges), so the measured drill sees steady-state warm
+            # replicas — affected p99 then isolates failover latency, not
+            # first-touch synthesis.
+            for entry in pool:
+                cluster.solve(entry["matrix"], entry["rhs"],
+                              epsilon_l=_EPSILON_L, backend="ideal",
+                              kappa=entry["kappa"])
+            replicated = _measure_replicated(
+                cluster, pool, references, victim=repl_victim,
+                primaries=primaries, num_requests=replicated_requests,
+                clients=clients)
+        repl_records = EventLog.read_file(repl_event_path)
+        repl_kinds: dict[str, int] = {}
+        for record in repl_records:
+            repl_kinds[record["kind"]] = repl_kinds.get(record["kind"], 0) + 1
+        replicated["timeline"] = {"events": len(repl_records),
+                                  "kinds": repl_kinds}
+
     baseline_rps = None
     regression = None
     if not smoke and _BASELINE_PATH.exists():
@@ -322,6 +516,7 @@ def run_benchmark(*, smoke: bool = False) -> dict:
         "num_workers": num_workers,
         "healthy": healthy,
         "chaos": chaos,
+        "replicated": replicated,
         "baseline_rps": baseline_rps,
         "healthy_regression": regression,
     }
@@ -361,6 +556,24 @@ def run_benchmark(*, smoke: bool = False) -> dict:
         + (f"\n\ntraces: {chaos['trace']['finished']} finished at sample "
            f"rate {chaos['trace']['sample_rate']}, "
            f"{chaos['incomplete_traces']} incomplete"),
+        format_table(
+            [{"requests": replicated["num_requests"],
+              "victim": replicated["victim"],
+              "failures": replicated["failures"],
+              "degraded": replicated["degraded"],
+              "hedge wins": replicated["hedge_wins"],
+              "failovers": replicated["failovers"],
+              "affected p99 [s]": replicated["affected_p99_s"],
+              "recovered [s]": replicated["kill_recovered_s"]}],
+            title=f"Replicated drill (R=2, {replicated['victim']} stalls "
+                  f"{_REPL_SLOW_SECONDS}s/request, killed at "
+                  f"{_REPL_KILL_FRACTION:.0%}, sibling drained at "
+                  f"{_REPL_DRAIN_FRACTION:.0%})"),
+        format_table(
+            [{"kind": kind, "count": count}
+             for kind, count in sorted(
+                 replicated["timeline"]["kinds"].items())],
+            title="Replicated-drill timeline"),
     ])
     if smoke:
         # threshold gate only; never overwrite the full-run artifacts
@@ -440,6 +653,56 @@ def _check(summary: dict) -> list[str]:
         failures.append(f"healthy-path throughput regressed "
                         f"{regression:.1%} vs BENCH_serving_cluster.json "
                         f"(bound {_MAX_HEALTHY_REGRESSION:.0%})")
+
+    # replicated drill: one death + one gray worker + a drain cycle, all
+    # invisible to clients.
+    replicated = summary["replicated"]
+    if replicated["failures"] != 0:
+        failures.append(f"replicated drill: {replicated['failures']} "
+                        f"request(s) failed after retries "
+                        f"({replicated['failure_types']})")
+    if replicated["degraded"] != 0:
+        failures.append(f"replicated drill: {replicated['degraded']} "
+                        "degraded fallback(s) — a replica should have "
+                        "answered")
+    if replicated["worker_deaths"] != 1:
+        failures.append(f"replicated drill: {replicated['worker_deaths']} "
+                        "worker deaths for 1 scripted kill")
+    if replicated["kill_recovered_s"] is None:
+        failures.append("replicated drill: the killed primary never "
+                        "respawned")
+    if replicated["hedged"] < 1 or replicated["hedge_wins"] < 1:
+        failures.append("replicated drill: no hedge fired/won against the "
+                        "stalled primary")
+    if replicated["failovers"] < 1:
+        failures.append("replicated drill: the kill produced no failover")
+    if not replicated["drained"] or not replicated["undrained"]:
+        failures.append("replicated drill: the drain/undrain cycle did not "
+                        f"complete (drained={replicated['drained']}, "
+                        f"undrained={replicated['undrained']})")
+    if replicated["inflight_after_drain"] != 0:
+        failures.append(f"replicated drill: "
+                        f"{replicated['inflight_after_drain']} request(s) "
+                        "still in flight after the clients drained")
+    if replicated["max_deviation"] > _PARITY_TOL:
+        failures.append(f"replicated drill: non-degraded answers deviate by "
+                        f"{replicated['max_deviation']:.2e}")
+    affected_p99 = replicated["affected_p99_s"]
+    if affected_p99 is None:
+        failures.append("replicated drill: no request hit the stalled "
+                        "primary — the drill exercised nothing")
+    elif affected_p99 > _REPL_HEDGE_AFTER + _REPL_FAILOVER_MARGIN:
+        failures.append(f"replicated drill: affected p99 "
+                        f"{affected_p99:.2f}s exceeds one hedge deadline "
+                        f"({_REPL_HEDGE_AFTER}s) + margin "
+                        f"({_REPL_FAILOVER_MARGIN}s) — failover is not "
+                        "bounded by the hedge")
+    repl_kinds = replicated["timeline"]["kinds"]
+    for kind in ("hedge_dispatch", "worker_drain", "worker_drain_complete",
+                 "worker_undrain", "worker_death", "worker_respawn"):
+        if repl_kinds.get(kind, 0) < 1:
+            failures.append(f"replicated drill timeline is missing "
+                            f"{kind!r} events")
     return failures
 
 
@@ -453,12 +716,17 @@ def main(argv=None) -> int:
     recoveries = ", ".join(f"{k['victim']}@{k['at_fraction']:.0%}:"
                            f"{k['recovery_s']:.2f}s"
                            for k in chaos["kills"]) or "none"
+    replicated = summary["replicated"]
     print(f"healthy: {summary['healthy']['throughput_rps']:.1f} req/s; "
           f"chaos: {chaos['success_rate']:.2%} success over "
           f"{chaos['num_requests']} requests with {chaos['worker_deaths']} "
           f"scripted deaths ({chaos['client_retries']} retries, "
           f"{chaos['redispatched']} redispatched, "
-          f"{chaos['degraded']} degraded), recoveries: {recoveries}")
+          f"{chaos['degraded']} degraded), recoveries: {recoveries}; "
+          f"replicated: {replicated['failures']} failures, "
+          f"{replicated['degraded']} degraded, "
+          f"{replicated['hedge_wins']} hedge wins, affected p99 "
+          f"{replicated['affected_p99_s']}")
     failures = _check(summary)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -305,15 +305,19 @@ def run_benchmark(*, smoke: bool = False) -> dict:
     references = _references(pool)
 
     # Zipf phase: generous queues, no quotas — measure what the fleet
-    # sustains when everything is admitted.
-    with ClusterEngine(num_workers=num_workers, queue_limit=256) as cluster:
+    # sustains when everything is admitted.  Hedging is off: this phase
+    # gates on sticky routing (one worker per fingerprint), and a derived
+    # hedge winning a race would register as a second server.
+    with ClusterEngine(num_workers=num_workers, queue_limit=256,
+                       hedging=False) as cluster:
         zipf = _measure_zipf(cluster, pool, references,
                              num_requests=zipf_requests, clients=clients)
 
     # Overload phase: fresh fleet with deliberately small queues and a
     # tenant quota, so both shedding mechanisms fire under the storm.
     with ClusterEngine(num_workers=num_workers, queue_limit=8,
-                       tenant_rate=20.0, tenant_burst=40.0) as cluster:
+                       tenant_rate=20.0, tenant_burst=40.0,
+                       hedging=False) as cluster:
         # warm the per-worker caches so storm latency measures queueing +
         # solving, not one-off synthesis.
         for entry, reference in zip(pool, references):

@@ -34,10 +34,38 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["EventLog", "EVENT_LOG_ENV_VAR", "default_event_log_path"]
+__all__ = ["EventLog", "EVENT_LOG_ENV_VAR", "LIFECYCLE_KINDS",
+           "count_kinds", "default_event_log_path"]
 
 #: environment variable naming the JSONL file shared by all processes.
 EVENT_LOG_ENV_VAR = "REPRO_EVENT_LOG"
+
+#: the cluster-lifecycle event vocabulary the serving tier emits.  Chaos
+#: drills audit their timelines against these names — adding a kind here is
+#: an API change for every consumer of the JSONL file.
+LIFECYCLE_KINDS = frozenset({
+    "worker_death", "worker_respawn", "worker_hang_kill",
+    "worker_drain", "worker_drain_complete", "worker_undrain",
+    "worker_recycle",
+    "hedge_dispatch", "hedge_win", "failover", "replica_warm",
+    "breaker_open", "breaker_half_open", "breaker_reopen", "breaker_close",
+    "chaos_fault", "store_quarantine", "degraded_fallback",
+})
+
+
+def count_kinds(records) -> dict:
+    """Histogram of ``kind`` over event records — the timeline-audit helper.
+
+    Accepts any iterable of record dicts (a memory ring snapshot or
+    :meth:`EventLog.read_file` output); unknown/missing kinds count under
+    ``None`` so a malformed timeline is visible rather than silently
+    dropped.
+    """
+    counts: dict = {}
+    for record in records:
+        kind = record.get("kind") if isinstance(record, dict) else None
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
 
 
 def default_event_log_path(environ=os.environ) -> str | None:

@@ -51,8 +51,10 @@ from .resilience import (
     ChaosPolicy,
     ChaosSpec,
     CircuitBreaker,
+    HedgePolicy,
     RetryPolicy,
     Supervisor,
+    select_replica,
 )
 from .router import DEFAULT_VNODES, HashRing
 from .worker import WorkerConfig, worker_main
@@ -68,6 +70,8 @@ __all__ = [
     "ServingHTTPServer",
     "RetryPolicy",
     "CircuitBreaker",
+    "HedgePolicy",
+    "select_replica",
     "ChaosSpec",
     "ChaosPolicy",
     "Supervisor",

@@ -30,7 +30,11 @@ from __future__ import annotations
 import threading
 import time
 
-from ..exceptions import QueueFullError, QuotaExceededError
+from ..exceptions import (
+    QueueFullError,
+    QuotaExceededError,
+    WorkerUnavailableError,
+)
 
 __all__ = ["TokenBucket", "AdmissionController"]
 
@@ -134,6 +138,7 @@ class AdmissionController:
         self._shed_queue_full = 0
         self._shed_quota = 0
         self._shed_breaker_open = 0
+        self._shed_draining = 0
         # the ad-hoc counters above stay authoritative for stats(); the
         # registry series mirrors them under an ``outcome`` label so the
         # Prometheus surface gets them for free.
@@ -156,7 +161,7 @@ class AdmissionController:
             return bucket
 
     def admit(self, worker_id: str, depth: int, *,
-              tenant: str | None = None) -> None:
+              tenant: str | None = None, draining: bool = False) -> None:
         """Admit one request routed to ``worker_id`` at in-flight ``depth``.
 
         Raises :class:`~repro.exceptions.QuotaExceededError` or
@@ -164,7 +169,19 @@ class AdmissionController:
         silently on admission.  The quota is charged *before* the depth
         check — a tenant hammering a full queue still burns budget, so one
         noisy tenant cannot convert shed load into free retries forever.
+
+        ``draining=True`` rejects unconditionally with a retriable
+        :class:`~repro.exceptions.WorkerUnavailableError`: a draining
+        worker takes no new primaries, and its depth never enters the
+        watermark accounting (the ring already routes around it — this
+        guard is defence in depth against racing drain transitions).
         """
+        if draining:
+            with self._lock:
+                self._shed_draining += 1
+            self._count("shed_draining")
+            raise WorkerUnavailableError(
+                f"worker {worker_id!r} is draining; retry for a replica")
         if self.tenant_rate is not None and tenant is not None:
             bucket = self._bucket(str(tenant))
             if not bucket.try_acquire():
@@ -204,12 +221,13 @@ class AdmissionController:
         """Decision counters (admitted / shed by reason / live buckets)."""
         with self._lock:
             total_shed = (self._shed_queue_full + self._shed_quota
-                          + self._shed_breaker_open)
+                          + self._shed_breaker_open + self._shed_draining)
             return {
                 "admitted": self._admitted,
                 "shed_queue_full": self._shed_queue_full,
                 "shed_quota": self._shed_quota,
                 "shed_breaker_open": self._shed_breaker_open,
+                "shed_draining": self._shed_draining,
                 "shed_total": total_shed,
                 "queue_limit": self.queue_limit,
                 "tenant_rate": self.tenant_rate,

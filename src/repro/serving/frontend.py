@@ -72,12 +72,20 @@ from ..obs import Observability
 from ..obs.metrics import merge_snapshots, relabel_snapshot, render_prometheus
 from ..utils import is_linear_operator, matrix_fingerprint
 from .admission import AdmissionController
-from .resilience import CircuitBreaker, RetryPolicy, Supervisor
+from .resilience import (
+    CircuitBreaker,
+    HedgePolicy,
+    RetryPolicy,
+    Supervisor,
+    select_replica,
+)
 from .router import DEFAULT_VNODES, HashRing
 from .worker import (
+    MSG_DRAIN,
     MSG_SHUTDOWN,
     MSG_SOLVE,
     MSG_STATS,
+    MSG_WARM,
     WorkerConfig,
     worker_main,
 )
@@ -111,6 +119,15 @@ class _Inflight:
     #: tracing is off); spans recorded by the owning worker are adopted into
     #: it at settle time and the finished tree lands in the tracer's ring.
     trace: object | None = None
+    #: ring-ordered replica set at dispatch time (primary first) — the
+    #: pre-provisioned failover/hedge candidates for this request.
+    replicas: tuple = ()
+    #: monotonic stamp at which the hedger doubles this request onto a
+    #: replica (``None`` = no hedge armed / already hedged).
+    hedge_at: float | None = None
+    #: replica currently holding the speculative hedge copy (``None`` = no
+    #: hedge in flight); it occupies a depth slot until settle.
+    hedge_worker_id: str | None = None
 
 
 class ClusterEngine:
@@ -141,6 +158,21 @@ class ClusterEngine:
     max_batch_size / coalesce_window / backpressure_watermark /
     max_coalesce_window / cache_maxsize / threads_per_worker:
         Forwarded into each :class:`~repro.serving.worker.WorkerConfig`.
+    replication_factor:
+        How many distinct workers own each fingerprint (``R``).  The ring
+        primary serves the request; the other ``R-1`` replicas are the
+        pre-provisioned failover and hedge targets, warmed through the
+        tiered store after the primary's first solve so a failover costs a
+        cache hit, not a recompile.  ``1`` restores single-owner routing.
+    hedging / hedge_after:
+        Tail-latency hedging: when the primary has not answered within the
+        hedge deadline, the request is speculatively doubled onto a replica
+        and the first response wins (the loser's late answer is dropped and
+        its depth slot released at settle).  ``hedge_after`` pins the
+        deadline in seconds; ``None`` derives it live as
+        ``3 x cluster p99`` once at least 64 latencies are recorded (so
+        cold clusters never hedge).  ``hedging=False`` disables the hedger
+        thread entirely.
     respawn:
         Run the :class:`~repro.serving.resilience.Supervisor`: dead workers
         are respawned (warm-restoring from the tiered store) and re-added
@@ -151,6 +183,15 @@ class ClusterEngine:
         Supervisor tuning: pass period, heartbeat staleness bound
         (``None`` disables hang detection) and an optional cap on respawns
         per worker.
+    probe_timeout:
+        Seconds a stats probe may take before a silent worker is declared
+        hung — used by the supervisor's hang detection and as the default
+        for :meth:`_probe_worker`.
+    max_requests_per_incarnation:
+        Planned-recycling policy: once a worker's current incarnation has
+        dispatched this many requests, the supervisor drains it (zero
+        downtime — replicas own its arcs while in-flight work completes)
+        and respawns it, one worker at a time.  ``None`` disables.
     retry_policy:
         Optional :class:`~repro.serving.resilience.RetryPolicy` applied to
         *synchronous* admission rejections inside :meth:`submit`
@@ -201,10 +242,15 @@ class ClusterEngine:
                  max_coalesce_window: float = 0.005,
                  cache_maxsize: int = 32,
                  threads_per_worker: int | None = 1,
+                 replication_factor: int = 2,
+                 hedging: bool = True,
+                 hedge_after: float | None = None,
                  respawn: bool = True,
                  supervisor_interval: float = 0.2,
                  hang_timeout: float | None = 10.0,
+                 probe_timeout: float = 2.0,
                  max_restarts: int | None = None,
+                 max_requests_per_incarnation: int | None = None,
                  retry_policy: RetryPolicy | None = None,
                  max_redispatch: int = 2,
                  degraded_fallback: bool = True,
@@ -218,10 +264,16 @@ class ClusterEngine:
             raise ValueError("num_workers must be >= 1")
         if max_redispatch < 0:
             raise ValueError("max_redispatch must be >= 0")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
         self.default_deadline = default_deadline
         self.retry_policy = retry_policy
         self.max_redispatch = int(max_redispatch)
         self.degraded_fallback = bool(degraded_fallback)
+        self.replication_factor = int(replication_factor)
+        self.probe_timeout = float(probe_timeout)
+        self._hedge_policy = (HedgePolicy(hedge_after=hedge_after)
+                              if hedging else None)
         if observability is None:
             from ..obs import EventLog, Tracer
             observability = Observability(
@@ -246,6 +298,15 @@ class ClusterEngine:
             "cluster_worker_deaths_total", "Worker processes found dead")
         self._m_restarts = metrics.counter(
             "cluster_restarts_total", "Worker incarnations respawned")
+        self._m_hedged = metrics.counter(
+            "cluster_hedged_total",
+            "Requests speculatively doubled onto a replica")
+        self._m_hedge_wins = metrics.counter(
+            "cluster_hedge_wins_total",
+            "Hedged requests answered first by the replica")
+        self._m_failovers = metrics.counter(
+            "cluster_failovers_total",
+            "Requests instantly failed over to a live replica")
         self._g_workers_alive = metrics.gauge(
             "cluster_workers_alive", "Workers currently on the hash ring")
         self._g_inflight = metrics.gauge(
@@ -277,11 +338,23 @@ class ClusterEngine:
         #: :meth:`_prepare_matrix` for why the reference must be weak.
         self._matrix_memo: dict[int, tuple[str, object, weakref.ref]] = {}
         self._retired: set[str] = set()
+        #: workers mid-planned-recycle: the reaper and supervisor death
+        #: paths must not treat their deliberate exit as a crash.
+        self._planned: set[str] = set()
         self._worker_deaths = 0
         self._submitted = 0
         self._completed = 0
         self._degraded = 0
         self._redispatched = 0
+        self._hedged = 0
+        self._hedge_wins = 0
+        self._failovers = 0
+        #: requests dispatched to each worker's *current* incarnation —
+        #: the planned-recycling trigger (reset on respawn).
+        self._incarnation_dispatched: dict[str, int] = {}
+        #: (worker, incarnation, fingerprint) triples already sent a
+        #: replica warm-up, so each synthesis warms each replica once.
+        self._warmed: set[tuple] = set()
         self._restarts: dict[str, int] = {}
         self._last_heard: dict[str, float] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -329,6 +402,7 @@ class ClusterEngine:
                                         "started_at": now}
             self._depth[worker_id] = 0
             self._restarts[worker_id] = 0
+            self._incarnation_dispatched[worker_id] = 0
             self._last_heard[worker_id] = now
             self._breakers[worker_id] = CircuitBreaker(
                 failure_threshold=breaker_failure_threshold,
@@ -343,10 +417,19 @@ class ClusterEngine:
         self._collector.start()
         self._supervisor: Supervisor | None = None
         if respawn:
-            self._supervisor = Supervisor(self, interval=supervisor_interval,
-                                          hang_timeout=hang_timeout,
-                                          max_restarts=max_restarts)
+            self._supervisor = Supervisor(
+                self, interval=supervisor_interval,
+                hang_timeout=hang_timeout,
+                probe_timeout=self.probe_timeout,
+                max_restarts=max_restarts,
+                max_requests_per_incarnation=max_requests_per_incarnation)
             self._supervisor.start()
+        self._hedger: threading.Thread | None = None
+        if self._hedge_policy is not None and self.replication_factor > 1:
+            self._hedger = threading.Thread(target=self._hedge_loop,
+                                            name="repro-cluster-hedger",
+                                            daemon=True)
+            self._hedger.start()
 
     # ------------------------------------------------------------------ #
     # observability plumbing
@@ -425,9 +508,11 @@ class ClusterEngine:
         try:
             if trace is not None:
                 with trace.span("route", fingerprint=fingerprint[:16]):
-                    worker_id = self._ring.route(fingerprint)
+                    replicas = self._ring.route_replicas(
+                        fingerprint, self.replication_factor)
             else:
-                worker_id = self._ring.route(fingerprint)
+                replicas = self._ring.route_replicas(fingerprint,
+                                                     self.replication_factor)
         except WorkerUnavailableError:
             # every worker is gone: either answer classically (and visibly
             # degraded) or let the retriable error reach the retry loop —
@@ -436,33 +521,55 @@ class ClusterEngine:
                 return self._degraded_future(matrix, rhs_wire, trace=trace,
                                              reason="empty_ring")
             raise
-        breaker = self._breakers.get(worker_id)
-        if breaker is not None and not breaker.allow():
+        # prefer the ring primary, but fail over *instantly* to the next
+        # live replica when the primary's breaker refuses — replicas are
+        # warm, so the detour costs a cache hit, not a recompile.
+        worker_id = select_replica(replicas, breakers=self._breakers,
+                                   retired=self._retired)
+        if worker_id is None:
             self._admission.note_breaker_shed()
             if self.degraded_fallback:
                 return self._degraded_future(matrix, rhs_wire, trace=trace,
                                              reason="breaker_open")
+            breaker = self._breakers.get(replicas[0])
             raise CircuitOpenError(
-                f"worker {worker_id!r} breaker is open after consecutive "
-                "failures; probe admitted when it half-opens",
-                retry_after=breaker.retry_after())
+                f"worker {replicas[0]!r} breaker is open after consecutive "
+                "failures (and no replica is eligible); probe admitted when "
+                "it half-opens",
+                retry_after=(None if breaker is None
+                             else breaker.retry_after()))
+        if worker_id != replicas[0]:
+            with self._lock:
+                self._failovers += 1
+            self._m_failovers.inc()
+            self._event("failover", worker_from=replicas[0],
+                        worker_to=worker_id, reason="breaker_open",
+                        trace_id=None if trace is None else trace.trace_id)
         future: Future = Future()
         future.worker_id = worker_id
         if trace is not None:
             future.trace_id = trace.trace_id
         request_id = next(self._request_ids)
+        hedge_after = self.hedge_deadline()
         admit_started = time.monotonic()
         with self._lock:
             # admit under the lock so depth-check and increment are atomic
             # (two racing submits must not both squeeze under the watermark).
             self._admission.admit(worker_id, self._depth.get(worker_id, 0),
-                                  tenant=tenant)
+                                  tenant=tenant,
+                                  draining=self._ring.is_draining(worker_id))
             self._depth[worker_id] = self._depth.get(worker_id, 0) + 1
+            started = time.monotonic()
             self._inflight[request_id] = _Inflight(
-                future=future, worker_id=worker_id, started=time.monotonic(),
+                future=future, worker_id=worker_id, started=started,
                 counts_depth=True, fingerprint=fingerprint, payload=payload,
-                rhs=rhs_wire, params=params, matrix=matrix, trace=trace)
+                rhs=rhs_wire, params=params, matrix=matrix, trace=trace,
+                replicas=tuple(replicas),
+                hedge_at=(None if hedge_after is None or len(replicas) < 2
+                          else started + hedge_after))
             self._submitted += 1
+            self._incarnation_dispatched[worker_id] = (
+                self._incarnation_dispatched.get(worker_id, 0) + 1)
             requests = self._workers[worker_id]["requests"]
         if trace is not None:
             trace.add_span("admit", start=admit_started,
@@ -541,6 +648,155 @@ class ClusterEngine:
         return fingerprint, payload
 
     # ------------------------------------------------------------------ #
+    # hedging
+    # ------------------------------------------------------------------ #
+    def hedge_deadline(self) -> float | None:
+        """Current hedge deadline in seconds (``None`` = hedging inactive).
+
+        Explicit ``hedge_after`` when configured, else derived live from
+        the cluster latency histogram (``p99_multiplier x p99`` once the
+        window holds enough samples) — the number ``/healthz`` reports so
+        operators can watch the deadline track the workload.
+        """
+        if self._hedge_policy is None or self.replication_factor < 2:
+            return None
+        return self._hedge_policy.deadline(self._latency.summary())
+
+    def _hedge_loop(self) -> None:
+        """Hedger thread: double overdue requests onto their replicas."""
+        while not self._closing.wait(0.005):
+            try:
+                self._scan_hedges()
+            except Exception:  # noqa: BLE001 - hedging must outlive bugs
+                pass
+
+    def _scan_hedges(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            due = [request_id for request_id, entry in self._inflight.items()
+                   if entry.hedge_at is not None
+                   and entry.hedge_worker_id is None
+                   and entry.counts_depth and entry.payload is not None
+                   and now >= entry.hedge_at]
+        for request_id in due:
+            self._maybe_hedge(request_id)
+
+    def _maybe_hedge(self, request_id: int) -> None:
+        """Speculatively dispatch one overdue request to a live replica.
+
+        First response wins: :meth:`_settle` pops the entry exactly once,
+        so the loser's late answer is dropped and both depth slots are
+        released together.  The duplicate reuses the same ``request_id`` —
+        idempotent settling is what makes hedging safe.
+        """
+        with self._lock:
+            entry = self._inflight.get(request_id)
+            if (entry is None or entry.hedge_at is None
+                    or entry.hedge_worker_id is not None):
+                return
+        draining = set(self._ring.draining)
+        target = select_replica(entry.replicas, breakers=self._breakers,
+                                retired=self._retired, draining=draining,
+                                exclude=(entry.worker_id,))
+        if target is None:
+            # the stored replica set can be *transiently* ineligible (a
+            # drain window, an open breaker): a fresh ring walk may
+            # surface the next live worker beyond the original R-set.
+            try:
+                fresh = self._ring.route_replicas(entry.fingerprint,
+                                                  max(len(self._ring), 1))
+            except (WorkerUnavailableError, ValueError):
+                fresh = []
+            target = select_replica(fresh, breakers=self._breakers,
+                                    retired=self._retired,
+                                    draining=draining,
+                                    exclude=(entry.worker_id,))
+        deadline = self.hedge_deadline()
+        with self._lock:
+            if self._inflight.get(request_id) is not entry:
+                return
+            if target is None:
+                # defer one deadline rather than cancel: the blocking
+                # condition usually clears (undrain, breaker close) long
+                # before a gray primary's stall would.
+                entry.hedge_at = (None if deadline is None
+                                  else time.monotonic() + deadline)
+                return
+            entry.hedge_at = None
+            entry.hedge_worker_id = target
+            self._depth[target] = self._depth.get(target, 0) + 1
+            self._hedged += 1
+            self._incarnation_dispatched[target] = (
+                self._incarnation_dispatched.get(target, 0) + 1)
+            requests = self._workers[target]["requests"]
+        self._m_hedged.inc()
+        trace = entry.trace
+        params = entry.params
+        if trace is not None:
+            trace.add_span("hedge_dispatch", worker_from=entry.worker_id,
+                           worker_to=target)
+            # copy so the hedge's re-stamped enqueued_at cannot race the
+            # primary entry's params (redispatch also reads them).
+            params = dict(params)
+            params["trace"] = trace.to_wire()
+        self._event("hedge_dispatch", worker_primary=entry.worker_id,
+                    worker_hedge=target,
+                    trace_id=None if trace is None else trace.trace_id)
+        message = (MSG_SOLVE, request_id, entry.payload, entry.rhs, params)
+        try:
+            requests.put(message)
+        except (ValueError, OSError):
+            with self._lock:
+                if (self._inflight.get(request_id) is entry
+                        and entry.hedge_worker_id == target):
+                    entry.hedge_worker_id = None
+                    self._depth[target] = max(
+                        0, self._depth.get(target, 1) - 1)
+
+    def _warm_replicas(self, entry: _Inflight) -> None:
+        """Send this request's synthesis to its other replicas (advisory).
+
+        Runs at settle time, *after* the answering worker's cache has
+        persisted the synthesis through the tiered store — so the replica's
+        :data:`~repro.serving.worker.MSG_WARM` is a disk restore, not a
+        recompile, and a later failover or hedge hits a warm cache.
+        Memoised per (worker, incarnation, fingerprint) so steady traffic
+        warms each replica exactly once per synthesis.
+        """
+        if (self.replication_factor < 2 or entry.payload is None
+                or entry.fingerprint is None or len(entry.replicas) < 2
+                or self._closing.is_set()):
+            return
+        params = entry.params or {}
+        warm_params = {
+            "epsilon_l": params.get("epsilon_l", 1e-2),
+            "backend": params.get("backend", "auto"),
+            "kappa": params.get("kappa"),
+            "backend_options": params.get("backend_options", {}),
+        }
+        for target in entry.replicas:
+            if target == entry.worker_id:
+                continue
+            with self._lock:
+                worker = self._workers.get(target)
+                if worker is None or target in self._retired:
+                    continue
+                key = (target, worker["config"].incarnation,
+                       entry.fingerprint)
+                if key in self._warmed:
+                    continue
+                if len(self._warmed) > 4096:  # bound the memo, re-warm cheap
+                    self._warmed.clear()
+                self._warmed.add(key)
+                requests = worker["requests"]
+            try:
+                requests.put((MSG_WARM, None, entry.payload, warm_params))
+            except (ValueError, OSError):
+                continue
+            self._event("replica_warm", worker=target,
+                        fingerprint=entry.fingerprint[:16])
+
+    # ------------------------------------------------------------------ #
     # response path
     # ------------------------------------------------------------------ #
     def _collect(self) -> None:
@@ -602,13 +858,15 @@ class ClusterEngine:
             breaker.record_success()
         if kind == "result":
             self._settle(request_id, SingleSolveRecord(**payload[0]), None,
-                         spans=payload[1] if len(payload) > 1 else None)
+                         spans=payload[1] if len(payload) > 1 else None,
+                         from_worker=worker_id)
         elif kind == "error":
             name, message = payload[0], payload[1]
             self._settle(request_id, None,
                          _rebuild_exception(name, message),
-                         spans=payload[2] if len(payload) > 2 else None)
-        elif kind == "stats":
+                         spans=payload[2] if len(payload) > 2 else None,
+                         from_worker=worker_id)
+        elif kind in ("stats", "drained"):
             self._settle(request_id, payload[0], None, record_latency=False)
         elif kind == "event":
             # a worker-side lifecycle/fault event (already on the shared
@@ -621,8 +879,9 @@ class ClusterEngine:
                 worker["final_stats"] = payload[0]
 
     def _settle(self, request_id, result, error, *,
-                record_latency: bool = True, spans=None) -> None:
-        """Resolve one in-flight future and release its queue slot.
+                record_latency: bool = True, spans=None,
+                from_worker: str | None = None) -> None:
+        """Resolve one in-flight future and release its queue slot(s).
 
         Idempotent (the first caller pops the entry; later ones no-op), and
         safe against caller-side ``Future.cancel()`` — a cancelled future
@@ -630,7 +889,15 @@ class ClusterEngine:
         the collector thread, so the slot is released and the settle skipped.
         ``spans`` are worker-recorded span dicts adopted into the request's
         trace before it is finished into the tracer's ring.
+
+        ``from_worker`` names the worker whose response triggered this
+        settle.  For a hedged request both copies share one ``request_id``;
+        the first response pops the entry (first-wins), releases the
+        primary *and* the hedge depth slot together (the loser's late
+        answer no-ops here, so it must never also decrement), and a win by
+        the hedge replica is counted and stamped on the event log.
         """
+        hedge_win = False
         with self._lock:
             entry = self._inflight.pop(request_id, None)
             if entry is None:
@@ -638,11 +905,27 @@ class ClusterEngine:
             if entry.counts_depth:
                 self._depth[entry.worker_id] = max(
                     0, self._depth.get(entry.worker_id, 1) - 1)
+                if entry.hedge_worker_id is not None:
+                    self._depth[entry.hedge_worker_id] = max(
+                        0, self._depth.get(entry.hedge_worker_id, 1) - 1)
+                    hedge_win = from_worker == entry.hedge_worker_id
+                    if hedge_win:
+                        self._hedge_wins += 1
                 if error is None:
                     self._completed += 1
                     if (isinstance(result, SingleSolveRecord)
                             and result.degraded):
                         self._degraded += 1
+        if hedge_win:
+            self._m_hedge_wins.inc()
+            self._event("hedge_win", worker_primary=entry.worker_id,
+                        worker_hedge=from_worker,
+                        trace_id=(None if entry.trace is None
+                                  else entry.trace.trace_id))
+        if (from_worker is not None and entry.counts_depth
+                and error is None):
+            # the worker that actually answered (hedge wins move it)
+            entry.future.worker_id = from_worker
         degraded = isinstance(result, SingleSolveRecord) and result.degraded
         if entry.counts_depth:
             if error is not None:
@@ -670,6 +953,11 @@ class ClusterEngine:
             if record_latency and isinstance(result, SingleSolveRecord):
                 self._latency.record(time.monotonic() - entry.started)
             future.set_result(result)
+            if isinstance(result, SingleSolveRecord) and not degraded:
+                # warm-on-settle: the answering worker's cache has already
+                # persisted this synthesis to the store, so replicas can
+                # restore it from disk now and failover stays a cache hit.
+                self._warm_replicas(entry)
 
     def _reap_dead_workers(self) -> None:
         """Retire crashed workers: shrink the ring, redispatch their in-flight.
@@ -685,6 +973,8 @@ class ClusterEngine:
         for worker_id, worker in self._workers.items():
             if worker_id in self._retired or worker["process"].is_alive():
                 continue
+            if worker_id in self._planned:
+                continue  # a deliberate recycle exit, not a crash
             with self._lock:
                 self._retired.add(worker_id)
             self._worker_deaths += 1
@@ -709,32 +999,77 @@ class ClusterEngine:
             orphaned = [(request_id, entry.worker_id) for request_id, entry
                         in self._inflight.items()
                         if entry.worker_id in self._retired]
+            # a *hedge* copy on a dead worker is simply dropped: the
+            # primary still answers, so only the corpse's depth slot is
+            # released (it must not be re-released at settle).
+            for entry in self._inflight.values():
+                hedge = entry.hedge_worker_id
+                if hedge is not None and hedge in self._retired:
+                    entry.hedge_worker_id = None
+                    self._depth[hedge] = max(0, self._depth.get(hedge, 1) - 1)
         for request_id, owner in orphaned:
             self._handle_owner_lost(request_id, owner)
 
     def _handle_owner_lost(self, request_id: int, owner: str) -> None:
         """An in-flight request's owner died (or its queue was swapped).
 
-        Escalation ladder: re-dispatch to the current ring owner while the
+        Escalation ladder: **promote a live hedge copy** (the duplicate is
+        already solving on a replica — zero extra dispatch) → instant
+        re-dispatch to the next live replica from the request's own
+        pre-provisioned set → ring re-route, while the
         :attr:`max_redispatch` budget lasts → classical in-process solve
         with ``degraded=True`` → typed retriable failure.  Whatever branch
         runs, the future settles — no admitted request is silently dropped.
         Idempotent: the entry may already be settled or moved by a
         concurrent caller, in which case this is a no-op.
         """
+        draining = set(self._ring.draining)
         with self._lock:
             entry = self._inflight.get(request_id)
             if entry is None or entry.worker_id != owner:
                 return  # settled, or already redispatched elsewhere
-            redispatchable = (entry.counts_depth
-                              and entry.payload is not None
-                              and entry.redispatches < self.max_redispatch
-                              and not self._closing.is_set())
+            hedge = entry.hedge_worker_id
+            if (hedge is not None and hedge not in self._retired
+                    and hedge in self._workers):
+                # the hedge copy is live on a replica: promote it to
+                # primary.  Its depth slot carries over; only the dead
+                # owner's slot is released.  No new dispatch needed —
+                # failover latency is bounded by the hedge already running.
+                self._depth[owner] = max(0, self._depth.get(owner, 1) - 1)
+                entry.worker_id = hedge
+                entry.hedge_worker_id = None
+                self._failovers += 1
+                promoted = hedge
+            else:
+                promoted = None
+                redispatchable = (entry.counts_depth
+                                  and entry.payload is not None
+                                  and entry.redispatches < self.max_redispatch
+                                  and not self._closing.is_set())
+        if promoted is not None:
+            entry.future.worker_id = promoted
+            self._m_failovers.inc()
+            trace = entry.trace
+            self._event("failover", worker_from=owner, worker_to=promoted,
+                        reason="hedge_promoted",
+                        trace_id=None if trace is None else trace.trace_id)
+            if trace is not None:
+                trace.add_span("failover", worker_from=owner,
+                               worker_to=promoted, reason="hedge_promoted")
+            return
         if redispatchable:
-            try:
-                new_owner = self._ring.route(entry.fingerprint)
-            except WorkerUnavailableError:
-                new_owner = None
+            # prefer the request's own replica set (warm by construction)
+            # over a fresh ring walk; both exclude the dead owner.
+            new_owner = select_replica(
+                [r for r in entry.replicas if r != owner],
+                breakers=self._breakers, retired=self._retired,
+                draining=draining)
+            via_replica = new_owner is not None
+            if new_owner is None:
+                try:
+                    new_owner = self._ring.route(entry.fingerprint)
+                except WorkerUnavailableError:
+                    new_owner = None
             if new_owner is not None:
                 with self._lock:
                     # atomic move; quota was paid at admission and the old
@@ -749,10 +1084,21 @@ class ClusterEngine:
                     entry.worker_id = new_owner
                     entry.redispatches += 1
                     self._redispatched += 1
+                    if via_replica:
+                        self._failovers += 1
+                    self._incarnation_dispatched[new_owner] = (
+                        self._incarnation_dispatched.get(new_owner, 0) + 1)
                     requests = self._workers[new_owner]["requests"]
                 entry.future.worker_id = new_owner
                 self._m_redispatched.inc()
                 trace = entry.trace
+                if via_replica:
+                    self._m_failovers.inc()
+                    self._event("failover", worker_from=owner,
+                                worker_to=new_owner,
+                                reason="replica_redispatch",
+                                trace_id=(None if trace is None
+                                          else trace.trace_id))
                 self._event("redispatch", worker_from=owner,
                             worker_to=new_owner, hop=entry.redispatches,
                             trace_id=(None if trace is None
@@ -881,6 +1227,7 @@ class ClusterEngine:
                            "started_at": now})
             self._retired.discard(worker_id)
             self._restarts[worker_id] = self._restarts.get(worker_id, 0) + 1
+            self._incarnation_dispatched[worker_id] = 0
             self._last_heard[worker_id] = now
         self._ring.ensure_worker(worker_id)
         self._m_restarts.inc()
@@ -893,13 +1240,18 @@ class ClusterEngine:
             pass
         return True
 
-    def _probe_worker(self, worker_id: str, timeout: float = 2.0) -> bool:
+    def _probe_worker(self, worker_id: str,
+                      timeout: float | None = None) -> bool:
         """Liveness probe: does a stats round-trip complete in ``timeout``?
 
         Used by the supervisor to distinguish *hung* (event loop wedged —
         no answer ever) from *busy* (sweeps run in executor threads, so the
-        loop answers stats promptly even under load).
+        loop answers stats promptly even under load).  ``timeout=None``
+        uses the engine-level :attr:`probe_timeout` — one knob governs
+        every hang-detection probe.
         """
+        if timeout is None:
+            timeout = self.probe_timeout
         worker = self._workers.get(worker_id)
         if worker is None:
             return False
@@ -923,6 +1275,127 @@ class ClusterEngine:
         except Exception:  # noqa: BLE001 - timeout or torn-down future
             self._settle(request_id, None, None, record_latency=False)
             return False
+
+    # ------------------------------------------------------------------ #
+    # zero-downtime operations
+    # ------------------------------------------------------------------ #
+    def drain(self, worker_id: str, timeout: float = 30.0) -> bool:
+        """Hand a worker's traffic to its replicas; wait for in-flight work.
+
+        Marks the worker draining on the ring (admission stops routing it
+        new primaries instantly — its arcs stay in place so
+        :meth:`undrain` restores the exact pre-drain split), then runs the
+        drain handshake: the worker finishes everything already enqueued
+        and acks, and the front end waits for its depth accounting to
+        reach zero.  Returns ``True`` when the worker is fully quiesced
+        within ``timeout``; the worker keeps running either way — drain is
+        a routing state, not a shutdown.
+        """
+        if worker_id not in self._workers:
+            raise ValueError(f"unknown worker {worker_id!r}")
+        self._ring.set_draining(worker_id, True)
+        self._event("worker_drain", worker=worker_id)
+        with self._lock:
+            already_dead = worker_id in self._retired
+            requests = self._workers[worker_id]["requests"]
+        if already_dead:
+            # nothing can be in flight inside a dead process; the reaper
+            # already moved (or will move) its orphans to replicas.
+            self._event("worker_drain_complete", worker=worker_id,
+                        dead=True)
+            return True
+        future: Future = Future()
+        request_id = next(self._request_ids)
+        with self._lock:
+            self._inflight[request_id] = _Inflight(
+                future=future, worker_id=worker_id,
+                started=time.monotonic(), counts_depth=False)
+        try:
+            requests.put((MSG_DRAIN, request_id))
+        except (ValueError, OSError):
+            self._settle(request_id, None, None, record_latency=False)
+            return False
+        deadline = time.monotonic() + timeout
+        try:
+            future.result(timeout=timeout)
+        except Exception:  # noqa: BLE001 - timeout / died mid-drain
+            self._settle(request_id, None, None, record_latency=False)
+            return False
+        # the worker's pending set is empty; now wait for the front end's
+        # own accounting to settle (responses may still be in the pipe).
+        while time.monotonic() < deadline:
+            with self._lock:
+                quiesced = self._depth.get(worker_id, 0) <= 0
+            if quiesced:
+                self._event("worker_drain_complete", worker=worker_id)
+                return True
+            time.sleep(0.005)
+        return False
+
+    def undrain(self, worker_id: str) -> bool:
+        """Return a drained worker to normal routing; ``True`` = changed."""
+        changed = self._ring.set_draining(worker_id, False)
+        if changed:
+            self._event("worker_undrain", worker=worker_id)
+        return changed
+
+    def recycle_worker(self, worker_id: str, timeout: float = 30.0) -> bool:
+        """Planned zero-downtime restart of one worker: drain → respawn.
+
+        Distinct from crash healing: the worker is drained first (replicas
+        own its traffic, in-flight work completes), the deliberate exit is
+        hidden from the reaper/supervisor death paths (no ``worker_death``
+        event, no breaker failure, no crash-backoff), and the fresh
+        incarnation warm-restores from the tiered store before the worker
+        is undrained back into rotation.
+        """
+        if self._closing.is_set():
+            return False
+        with self._lock:
+            if worker_id in self._planned or worker_id not in self._workers:
+                return False
+            self._planned.add(worker_id)
+        try:
+            drained = self.drain(worker_id, timeout=timeout)
+            worker = self._workers[worker_id]
+            process = worker["process"]
+            if process.is_alive():
+                try:
+                    worker["requests"].put((MSG_SHUTDOWN,))
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+                process.join(max(1.0, timeout / 2))
+                if process.is_alive():  # pragma: no cover - wedged worker
+                    process.terminate()
+                    process.join(1.0)
+            with self._lock:
+                # retire so racing submits/redispatches see the swap; the
+                # reaper skips planned workers, so no death is recorded.
+                self._retired.add(worker_id)
+            respawned = self._respawn_worker(worker_id)
+            self.undrain(worker_id)
+            self._event("worker_recycle", worker=worker_id,
+                        drained=drained, respawned=respawned)
+            return respawned
+        finally:
+            with self._lock:
+                self._planned.discard(worker_id)
+
+    def rolling_restart(self, timeout: float = 30.0) -> dict:
+        """Recycle every worker one at a time under live traffic.
+
+        Returns ``{worker_id: recycled_ok}``.  At any instant at most one
+        worker is out of rotation, and its fingerprints are served by
+        replicas that were warmed through the tiered store — the
+        zero-downtime deployment primitive.
+        """
+        outcomes: dict[str, bool] = {}
+        for worker_id in sorted(self._workers):
+            if self._closing.is_set():
+                break
+            outcomes[worker_id] = self.recycle_worker(worker_id,
+                                                      timeout=timeout)
+        return outcomes
 
     # ------------------------------------------------------------------ #
     # telemetry
@@ -981,7 +1454,11 @@ class ClusterEngine:
             inflight = len(self._inflight)
             degraded = self._degraded
             redispatched = self._redispatched
+            hedged = self._hedged
+            hedge_wins = self._hedge_wins
+            failovers = self._failovers
             restarts = dict(self._restarts)
+            incarnation_dispatched = dict(self._incarnation_dispatched)
         stats = {
             "workers_alive": len(self._ring),
             "worker_deaths": self._worker_deaths,
@@ -990,6 +1467,12 @@ class ClusterEngine:
             "inflight": inflight,
             "degraded": degraded,
             "redispatched": redispatched,
+            "hedged": hedged,
+            "hedge_wins": hedge_wins,
+            "failovers": failovers,
+            "replication_factor": self.replication_factor,
+            "hedge_deadline_s": self.hedge_deadline(),
+            "incarnation_dispatched": incarnation_dispatched,
             "restarts": restarts,
             "queue_depths": depths,
             "ring": self._ring.stats(),
@@ -1052,17 +1535,32 @@ class ClusterEngine:
         """
         alive = len(self._ring)
         now = time.monotonic()
+        draining = set(self._ring.draining)
         with self._lock:
             restarts = sum(self._restarts.values())
             ages = {worker_id: (None if worker_id not in self._metrics_seen
                                 else now - self._metrics_seen[worker_id])
                     for worker_id in self._workers}
+            drain_states = {worker_id: worker_id in draining
+                            for worker_id in self._workers}
+            hedged = self._hedged
+            hedge_wins = self._hedge_wins
+            failovers = self._failovers
         events = self._obs.events.stats()
         return {"ok": alive > 0 or self.degraded_fallback,
                 "workers_alive": alive,
                 "worker_deaths": self._worker_deaths,
                 "restarts": restarts,
                 "uptime_s": now - self._started_at,
+                # the rolling-restart watchers: R, who is draining, and the
+                # live hedge deadline (None until the histogram warms or
+                # when hedging is off).
+                "replication_factor": self.replication_factor,
+                "draining": drain_states,
+                "hedge_deadline_s": self.hedge_deadline(),
+                "hedged": hedged,
+                "hedge_wins": hedge_wins,
+                "failovers": failovers,
                 "metrics_snapshot_age_s": ages,
                 "event_log": {"lag_s": events["last_event_age_s"],
                               "events": events["events"],
@@ -1091,6 +1589,8 @@ class ClusterEngine:
             # _closing wakes its loop; join before shutdown so no respawn
             # races the teardown below.
             self._supervisor.join(timeout=2.0)
+        if self._hedger is not None and self._hedger.is_alive():
+            self._hedger.join(timeout=1.0)
         for worker_id, worker in self._workers.items():
             if worker_id not in self._retired:
                 try:

@@ -56,7 +56,7 @@ from ..exceptions import (
 from ..obs.trace import current_trace
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "ChaosSpec", "ChaosPolicy",
-           "Supervisor", "CHAOS_ENV_VAR"]
+           "Supervisor", "HedgePolicy", "select_replica", "CHAOS_ENV_VAR"]
 
 #: environment variable carrying a JSON :class:`ChaosSpec` for worker
 #: processes (the config field takes precedence when both are set).
@@ -300,6 +300,87 @@ class CircuitBreaker:
 
 
 # ---------------------------------------------------------------------- #
+# replica selection and hedging policy
+# ---------------------------------------------------------------------- #
+def select_replica(candidates, *, breakers=None, draining=None,
+                   retired=None, exclude=()):
+    """First candidate a request may be dispatched to, or ``None``.
+
+    ``candidates`` is the ring-ordered replica list from
+    :meth:`~repro.serving.router.HashRing.route_replicas` (primary first),
+    so the return value is "the primary unless something disqualifies it,
+    else the nearest live replica" — the instant-failover selection rule.
+
+    A candidate is skipped when it is in ``exclude`` (e.g. the worker a
+    hedge is doubling), in ``draining`` or ``retired``, or when its
+    :class:`CircuitBreaker` in ``breakers`` refuses :meth:`~CircuitBreaker.allow`.
+    ``allow()`` is only consulted after cheaper checks and only until the
+    first eligible candidate, so at most one half-open probe slot is
+    claimed per selection.
+    """
+    excluded = set(exclude)
+    for worker_id in candidates:
+        if worker_id in excluded:
+            continue
+        if draining is not None and worker_id in draining:
+            continue
+        if retired is not None and worker_id in retired:
+            continue
+        if breakers is not None:
+            breaker = breakers.get(worker_id)
+            if breaker is not None and not breaker.allow():
+                continue
+        return worker_id
+    return None
+
+
+class HedgePolicy:
+    """When to speculatively double a request onto a replica.
+
+    The hedge deadline is either an explicit ``hedge_after`` (seconds) or
+    derived from live latency telemetry: ``p99_multiplier`` times the
+    cluster p99 from the metrics registry's solve-latency histogram,
+    floored at ``min_hedge`` so a microsecond-fast cache-hit workload does
+    not hedge every request.  Derivation needs at least ``min_samples``
+    recorded latencies — before the histogram warms up, :meth:`deadline`
+    returns ``None`` and the tier does not hedge (so cold clusters, tests
+    and smoke runs see pure primary dispatch).
+    """
+
+    def __init__(self, *, hedge_after: float | None = None,
+                 p99_multiplier: float = 3.0, min_hedge: float = 0.02,
+                 min_samples: int = 64) -> None:
+        if hedge_after is not None and hedge_after <= 0.0:
+            raise ValueError("hedge_after must be > 0 when set")
+        if p99_multiplier <= 0.0:
+            raise ValueError("p99_multiplier must be > 0")
+        self.hedge_after = None if hedge_after is None else float(hedge_after)
+        self.p99_multiplier = float(p99_multiplier)
+        self.min_hedge = float(min_hedge)
+        self.min_samples = int(min_samples)
+
+    def deadline(self, summary: dict | None = None) -> float | None:
+        """Seconds after dispatch at which to hedge, or ``None`` = never.
+
+        ``summary`` is a latency-histogram summary dict with ``count`` and
+        ``p99`` keys (:meth:`repro.utils.timing.LatencyHistogram.summary`);
+        only consulted when no explicit ``hedge_after`` was configured.
+        """
+        if self.hedge_after is not None:
+            return self.hedge_after
+        if not summary or summary.get("count", 0) < self.min_samples:
+            return None
+        p99 = summary.get("p99")
+        if not p99 or p99 <= 0.0:
+            return None
+        return max(self.min_hedge, float(p99) * self.p99_multiplier)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"HedgePolicy(hedge_after={self.hedge_after}, "
+                f"p99_multiplier={self.p99_multiplier})")
+
+
+# ---------------------------------------------------------------------- #
 # deterministic chaos injection
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -514,15 +595,29 @@ class Supervisor:
       a short deadline.  Silence means the event loop is wedged — the
       process is terminated, which converts the hang into a death the next
       pass heals.  ``hang_timeout=None`` disables hang detection.
+    * **planned recycling** — distinct from crash healing: when
+      ``max_requests_per_incarnation`` is set, a worker whose current
+      incarnation has dispatched that many requests is *drained* (ring
+      hands its arcs to replicas, in-flight completes) and then respawned
+      via :meth:`~repro.serving.frontend.ClusterEngine.recycle_worker`.
+      One worker recycles at a time, and a worker mid-recycle is ignored
+      by the death path — a planned exit must not be double-healed or
+      counted as a crash.
     """
 
     def __init__(self, engine, *, interval: float = 0.2,
                  hang_timeout: float | None = 10.0,
                  probe_timeout: float = 2.0, backoff_base: float = 0.05,
                  backoff_cap: float = 2.0, stable_after: float = 5.0,
-                 max_restarts: int | None = None) -> None:
+                 max_restarts: int | None = None,
+                 max_requests_per_incarnation: int | None = None) -> None:
         if interval <= 0.0:
             raise ValueError("interval must be > 0")
+        if probe_timeout <= 0.0:
+            raise ValueError("probe_timeout must be > 0")
+        if (max_requests_per_incarnation is not None
+                and max_requests_per_incarnation < 1):
+            raise ValueError("max_requests_per_incarnation must be >= 1")
         self._engine = engine
         self.interval = float(interval)
         self.hang_timeout = None if hang_timeout is None else float(hang_timeout)
@@ -531,11 +626,14 @@ class Supervisor:
         self.backoff_cap = float(backoff_cap)
         self.stable_after = float(stable_after)
         self.max_restarts = max_restarts
+        self.max_requests_per_incarnation = max_requests_per_incarnation
         self._lock = threading.Lock()
         #: worker_id -> (consecutive short-lived incarnations, next allowed at)
         self._backoff: dict[str, tuple[int, float]] = {}
         self._respawns = 0
         self._hang_kills = 0
+        self._recycles = 0
+        self._recycling: threading.Thread | None = None
         self._exhausted: set[str] = set()
         self._thread = threading.Thread(target=self._run,
                                         name="repro-serving-supervisor",
@@ -562,11 +660,14 @@ class Supervisor:
         """One supervision pass (public so tests can drive it directly)."""
         engine = self._engine
         now = time.monotonic()
+        planned = getattr(engine, "_planned", frozenset())
         for worker_id in list(engine._workers):
             if engine._closing.is_set():
                 return
             info = engine._workers[worker_id]
             process = info["process"]
+            if worker_id in planned:
+                continue  # recycle_worker owns this worker's lifecycle
             if not process.is_alive():
                 engine._reap_dead_workers()
                 self._maybe_respawn(worker_id, info, now)
@@ -584,6 +685,44 @@ class Supervisor:
                              silent_s=now - engine._last_heard.get(worker_id,
                                                                    now))
                     process.terminate()  # next pass heals it as a death
+        if self.max_requests_per_incarnation is not None:
+            self._maybe_recycle()
+
+    def _maybe_recycle(self) -> None:
+        """Start a planned recycle for one over-quota worker, if any.
+
+        Serialised: at most one recycle thread at a time, and none while
+        any worker is still mid-recycle — a rolling restart effect rather
+        than a simultaneous fleet bounce.
+        """
+        engine = self._engine
+        with self._lock:
+            if self._recycling is not None and self._recycling.is_alive():
+                return
+            self._recycling = None
+        if getattr(engine, "_planned", None):
+            return
+        candidate = None
+        for worker_id in sorted(engine._workers):
+            served = engine._incarnation_dispatched.get(worker_id, 0)
+            if served >= self.max_requests_per_incarnation:
+                candidate = worker_id
+                break
+        if candidate is None:
+            return
+        thread = threading.Thread(target=self._recycle, args=(candidate,),
+                                  name=f"repro-recycle-{candidate}",
+                                  daemon=True)
+        with self._lock:
+            self._recycling = thread
+            self._recycles += 1
+        thread.start()
+
+    def _recycle(self, worker_id: str) -> None:
+        try:
+            self._engine.recycle_worker(worker_id)
+        except Exception:  # noqa: BLE001 - supervision must outlive bugs
+            pass
 
     def _maybe_respawn(self, worker_id: str, info: dict, now: float) -> None:
         restarts = self._engine._restarts.get(worker_id, 0)
@@ -608,8 +747,12 @@ class Supervisor:
         with self._lock:
             return {"respawns": self._respawns,
                     "hang_kills": self._hang_kills,
+                    "recycles": self._recycles,
                     "interval": self.interval,
                     "hang_timeout": self.hang_timeout,
+                    "probe_timeout": self.probe_timeout,
+                    "max_requests_per_incarnation":
+                        self.max_requests_per_incarnation,
                     "exhausted": sorted(self._exhausted)}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

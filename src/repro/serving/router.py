@@ -74,6 +74,10 @@ class HashRing:
         self._points: list[int] = []
         self._owners: list[str] = []
         self._workers: set[str] = set()
+        #: workers still on the ring but excluded from new placement —
+        #: the zero-downtime drain state.  Keeping the arcs in place means
+        #: ``set_draining(w, False)`` restores the exact pre-drain split.
+        self._draining: set[str] = set()
         for worker in workers:
             self.add_worker(worker)
 
@@ -119,11 +123,45 @@ class HashRing:
             if worker_id not in self._workers:
                 return False
             self._workers.discard(worker_id)
+            self._draining.discard(worker_id)
             keep = [(point, owner) for point, owner
                     in zip(self._points, self._owners) if owner != worker_id]
             self._points = [point for point, _ in keep]
             self._owners = [owner for _, owner in keep]
             return True
+
+    # ------------------------------------------------------------------ #
+    # drain state
+    # ------------------------------------------------------------------ #
+    def set_draining(self, worker_id: str, draining: bool = True) -> bool:
+        """Mark/unmark a worker as draining; returns whether it changed.
+
+        A draining worker keeps its arcs (so un-draining restores the
+        exact pre-drain placement and its caches stay addressable for
+        replica walks by *other* arcs) but ``route``/``route_replicas``
+        skip it for new placement — its traffic hands over to the next
+        live replicas clockwise.  Unknown ids are a no-op.
+        """
+        worker_id = str(worker_id)
+        with self._lock:
+            if worker_id not in self._workers:
+                return False
+            before = worker_id in self._draining
+            if draining:
+                self._draining.add(worker_id)
+            else:
+                self._draining.discard(worker_id)
+            return before != bool(draining)
+
+    def is_draining(self, worker_id: str) -> bool:
+        with self._lock:
+            return str(worker_id) in self._draining
+
+    @property
+    def draining(self) -> list[str]:
+        """Worker ids currently marked draining, sorted."""
+        with self._lock:
+            return sorted(self._draining)
 
     @property
     def workers(self) -> list[str]:
@@ -143,13 +181,45 @@ class HashRing:
     # placement
     # ------------------------------------------------------------------ #
     def route(self, fingerprint: str) -> str:
-        """The worker owning ``fingerprint`` (first ring point clockwise)."""
+        """The worker owning ``fingerprint`` (first ring point clockwise).
+
+        Draining workers are skipped; raises
+        :class:`~repro.exceptions.WorkerUnavailableError` when the ring is
+        empty or every worker is draining.
+        """
+        return self.route_replicas(fingerprint, 1)[0]
+
+    def route_replicas(self, fingerprint: str, n: int) -> list[str]:
+        """The first ``n`` **distinct** workers clockwise from the key.
+
+        Element 0 is the primary (identical to :meth:`route`); the rest
+        are the failover/hedge replicas in ring order.  Draining workers
+        are excluded.  When fewer than ``n`` eligible workers exist the
+        list is simply shorter — a one-worker ring yields ``[worker]``
+        for any ``n >= 1``.  Raises ``ValueError`` for ``n < 1`` and
+        :class:`~repro.exceptions.WorkerUnavailableError` when no
+        eligible worker remains.
+        """
+        if n < 1:
+            raise ValueError("replica count must be >= 1")
         with self._lock:
-            if not self._points:
+            eligible = self._workers - self._draining
+            if not self._points or not eligible:
                 raise WorkerUnavailableError(
-                    "hash ring is empty: no live worker can own the request")
-            at = bisect.bisect_right(self._points, _hash(str(fingerprint)))
-            return self._owners[at % len(self._owners)]
+                    "hash ring is empty: no live worker can own the request"
+                    if not self._points else
+                    "all workers are draining: no eligible replica")
+            replicas: list[str] = []
+            start = bisect.bisect_right(self._points, _hash(str(fingerprint)))
+            total = len(self._owners)
+            for step in range(total):
+                owner = self._owners[(start + step) % total]
+                if owner in self._draining or owner in replicas:
+                    continue
+                replicas.append(owner)
+                if len(replicas) == n:
+                    break
+            return replicas
 
     def arc_shares(self) -> dict[str, float]:
         """Fraction of the key space each worker owns (sums to 1.0).
@@ -161,6 +231,9 @@ class HashRing:
         with self._lock:
             if not self._points:
                 return {}
+            if len(self._workers) == 1:
+                # exact by construction; skips float accumulation error
+                return {next(iter(self._workers)): 1.0}
             shares = dict.fromkeys(self._workers, 0.0)
             span = float(2 ** 64)
             for index, point in enumerate(self._points):
@@ -170,12 +243,15 @@ class HashRing:
             return shares
 
     def stats(self) -> dict:
-        """Snapshot: membership, vnodes and the arc-share split."""
+        """Snapshot: membership, vnodes, drain state and arc-share split."""
         shares = self.arc_shares()
+        with self._lock:
+            points = len(self._points)
         return {
             "workers": self.workers,
+            "draining": self.draining,
             "vnodes": self.vnodes,
-            "points": len(self._points),
+            "points": points,
             "arc_shares": shares,
             "max_arc_share": max(shares.values()) if shares else 0.0,
         }

@@ -61,12 +61,24 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import TraceContext, activated
 
 __all__ = ["WorkerConfig", "worker_main",
-           "MSG_SOLVE", "MSG_STATS", "MSG_SHUTDOWN"]
+           "MSG_SOLVE", "MSG_STATS", "MSG_SHUTDOWN", "MSG_DRAIN", "MSG_WARM"]
 
 #: request-message kinds (first tuple element) a worker understands.
 MSG_SOLVE = "solve"
 MSG_STATS = "stats"
 MSG_SHUTDOWN = "shutdown"
+#: drain handshake: ``(MSG_DRAIN, request_id)`` — the worker finishes every
+#: solve enqueued *before* the drain marker (the queue is FIFO, so awaiting
+#: the pending set after this burst covers them all) and then answers
+#: ``("drained", request_id, stats)``.  The process stays up and keeps
+#: serving; drain is an admission-side state, not a shutdown.
+MSG_DRAIN = "drain"
+#: replica warm-up: ``(MSG_WARM, request_id, matrix, params)`` — compile or
+#: store-restore the synthesis for ``matrix`` into the local cache without
+#: solving anything.  Advisory and silent: failures are swallowed and no
+#: response is sent; success shows up as the ``warmed`` stats counter and a
+#: warm cache on failover.
+MSG_WARM = "warm"
 
 #: fields of a :class:`~repro.core.results.SingleSolveRecord` shipped back
 #: in a result response (the front end rebuilds the record from them).
@@ -193,6 +205,8 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
                                 thread_name_prefix=f"{config.worker_id}-rx")
     pending: set[asyncio.Task] = set()
     served = 0
+    warmed = 0
+    drains = 0
     widenings = 0
     peak_burst = 0
     started_at = time.monotonic()
@@ -272,6 +286,39 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
                 respond("error", request_id, type(exc).__name__, str(exc),
                         spans_out())
 
+    async def handle_warm(message) -> None:
+        """Pre-compile a replica's synthesis without solving anything.
+
+        Runs :meth:`CompiledSolverCache.solver` off the event loop: on the
+        usual path the primary already persisted the synthesis through the
+        tiered store, so this is a disk restore, and a later failover hits
+        a warm cache instead of paying a recompile.  Purely advisory — any
+        failure is swallowed (a cold replica is still a correct replica)
+        and the chaos request stream is untouched (``request_serial`` does
+        not advance, so warm-ups never shift a scripted crash schedule).
+        """
+        nonlocal warmed
+        _, _request_id, matrix, params = message
+        try:
+            fingerprint = None
+            if isinstance(matrix, SharedMatrixHandle):
+                fingerprint = matrix.fingerprint
+                matrix = attach_matrix(matrix)
+
+            def compile_synthesis():
+                return cache.solver(
+                    matrix,
+                    epsilon_l=params.get("epsilon_l", 1e-2),
+                    backend=params.get("backend", "auto"),
+                    kappa=params.get("kappa"),
+                    fingerprint=fingerprint,
+                    **params.get("backend_options", {}))
+
+            await loop.run_in_executor(None, compile_synthesis)
+            warmed += 1
+        except Exception:  # noqa: BLE001 - advisory; cold replica is fine
+            pass
+
     def stats_snapshot() -> dict:
         now = time.monotonic()
         stats = engine.stats()
@@ -279,6 +326,8 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
             "worker_id": config.worker_id,
             "pid": os.getpid(),
             "served": served,
+            "warmed": warmed,
+            "drains": drains,
             "queue_depth": _queue_depth(requests) + len(pending),
             "backpressure_widenings": widenings,
             "peak_burst": peak_burst,
@@ -328,12 +377,19 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
                 engine.coalesce_window = config.max_coalesce_window
             else:
                 engine.coalesce_window = config.coalesce_window
+            drain_acks: list = []
             for message in burst:
                 kind = message[0]
                 if kind == MSG_SHUTDOWN:
                     shutting_down = True
                 elif kind == MSG_STATS:
                     respond("stats", message[1], stats_snapshot())
+                elif kind == MSG_DRAIN:
+                    drain_acks.append(message[1])
+                elif kind == MSG_WARM:
+                    task = loop.create_task(handle_warm(message))
+                    pending.add(task)
+                    task.add_done_callback(pending.discard)
                 elif kind == MSG_SOLVE:
                     task = loop.create_task(
                         handle_solve(message, request_serial))
@@ -343,6 +399,17 @@ async def _serve(config: WorkerConfig, cache: CompiledSolverCache,
                 else:
                     respond("error", None, "ValueError",
                             f"unknown message kind {kind!r}")
+            if drain_acks:
+                # every solve enqueued before the drain marker is in
+                # ``pending`` by now (FIFO queue + greedy burst drain), so
+                # awaiting the set *is* the drain barrier.  New work keeps
+                # arriving afterwards — drain does not stop the loop.
+                if pending:
+                    await asyncio.gather(*list(pending),
+                                         return_exceptions=True)
+                drains += len(drain_acks)
+                for drain_id in drain_acks:
+                    respond("drained", drain_id, stats_snapshot())
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
         respond("shutdown", None, stats_snapshot())
